@@ -1,0 +1,131 @@
+"""Figure 4 — query time with and without indexes (all six queries).
+
+Paper: "DeepLens significantly speeds up 'query time' by using indexes.
+The queries that match multidimensional features can be sped up by up-to
+600x" — 612x for q4, 59x for q1, 41x for q3 (lineage), 2.5x for q6, and
+q5 "does not benefit from any of the available indexes".
+
+The baseline runs every query through the engine with no indexes; the
+optimized plan uses the hand-tuned physical design. Index build/ETL cost
+is excluded here (amortized, Section 7.2) — Figure 5 adds it back.
+
+Absolute speedups scale with data volume (the gap between O(n^2) matching
+and indexed probing widens quadratically); at the default bench scale the
+image-matching queries win by one order of magnitude rather than the
+paper's 612x on 35k frames — the *ordering* of winners is the reproduced
+shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.bench import (
+    q1_near_duplicates,
+    q2_vehicle_frames,
+    q3_player_trajectory,
+    q4_distinct_pedestrians,
+    q5_string_lookup,
+    q6_behind_pairs,
+    speedup,
+)
+
+
+def _best_of(fn, repeats=2):
+    """Run a (deterministic) query plan twice, keep the faster timing —
+    the usual guard against scheduler noise on sub-100ms measurements."""
+    results = [fn() for _ in range(repeats)]
+    return min(results, key=lambda result: result.seconds)
+
+
+def _run_all_queries(traffic, pc, football):
+    traffic_workload, traffic_design = traffic
+    pc_workload, _ = pc
+    football_workload, _ = football
+    target_word = sorted(pc_workload.dataset.present_words())[0]
+
+    results = {}
+    results["q1"] = (
+        _best_of(lambda: q1_near_duplicates(pc_workload, "baseline")),
+        _best_of(lambda: q1_near_duplicates(pc_workload, "optimized")),
+    )
+    results["q2"] = (
+        _best_of(lambda: q2_vehicle_frames(traffic_workload, "baseline")),
+        _best_of(lambda: q2_vehicle_frames(traffic_workload, "optimized")),
+    )
+    results["q3"] = (
+        _best_of(lambda: q3_player_trajectory(football_workload, "baseline")),
+        _best_of(lambda: q3_player_trajectory(football_workload, "optimized")),
+    )
+    results["q4"] = (
+        _best_of(lambda: q4_distinct_pedestrians(traffic_workload, "baseline")),
+        _best_of(
+            lambda: q4_distinct_pedestrians(
+                traffic_workload, "optimized", persons=traffic_design.persons
+            )
+        ),
+    )
+    results["q5"] = (
+        _best_of(lambda: q5_string_lookup(pc_workload, "baseline", target=target_word)),
+        _best_of(
+            lambda: q5_string_lookup(pc_workload, "optimized", target=target_word)
+        ),
+    )
+    results["q6"] = (
+        _best_of(lambda: q6_behind_pairs(traffic_workload, "baseline")),
+        _best_of(
+            lambda: q6_behind_pairs(
+                traffic_workload, "optimized", persons=traffic_design.persons
+            )
+        ),
+    )
+    return results
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_index_speedups(benchmark, traffic, pc, football):
+    results = benchmark.pedantic(
+        _run_all_queries, args=(traffic, pc, football), rounds=1, iterations=1
+    )
+    lines = [
+        "| query | baseline (ms) | indexed (ms) | speedup | answer (base/opt) | accuracy (opt) |",
+        "|---|---|---|---|---|---|",
+    ]
+    gains = {}
+    for name, (base, opt) in results.items():
+        gains[name] = speedup(base, opt)
+        accuracy = f"{opt.accuracy.f1:.3f}" if opt.accuracy else "-"
+        answers = f"{_brief(base.answer)}/{_brief(opt.answer)}"
+        lines.append(
+            f"| {name} | {base.seconds * 1000:.0f} | {opt.seconds * 1000:.0f} "
+            f"| {gains[name]:.1f}x | {answers} | {accuracy} |"
+        )
+    lines.append("")
+    lines.append(
+        "paper shape: q4 612x, q1 59x, q3 41x, q6 2.5x, q5 ~1x "
+        "(no applicable index). Image-matching and lineage queries gain "
+        "most; substring search gains nothing."
+    )
+    write_result("fig4_indexes", "Figure 4 — query time, indexed vs baseline", lines)
+
+    # who-wins ordering: matching/lineage queries gain most; q5 gains none.
+    # absolute factors are scale-bound: our baseline holds the inner join
+    # side in memory, where the paper's no-index engine re-reads storage —
+    # see EXPERIMENTS.md for the scale sensitivity
+    assert gains["q1"] > 1.2
+    assert gains["q3"] > 2.0
+    assert gains["q4"] > 3.0
+    assert gains["q6"] > 1.2
+    assert 0.5 < gains["q5"] < 2.0
+    assert gains["q3"] > gains["q5"]
+    assert gains["q4"] > gains["q6"] > gains["q5"]
+    # both plans agree on answers
+    for name, (base, opt) in results.items():
+        assert base.answer == opt.answer, f"{name} plans disagree"
+
+
+def _brief(answer) -> str:
+    if isinstance(answer, (set, frozenset, list, tuple)):
+        return str(len(answer))
+    return str(answer)

@@ -1,0 +1,71 @@
+"""Figure 5 — end-to-end runtime including on-the-fly index construction.
+
+Paper: "several of the queries execute faster even if the indexes are
+built 'on-the-fly' ... q1 executes nearly 5 times faster than the
+baseline and q4 executes 3.5 times faster ... Indexing has a relatively
+small overhead given the compute-intensive nature of the queries."
+
+Here the optimized plans build their Ball-trees inside the timed region
+(no prebuilt physical design), so the index construction cost is charged
+to the query — and still wins, because it eliminates the quadratic
+matching work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.bench import q1_near_duplicates, q4_distinct_pedestrians, speedup
+
+
+def _run_endtoend(traffic, pc):
+    traffic_workload, traffic_design = traffic
+    pc_workload, _ = pc
+    return {
+        "q1": (
+            q1_near_duplicates(pc_workload, "baseline"),
+            q1_near_duplicates(pc_workload, "optimized", on_the_fly=True),
+        ),
+        "q4": (
+            q4_distinct_pedestrians(traffic_workload, "baseline"),
+            q4_distinct_pedestrians(
+                traffic_workload,
+                "optimized",
+                persons=traffic_design.persons,
+                on_the_fly=True,
+            ),
+        ),
+    }
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_on_the_fly_indexing(benchmark, traffic, pc):
+    results = benchmark.pedantic(
+        _run_endtoend, args=(traffic, pc), rounds=1, iterations=1
+    )
+    lines = [
+        "| query | baseline (ms) | on-the-fly indexed (ms) | speedup |",
+        "|---|---|---|---|",
+    ]
+    gains = {}
+    for name, (base, otf) in results.items():
+        gains[name] = speedup(base, otf)
+        lines.append(
+            f"| {name} | {base.seconds * 1000:.0f} | {otf.seconds * 1000:.0f} "
+            f"| {gains[name]:.1f}x |"
+        )
+    lines.append("")
+    lines.append(
+        "paper shape: q1 ~5x and q4 ~3.5x faster than baseline even paying "
+        "the index build inside the query."
+    )
+    write_result(
+        "fig5_endtoend", "Figure 5 — on-the-fly index build still wins", lines
+    )
+
+    # building the tree inside the query still beats all-pairs matching
+    assert gains["q1"] > 1.2
+    assert gains["q4"] > 2.0
+    for name, (base, otf) in results.items():
+        assert base.answer == otf.answer, f"{name} plans disagree"

@@ -1,0 +1,87 @@
+"""Figure 7 — Ball-tree join cost vs indexed relation size and dimension.
+
+Paper: "the execution time of a Ball-Tree join as function of the size of
+the indexed relation in the high-dimensional and low-dimensional case. As
+the data structure is increasingly filled the execution time grows
+non-linearly. The non-linearity is also data-dependent and is more
+extreme in higher dimensional data."
+
+Probes a fixed batch of queries against Ball-trees of growing size at a
+low (4-d) and high (64-d) feature dimensionality, using clustered data
+(histogram-like features cluster by identity, which is what makes radius
+queries return work).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.bench.metrics import Timer
+from repro.indexes import BallTree
+
+SIZES = (1_000, 2_000, 4_000, 8_000, 16_000)
+N_PROBES = 400
+
+
+def _calibrated_radius(rng, dim, match_fraction=0.01):
+    """Radius returning ~match_fraction of a relation per probe.
+
+    In high dimension pairwise distances concentrate, so a useful radius
+    sits close to the distance distribution's bulk — which is exactly what
+    defeats triangle-inequality pruning (the curse of dimensionality the
+    paper's Figure 7 shows).
+    """
+    sample = rng.normal(size=(400, dim))
+    dists = np.sqrt(((sample[:, None, :] - sample[None, :, :]) ** 2).sum(axis=2))
+    off_diag = dists[~np.eye(len(sample), dtype=bool)]
+    return float(np.quantile(off_diag, match_fraction))
+
+
+def _run_join_sweep():
+    rng = np.random.default_rng(11)
+    rows = []
+    for dim in (4, 64):
+        radius = _calibrated_radius(rng, dim)
+        for n in SIZES:
+            points = rng.normal(size=(n, dim))
+            tree = BallTree(points, leaf_size=16)
+            probes = rng.normal(size=(N_PROBES, dim))
+            with Timer() as timer:
+                tree.query_radius_batch(probes, radius)
+            rows.append((dim, n, timer.seconds))
+    return rows
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_balltree_join_scaling(benchmark):
+    rows = benchmark.pedantic(_run_join_sweep, rounds=1, iterations=1)
+    lines = [
+        f"| dim | indexed n | join time for {N_PROBES} probes (s) |",
+        "|---|---|---|",
+    ]
+    for dim, n, seconds in rows:
+        lines.append(f"| {dim} | {n} | {seconds:.4f} |")
+    series = {
+        dim: {n: seconds for d, n, seconds in rows if d == dim} for dim in (4, 64)
+    }
+    growth4 = series[4][SIZES[-1]] / series[4][SIZES[0]]
+    growth64 = series[64][SIZES[-1]] / series[64][SIZES[0]]
+    lines.append("")
+    lines.append(
+        f"growth {SIZES[0]} -> {SIZES[-1]}: {growth4:.1f}x at 4-d, "
+        f"{growth64:.1f}x at 64-d (size ratio {SIZES[-1] // SIZES[0]}x). "
+        "paper shape: execution grows non-linearly with indexed size, more "
+        "extremely in high dimension."
+    )
+    write_result("fig7_balltree_join", "Figure 7 — Ball-tree join scaling", lines)
+
+    for dim in (4, 64):
+        values = [series[dim][n] for n in SIZES]
+        assert values == sorted(values), f"join time not monotone at dim={dim}"
+    # high dimension is absolutely slower ...
+    for n in SIZES:
+        assert series[64][n] > series[4][n]
+    # ... and degrades faster with size (weaker pruning)
+    assert growth64 > growth4

@@ -1,0 +1,88 @@
+"""Shared fixtures for the figure/table benchmark harnesses.
+
+Workloads build once per session at a scale controlled by
+``REPRO_BENCH_SCALE`` (fraction of the paper's data volume; default 0.012
+keeps the full suite in a few minutes). Every harness appends its series
+to ``benchmarks/results/<experiment>.md`` and the terminal summary prints
+them, so ``pytest benchmarks/ --benchmark-only`` shows the reproduced
+rows without extra flags.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    build_football_workload,
+    build_pc_workload,
+    build_traffic_workload,
+    prepare_football_design,
+    prepare_pc_design,
+    prepare_traffic_design,
+)
+from repro.core import DeepLens
+from repro.datasets import FootballDataset, PCDataset, TrafficCamDataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+TRAFFIC_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.012"))
+PC_SCALE = float(os.environ.get("REPRO_BENCH_PC_SCALE", "0.4"))
+FOOTBALL_SCALE = float(os.environ.get("REPRO_BENCH_FOOTBALL_SCALE", "0.012"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+_written_results: list[Path] = []
+
+
+def write_result(name: str, title: str, lines: list[str]) -> Path:
+    """Persist one experiment's series and register it for the summary."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.md"
+    content = f"# {title}\n\n" + "\n".join(lines) + "\n"
+    path.write_text(content)
+    if path not in _written_results:
+        _written_results.append(path)
+    print(content)
+    return path
+
+
+@pytest.fixture(scope="session")
+def traffic(tmp_path_factory):
+    """TrafficCam workload + tuned physical design (built once)."""
+    db = DeepLens(tmp_path_factory.mktemp("traffic-db"))
+    dataset = TrafficCamDataset(scale=TRAFFIC_SCALE, seed=SEED)
+    workload = build_traffic_workload(db, dataset)
+    design = prepare_traffic_design(workload)
+    yield workload, design
+    db.close()
+
+
+@pytest.fixture(scope="session")
+def pc(tmp_path_factory):
+    db = DeepLens(tmp_path_factory.mktemp("pc-db"))
+    dataset = PCDataset(scale=PC_SCALE, seed=41)
+    workload = build_pc_workload(db, dataset)
+    design = prepare_pc_design(workload)
+    yield workload, design
+    db.close()
+
+
+@pytest.fixture(scope="session")
+def football(tmp_path_factory):
+    db = DeepLens(tmp_path_factory.mktemp("football-db"))
+    dataset = FootballDataset(scale=FOOTBALL_SCALE, seed=23)
+    workload = build_football_workload(db, dataset)
+    design = prepare_football_design(workload)
+    yield workload, design
+    db.close()
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _written_results:
+        return
+    terminalreporter.write_sep("=", "reproduced paper figures/tables")
+    for path in _written_results:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(path.read_text())

@@ -1,0 +1,67 @@
+"""Parking-lot utilization: per-frame vehicle counts with temporal push-down.
+
+The paper's motivating Example 1 (Section 2.2.1): "Consider a CCTV feed of
+a parking lot ... we want to count the number of cars in each frame of the
+video." This example adds the storage-layer angle: the analyst only cares
+about the evening window, so the temporal predicate is *pushed down* into
+the Segmented File and only the overlapping clips are ever decoded.
+
+Run: ``python examples/parking_lot_utilization.py``
+"""
+
+import tempfile
+
+from repro.bench.metrics import Timer
+from repro.core import Attr, DeepLens
+from repro.core.operators import GroupBy, IteratorScan
+from repro.datasets import TrafficCamDataset
+from repro.etl import ObjectDetectorGenerator, Pipeline
+from repro.vision import SyntheticSSD
+
+
+def main() -> None:
+    dataset = TrafficCamDataset(scale=0.006, seed=11)
+    n = dataset.n_frames
+    window = (int(n * 0.6), int(n * 0.75))  # the "evening" slice
+    print(
+        f"video: {n} frames; analysis window: frames {window[0]}..{window[1]} "
+        f"({window[1] - window[0] + 1} frames)"
+    )
+
+    pipeline = Pipeline([ObjectDetectorGenerator(SyntheticSSD())])
+
+    with tempfile.TemporaryDirectory() as workdir, DeepLens(workdir) as db:
+        db.ingest_video("lot-cam", dataset.frames(), layout="segmented", clip_len=16)
+
+        # push-down: the loader turns the frameno predicate into clip-level
+        # pruning, so ETL only ever decodes ~the window
+        temporal = Attr("frameno").between(*window)
+        with Timer() as timer:
+            detections = list(pipeline.run(db.load("lot-cam", filter=temporal)))
+        print(
+            f"ETL over the pushed-down window: {len(detections)} detections "
+            f"in {timer.seconds:.2f}s"
+        )
+
+        vehicles = IteratorScan(
+            [patch for patch in detections if patch["label"] == "vehicle"]
+        )
+        per_frame = GroupBy(
+            vehicles, key=lambda patch: patch["frameno"], reducer=len
+        ).execute()
+
+        print("\nframe | vehicles | utilization bar")
+        capacity = max(per_frame.values(), default=1)
+        for frame in sorted(per_frame)[:20]:
+            count = per_frame[frame]
+            bar = "#" * int(10 * count / capacity)
+            print(f"{frame:5d} | {count:8d} | {bar}")
+        busiest = max(per_frame, key=per_frame.get)
+        print(
+            f"\nbusiest frame in window: {busiest} "
+            f"({per_frame[busiest]} vehicles)"
+        )
+
+
+if __name__ == "__main__":
+    main()

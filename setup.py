@@ -1,0 +1,6 @@
+"""Legacy setup shim: this environment's pip/setuptools lacks the wheel
+package, so editable installs must go through the setup.py code path."""
+
+from setuptools import setup
+
+setup()

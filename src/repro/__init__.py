@@ -1,0 +1,38 @@
+"""DeepLens reproduction: a visual data management system.
+
+Reproduces *DeepLens: Towards a Visual Data Management System* (Krishnan,
+Dziedzic, Elmore — CIDR 2019): a dataflow query processor over collections
+of image patches, with a storage layer (frame / encoded / segmented files),
+single- and multi-dimensional indexes, tuple-level lineage, typed visual
+ETL, and a cost-based optimizer aware of accuracy as well as latency.
+
+Quickstart::
+
+    from repro import DeepLens
+    from repro.core.expressions import Attr
+    from repro.datasets import TrafficCamDataset
+
+    dataset = TrafficCamDataset(scale=0.02, seed=7)
+    with DeepLens(workdir) as db:
+        video = db.ingest_video("cam0", dataset.frames(), layout="segmented")
+        detections = db.run_etl(video, db.generators.object_detector())
+        db.materialize(detections, name="detections")
+        db.create_index("detections", on="label", kind="hash")
+        n = db.scan("detections").filter(Attr("label") == "car").count()
+"""
+
+from repro.errors import DeepLensError
+
+__version__ = "1.0.0"
+
+__all__ = ["DeepLensError", "DeepLens", "__version__"]
+
+
+def __getattr__(name: str):
+    # DeepLens pulls in the full query stack; import lazily so lightweight
+    # uses of the substrates do not pay for it.
+    if name == "DeepLens":
+        from repro.core.session import DeepLens
+
+        return DeepLens
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,43 @@
+"""The Section 6 benchmark: six queries, workload builders, metrics."""
+
+from repro.bench.metrics import PRF, QueryResult, Timer, set_prf, speedup
+from repro.bench.queries import (
+    prepare_football_design,
+    prepare_pc_design,
+    prepare_traffic_design,
+    q1_near_duplicates,
+    q2_vehicle_frames,
+    q3_player_trajectory,
+    q4_distinct_pedestrians,
+    q4_plan_accuracy,
+    q5_string_lookup,
+    q5_token_lookup,
+    q6_behind_pairs,
+)
+from repro.bench.workload import (
+    build_football_workload,
+    build_pc_workload,
+    build_traffic_workload,
+)
+
+__all__ = [
+    "PRF",
+    "QueryResult",
+    "Timer",
+    "build_football_workload",
+    "build_pc_workload",
+    "build_traffic_workload",
+    "prepare_football_design",
+    "prepare_pc_design",
+    "prepare_traffic_design",
+    "q1_near_duplicates",
+    "q2_vehicle_frames",
+    "q3_player_trajectory",
+    "q4_distinct_pedestrians",
+    "q4_plan_accuracy",
+    "q5_string_lookup",
+    "q5_token_lookup",
+    "q6_behind_pairs",
+    "set_prf",
+    "speedup",
+]

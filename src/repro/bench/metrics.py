@@ -1,0 +1,171 @@
+"""Accuracy metrics and timing helpers for the benchmark workload.
+
+The paper reports precision/recall for q4's plan variants (Table 1) and
+accuracy degradation under lossy encoding (Figure 2). Ground truth comes
+from the synthetic scenes, so metrics are computed, not hand-annotated:
+
+* detection-to-identity assignment by IoU (greedy, threshold 0.5);
+* set precision/recall/F1 for pair sets and element sets;
+* *pairwise* clustering metrics for deduplication quality — the standard
+  way to score an entity-resolution clustering against true identities.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from repro.vision.models.base import iou
+from repro.vision.scene import GroundTruthBox
+
+
+@dataclass(frozen=True)
+class PRF:
+    """Precision / recall / F1 triple."""
+
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+    def __repr__(self) -> str:
+        return f"PRF(P={self.precision:.3f}, R={self.recall:.3f}, F1={self.f1:.3f})"
+
+
+def set_prf(predicted: set, truth: set) -> PRF:
+    """Precision/recall of a predicted set against a truth set."""
+    if not predicted:
+        return PRF(precision=1.0 if not truth else 0.0, recall=0.0 if truth else 1.0)
+    hits = len(predicted & truth)
+    precision = hits / len(predicted)
+    recall = hits / len(truth) if truth else 1.0
+    return PRF(precision=precision, recall=recall)
+
+
+def assign_identity(
+    bbox: tuple[int, int, int, int],
+    truth_boxes: Iterable[GroundTruthBox],
+    *,
+    min_iou: float = 0.5,
+    category: str | None = None,
+) -> str | None:
+    """Ground-truth identity for a detection box (best IoU above threshold)."""
+    best_id, best_iou = None, min_iou
+    for gt in truth_boxes:
+        if category is not None and gt.category != category:
+            continue
+        overlap = iou(tuple(bbox), gt.bbox)
+        if overlap > best_iou:
+            best_id, best_iou = gt.object_id, overlap
+    return best_id
+
+
+def pairwise_cluster_prf(
+    clusters: list[set[Hashable]], identity_of: dict[Hashable, str | None]
+) -> PRF:
+    """Pairwise precision/recall of a clustering against true identities.
+
+    An item pair is *predicted positive* when both sit in one cluster and
+    *truly positive* when both carry the same (non-None) identity. Pairs
+    whose members *both* lack a resolvable identity are excluded entirely:
+    they belong to entities outside the query's universe (e.g. vehicle
+    patches in a pedestrian dedup), so grouping them is neither right nor
+    wrong for this query. A pair with exactly one resolvable member still
+    counts against precision — that is a genuine dedup error.
+    """
+    predicted: set[frozenset] = set()
+    for cluster in clusters:
+        members = sorted(cluster, key=str)
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                if identity_of.get(a) is None and identity_of.get(b) is None:
+                    continue
+                predicted.add(frozenset((a, b)))
+    truth: set[frozenset] = set()
+    by_identity: dict[str, list[Hashable]] = {}
+    for item, identity in identity_of.items():
+        if identity is not None:
+            by_identity.setdefault(identity, []).append(item)
+    for members in by_identity.values():
+        members = sorted(members, key=str)
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                truth.add(frozenset((a, b)))
+    return set_prf(predicted, truth)
+
+
+def detection_prf(
+    detections_per_frame: dict[int, list],
+    truth_per_frame: dict[int, list[GroundTruthBox]],
+    *,
+    min_iou: float = 0.5,
+) -> PRF:
+    """Detection-level precision/recall: greedy IoU matching per frame.
+
+    ``detections_per_frame`` maps frame -> list of Detection objects (or
+    anything with ``bbox``/``label``); a detection is a true positive when
+    it matches an unmatched ground-truth box of the same category with
+    IoU >= ``min_iou``.
+    """
+    tp = fp = fn = 0
+    for frame, truth_boxes in truth_per_frame.items():
+        detections = list(detections_per_frame.get(frame, []))
+        unmatched = list(truth_boxes)
+        for det in sorted(detections, key=lambda d: -getattr(d, "score", 1.0)):
+            best, best_overlap = None, min_iou
+            for gt in unmatched:
+                if gt.category != det.label:
+                    continue
+                overlap = iou(tuple(det.bbox), gt.bbox)
+                if overlap > best_overlap:
+                    best, best_overlap = gt, overlap
+            if best is not None:
+                unmatched.remove(best)
+                tp += 1
+            else:
+                fp += 1
+        fn += len(unmatched)
+    precision = tp / (tp + fp) if tp + fp else 1.0
+    recall = tp / (tp + fn) if tp + fn else 1.0
+    return PRF(precision=precision, recall=recall)
+
+
+class Timer:
+    """Context-manager stopwatch: ``with Timer() as t: ...; t.seconds``."""
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self.seconds = 0.0
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+@dataclass
+class QueryResult:
+    """One benchmark query execution: answer + timing + accuracy."""
+
+    name: str
+    plan: str  # 'baseline' | 'optimized' | variant name
+    answer: object
+    seconds: float
+    accuracy: PRF | None = None
+
+    def __repr__(self) -> str:
+        acc = f", {self.accuracy}" if self.accuracy else ""
+        return (
+            f"QueryResult({self.name}/{self.plan}: {self.seconds * 1000:.1f} ms"
+            f"{acc})"
+        )
+
+
+def speedup(baseline: QueryResult, optimized: QueryResult) -> float:
+    if optimized.seconds <= 0:
+        return float("inf")
+    return baseline.seconds / optimized.seconds

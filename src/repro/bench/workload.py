@@ -1,0 +1,186 @@
+"""Benchmark workload builders: datasets -> populated DeepLens databases.
+
+Each builder ingests one synthetic dataset, runs its ETL pipeline
+(detector / OCR / featurizers — the "ETL time" the paper amortizes), and
+materializes the collections the six queries run over. Builders create
+**no indexes**: physical design is exactly what the benchmarks vary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.metrics import Timer, assign_identity
+from repro.core.catalog import MaterializedCollection
+from repro.core.patch import Patch
+from repro.core.session import DeepLens
+from repro.datasets import FootballDataset, PCDataset, TrafficCamDataset
+from repro.etl import (
+    CropTransformer,
+    DepthTransformer,
+    HistogramTransformer,
+    ObjectDetectorGenerator,
+    OCRGenerator,
+    Pipeline,
+)
+import numpy as np
+
+from repro.vision import DetectorNoise, MonocularDepth, SyntheticSSD, TemplateOCR
+from repro.vision.features import color_histogram_soft, gradient_histogram
+
+#: feature key used by the TrafficCam matching queries
+HIST_KEY = "hist"
+#: histogram bins -> 64-d features (bins**3)
+HIST_BINS = 4
+#: combined colour+structure feature used by the PC matching query (q1):
+#: soft-binned joint histogram (125-d) + weighted HOG (128-d)
+MATCH_KEY = "matchvec"
+MATCH_HOG_WEIGHT = 0.6
+
+
+@dataclass
+class TrafficWorkload:
+    """TrafficCam ingested: detections with histogram features and depth."""
+
+    db: DeepLens
+    dataset: TrafficCamDataset
+    detections: MaterializedCollection
+    etl_seconds: float
+    #: patch id -> ground-truth identity (None = unmatched/noise)
+    identity_of: dict[int, str | None] = field(default_factory=dict)
+
+
+def build_traffic_workload(
+    db: DeepLens,
+    dataset: TrafficCamDataset,
+    *,
+    layout: str = "segmented",
+    clip_len: int = 32,
+    noise: DetectorNoise | None = None,
+    collection_name: str = "detections",
+) -> TrafficWorkload:
+    noise = noise if noise is not None else DetectorNoise(seed=dataset.spec.seed)
+    pipeline = Pipeline(
+        [
+            ObjectDetectorGenerator(SyntheticSSD(noise=noise)),
+            HistogramTransformer(bins=HIST_BINS, key=HIST_KEY),
+            DepthTransformer(MonocularDepth(dataset.camera, seed=dataset.spec.seed)),
+        ]
+    )
+    with Timer() as timer:
+        kwargs = {"clip_len": clip_len} if layout == "segmented" else {}
+        db.ingest_video("trafficcam", dataset.frames(), layout=layout, **kwargs)
+        detections = db.materialize(
+            pipeline.run(db.load("trafficcam")),
+            collection_name,
+            schema=pipeline.output_schema,
+        )
+    identity_of = {
+        patch.patch_id: assign_identity(
+            patch.bbox, dataset.ground_truth(patch["frameno"])
+        )
+        for patch in detections.scan()
+    }
+    return TrafficWorkload(
+        db=db,
+        dataset=dataset,
+        detections=detections,
+        etl_seconds=timer.seconds,
+        identity_of=identity_of,
+    )
+
+
+@dataclass
+class PCWorkload:
+    """PC corpus ingested: whole images with features, plus OCR text."""
+
+    db: DeepLens
+    dataset: PCDataset
+    images: MaterializedCollection
+    texts: MaterializedCollection
+    etl_seconds: float
+
+
+def build_pc_workload(db: DeepLens, dataset: PCDataset) -> PCWorkload:
+    featurize = HistogramTransformer(bins=HIST_BINS, key=HIST_KEY)
+    ocr = TemplateOCR()
+    with Timer() as timer:
+        def image_patches():
+            for index, image in enumerate(dataset):
+                patch = Patch.from_frame("pc", index, image.pixels)
+                patch.metadata["image_id"] = image.image_id
+                patch.metadata["kind"] = image.kind
+                patch.metadata[MATCH_KEY] = np.concatenate(
+                    [
+                        color_histogram_soft(image.pixels, bins=5),
+                        MATCH_HOG_WEIGHT
+                        * gradient_histogram(image.pixels, grid=4, orientations=8),
+                    ]
+                )
+                yield featurize.transform(patch)
+
+        images = db.materialize(image_patches(), "images")
+
+        def text_patches():
+            generator = OCRGenerator(ocr)
+            for patch in images.scan():
+                yield from generator.generate(patch)
+
+        texts = db.materialize(text_patches(), "texts")
+    return PCWorkload(
+        db=db,
+        dataset=dataset,
+        images=images,
+        texts=texts,
+        etl_seconds=timer.seconds,
+    )
+
+
+@dataclass
+class FootballWorkload:
+    """Football clips ingested: player detections plus jersey OCR."""
+
+    db: DeepLens
+    dataset: FootballDataset
+    players: MaterializedCollection
+    jerseys: MaterializedCollection
+    etl_seconds: float
+
+
+def build_football_workload(
+    db: DeepLens,
+    dataset: FootballDataset,
+    *,
+    noise: DetectorNoise | None = None,
+) -> FootballWorkload:
+    noise = noise if noise is not None else DetectorNoise(
+        p_mislabel=0.0, p_miss=0.0, p_false_positive=0.0
+    )
+    detector = ObjectDetectorGenerator(SyntheticSSD(noise=noise))
+    # jersey numbers sit on the torso: crop below the head before OCR
+    torso = CropTransformer(top=0.25, bottom=0.75)
+    ocr = OCRGenerator(TemplateOCR())
+    with Timer() as timer:
+        def player_patches():
+            for clip in dataset.clips:
+                for frameno, pixels in enumerate(clip.frames()):
+                    frame_patch = Patch.from_frame(clip.clip_id, frameno, pixels)
+                    for detection in detector.generate(frame_patch):
+                        if detection["label"] == "person":
+                            yield detection
+
+        players = db.materialize(player_patches(), "players")
+
+        def jersey_patches():
+            for patch in players.scan():
+                cropped = torso.transform(patch)
+                yield from ocr.generate(cropped)
+
+        jerseys = db.materialize(jersey_patches(), "jerseys")
+    return FootballWorkload(
+        db=db,
+        dataset=dataset,
+        players=players,
+        jerseys=jerseys,
+        etl_seconds=timer.seconds,
+    )

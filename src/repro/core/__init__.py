@@ -1,0 +1,25 @@
+"""DeepLens core: the patch data model, query processing, and optimizer."""
+
+from repro.core.catalog import Catalog, MaterializedCollection
+from repro.core.expressions import Attr, Expr, Predicate
+from repro.core.lineage import LineageStore
+from repro.core.patch import ImgRef, Patch, Row
+from repro.core.schema import Field, PatchSchema, frame_schema
+from repro.core.session import DeepLens, QueryBuilder
+
+__all__ = [
+    "Attr",
+    "Catalog",
+    "DeepLens",
+    "Expr",
+    "Field",
+    "ImgRef",
+    "LineageStore",
+    "MaterializedCollection",
+    "Patch",
+    "PatchSchema",
+    "Predicate",
+    "QueryBuilder",
+    "Row",
+    "frame_schema",
+]

@@ -1,0 +1,361 @@
+"""Catalog: materialized patch collections and their indexes.
+
+"Any of the intermediate results in DeepLens can be materialized ... We
+also support the construction of indexes on the materialized data"
+(Section 3.2). The catalog owns one pager + blob heap per database
+directory and exposes:
+
+* :meth:`Catalog.materialize` — persist a patch iterator as a named
+  collection (assigning patch ids, validating against a schema, recording
+  lineage);
+* :meth:`Catalog.create_index` — hash / B+ tree / R-tree / Ball-tree over
+  a collection attribute (or the patch data itself for feature patches);
+* :class:`MaterializedCollection` — scan / point access / index lookup.
+
+Multi-dimensional indexes are rebuilt from the stored patches on reopen
+(they live in memory, like the paper's "on-the-fly" Ball-trees); their
+registration is persisted so reopening is transparent.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Any, Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.core.lineage import LineageStore
+from repro.core.patch import Patch
+from repro.core.schema import PatchSchema
+from repro.errors import IndexError_, QueryError, StorageError
+from repro.indexes import BallTree, BTreeIndex, HashIndex, RTree, rect_from_bbox
+from repro.storage.kvstore import BlobHeap, BlobRef, BPlusTree, Pager
+from repro.storage.kvstore import serialization
+
+INDEX_KINDS = ("hash", "btree", "rtree", "balltree")
+
+
+class MaterializedCollection:
+    """One named, persisted collection of patches."""
+
+    def __init__(self, catalog: "Catalog", name: str) -> None:
+        self.catalog = catalog
+        self.name = name
+        # trees are process-wide singletons per name (the catalog registry)
+        # because lazily-written pages are only visible through the owning
+        # tree object until the next sync
+        self._tree = catalog._tree_for(f"col:{name}")
+        self.schema: PatchSchema | None = None
+        # memory-resident primary "index": patch id -> heap ref, built
+        # lazily on the first point access so random gets skip the B+ walk
+        self._ref_map: dict[int, bytes] | None = None
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def add(self, patch: Patch) -> int:
+        """Persist one patch; returns its assigned patch id."""
+        if self.schema is not None:
+            self.schema.validate_patch(patch)
+        patch_id = self.catalog._next_patch_id()
+        patch.patch_id = patch_id
+        ref = self.catalog.heap.put(patch.to_record(), compress=True)
+        payload = serialization.dumps(list(ref.to_tuple()), compress_arrays=False)
+        self._tree.insert(patch_id, payload)
+        if self._ref_map is not None:
+            self._ref_map[patch_id] = payload
+        self.catalog.lineage.record(patch)
+        self.catalog._maintain_indexes(self.name, patch)
+        return patch_id
+
+    def get(self, patch_id: int, *, load_data: bool = True) -> Patch:
+        if self._ref_map is None:
+            self._ref_map = {pid: payload for pid, payload in self._tree.items()}
+        payload = self._ref_map.get(patch_id)
+        if payload is None:
+            raise QueryError(
+                f"patch {patch_id} not in collection {self.name!r}"
+            )
+        return self._load(patch_id, payload, load_data)
+
+    def scan(self, *, load_data: bool = True) -> Iterator[Patch]:
+        """Iterate every patch in id order.
+
+        ``load_data=False`` projects out the pixel/feature payload — the
+        fast path for metadata-only predicates.
+        """
+        for patch_id, payload in self._tree.items():
+            yield self._load(patch_id, payload, load_data)
+
+    def ids(self) -> list[int]:
+        return [patch_id for patch_id, _ in self._tree.items()]
+
+    def _load(self, patch_id: int, payload: bytes, load_data: bool = True) -> Patch:
+        ref = BlobRef.from_tuple(tuple(serialization.loads(payload)))
+        return Patch.from_record(
+            self.catalog.heap.get(ref), patch_id=patch_id, with_data=load_data
+        )
+
+    # -- index access ---------------------------------------------------
+
+    def index(self, attr: str, kind: str):
+        return self.catalog.get_index(self.name, attr, kind)
+
+    def lookup(self, attr: str, value: Any, kind: str = "hash") -> list[Patch]:
+        """Point lookup through an index: patches with attr == value."""
+        index = self.index(attr, kind)
+        return [self.get(patch_id) for patch_id in index.lookup(value)]
+
+
+class Catalog:
+    """Database directory: patch heap, collections, indexes, lineage."""
+
+    def __init__(self, workdir: str | os.PathLike) -> None:
+        self.workdir = os.fspath(workdir)
+        os.makedirs(self.workdir, exist_ok=True)
+        self.pager = Pager(os.path.join(self.workdir, "catalog.db"))
+        self.heap = BlobHeap(os.path.join(self.workdir, "patches.heap"))
+        self.lineage = LineageStore(self.pager)
+        self._collections: dict[str, MaterializedCollection] = {}
+        #: (collection, attr, kind) -> index object
+        self._indexes: dict[tuple[str, str, str], Any] = {}
+        self._trees: dict[str, BPlusTree] = {}
+        meta = self.pager.get_meta()
+        self._next_id = meta.get("catalog:next_id", 0)
+        for name in meta.get("catalog:collections", []):
+            self._collections[name] = MaterializedCollection(self, name)
+        self._registered: list[tuple[str, str, str]] = [
+            tuple(entry) for entry in meta.get("catalog:indexes", [])
+        ]
+        self._multi_value: set[tuple[str, str, str]] = {
+            tuple(entry) for entry in meta.get("catalog:multi_value", [])
+        }
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        self._save_meta()
+        self.pager.close()
+        self.heap.close()
+
+    def sync(self) -> None:
+        self._save_meta()
+        self.pager.sync()
+        self.heap.sync()
+
+    def __enter__(self) -> "Catalog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _save_meta(self) -> None:
+        meta = self.pager.get_meta()
+        meta["catalog:next_id"] = self._next_id
+        meta["catalog:collections"] = sorted(self._collections)
+        meta["catalog:indexes"] = [list(key) for key in self._registered]
+        meta["catalog:multi_value"] = [list(key) for key in sorted(self._multi_value)]
+        self.pager.set_meta(meta)
+
+    def _tree_for(self, name: str) -> BPlusTree:
+        if name not in self._trees:
+            self._trees[name] = BPlusTree(self.pager, name, unique=True)
+        return self._trees[name]
+
+    def _next_patch_id(self) -> int:
+        patch_id = self._next_id
+        self._next_id += 1
+        return patch_id
+
+    # -- collections ----------------------------------------------------
+
+    def materialize(
+        self,
+        patches: Iterable[Patch],
+        name: str,
+        schema: PatchSchema | None = None,
+        *,
+        replace: bool = False,
+    ) -> MaterializedCollection:
+        """Persist an iterator of patches as collection ``name``."""
+        if name in self._collections:
+            if not replace:
+                raise StorageError(
+                    f"collection {name!r} already exists (pass replace=True)"
+                )
+            collection = self._collections[name]
+            collection._tree.clear()
+            collection._ref_map = None
+            # indexes over the old contents are stale: drop them
+            self._registered = [
+                key for key in self._registered if key[0] != name
+            ]
+            for key in [k for k in self._indexes if k[0] == name]:
+                del self._indexes[key]
+        else:
+            collection = MaterializedCollection(self, name)
+            self._collections[name] = collection
+        collection.schema = schema
+        for patch in patches:
+            collection.add(patch)
+        self._save_meta()
+        return collection
+
+    def collection(self, name: str) -> MaterializedCollection:
+        try:
+            return self._collections[name]
+        except KeyError:
+            raise QueryError(
+                f"no collection {name!r}; have {sorted(self._collections)}"
+            ) from None
+
+    def collections(self) -> list[str]:
+        return sorted(self._collections)
+
+    # -- indexes ------------------------------------------------------------
+
+    def create_index(
+        self,
+        collection_name: str,
+        attr: str,
+        kind: str,
+        *,
+        feature_fn: Callable[[Patch], np.ndarray] | None = None,
+        multi_value: bool = False,
+    ):
+        """Build an index over ``attr`` of a materialized collection.
+
+        Kinds: ``hash`` (equality), ``btree`` (equality + range), ``rtree``
+        (attr must hold (x1, y1, x2, y2) boxes), ``balltree`` (attr must
+        hold fixed-dim vectors, or pass ``feature_fn`` / attr='data' to
+        index the patch data itself). ``multi_value=True`` treats the
+        attribute as a collection of keys (an inverted index — e.g. OCR
+        token tuples), valid for hash/btree kinds.
+        """
+        if kind not in INDEX_KINDS:
+            raise IndexError_(
+                f"unknown index kind {kind!r}; expected one of {INDEX_KINDS}"
+            )
+        if multi_value and kind not in ("hash", "btree"):
+            raise IndexError_(
+                f"multi_value indexes require hash/btree kinds, not {kind!r}"
+            )
+        collection = self.collection(collection_name)
+        key = (collection_name, attr, kind)
+        index = self._build_index(collection, attr, kind, feature_fn, multi_value)
+        self._indexes[key] = index
+        if key not in self._registered:
+            self._registered.append(key)
+        self._multi_value.add(key) if multi_value else None
+        self._save_meta()
+        return index
+
+    def get_index(self, collection_name: str, attr: str, kind: str):
+        key = (collection_name, attr, kind)
+        if key in self._indexes:
+            return self._indexes[key]
+        if key in self._registered:
+            if kind in ("hash", "btree"):
+                # persistent structures reattach to their on-disk state;
+                # repopulating them would double every entry
+                name = f"{collection_name}.{attr}.{kind}"
+                index = (
+                    HashIndex(self.pager, name)
+                    if kind == "hash"
+                    else BTreeIndex(self.pager, name)
+                )
+            else:
+                # multi-dimensional indexes are memory-resident: rebuild
+                collection = self.collection(collection_name)
+                index = self._build_index(
+                    collection, attr, kind, None, key in self._multi_value
+                )
+            self._indexes[key] = index
+            return index
+        raise IndexError_(
+            f"no {kind} index on {collection_name}.{attr}; create_index first"
+        )
+
+    def has_index(self, collection_name: str, attr: str, kind: str) -> bool:
+        return (collection_name, attr, kind) in self._registered
+
+    def indexes(self) -> list[tuple[str, str, str]]:
+        return list(self._registered)
+
+    def _build_index(
+        self,
+        collection: MaterializedCollection,
+        attr: str,
+        kind: str,
+        feature_fn: Callable[[Patch], np.ndarray] | None,
+        multi_value: bool = False,
+    ):
+        name = f"{collection.name}.{attr}.{kind}"
+        if kind in ("hash", "btree"):
+            index = (
+                HashIndex(self.pager, name)
+                if kind == "hash"
+                else BTreeIndex(self.pager, name)
+            )
+            for patch in collection.scan():
+                value = patch.metadata.get(attr)
+                if value is None:
+                    continue
+                for key in _index_keys(value, multi_value):
+                    index.insert(key, patch.patch_id)
+            return index
+        if kind == "rtree":
+            index = RTree()
+            for patch in collection.scan():
+                value = patch.metadata.get(attr)
+                if value is not None:
+                    index.insert(rect_from_bbox(tuple(value)), patch.patch_id)
+            return index
+        # balltree
+        vectors: list[np.ndarray] = []
+        ids: list[int] = []
+        for patch in collection.scan():
+            if feature_fn is not None:
+                vector = feature_fn(patch)
+            elif attr == "data":
+                vector = patch.data
+            else:
+                vector = patch.metadata.get(attr)
+            if vector is None:
+                continue
+            vectors.append(np.asarray(vector, dtype=np.float64).ravel())
+            ids.append(patch.patch_id)
+        if not vectors:
+            raise IndexError_(
+                f"collection {collection.name!r} has no vectors under "
+                f"{attr!r} to index"
+            )
+        return BallTree(np.stack(vectors), ids=ids)
+
+    def _maintain_indexes(self, collection_name: str, patch: Patch) -> None:
+        """Keep incremental indexes current as new patches arrive."""
+        for (name, attr, kind), index in list(self._indexes.items()):
+            if name != collection_name:
+                continue
+            if kind in ("hash", "btree"):
+                value = patch.metadata.get(attr)
+                if value is not None:
+                    multi = (name, attr, kind) in self._multi_value
+                    for key in _index_keys(value, multi):
+                        index.insert(key, patch.patch_id)
+            elif kind == "rtree":
+                value = patch.metadata.get(attr)
+                if value is not None:
+                    index.insert(rect_from_bbox(tuple(value)), patch.patch_id)
+            elif kind == "balltree":
+                # static structure: drop it; it rebuilds lazily on next use
+                key = (name, attr, kind)
+                self._indexes.pop(key, None)
+
+
+def _index_keys(value, multi_value: bool) -> list:
+    """Keys contributed by one attribute value (inverted when multi-value)."""
+    if multi_value and isinstance(value, (tuple, list)):
+        return list(value)
+    return [value]

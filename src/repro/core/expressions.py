@@ -1,0 +1,249 @@
+"""Predicate expressions over patch metadata.
+
+A tiny expression DSL with two consumers:
+
+* operators *evaluate* expressions against patches;
+* the optimizer *introspects* them — a conjunction of comparisons exposes
+  its attribute/op/constant triples so index selection (hash for ``==``,
+  B+ tree / sorted file for ranges) and filter push-down can reason about
+  the predicate instead of treating it as an opaque callable.
+
+Usage::
+
+    from repro.core.expressions import Attr
+    expr = (Attr("label") == "vehicle") & Attr("frameno").between(100, 200)
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable
+
+from repro.core.patch import Patch
+from repro.errors import QueryError
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a is not None and a < b,
+    "<=": lambda a, b: a is not None and a <= b,
+    ">": lambda a, b: a is not None and a > b,
+    ">=": lambda a, b: a is not None and a >= b,
+    "in": lambda a, b: a in b,
+    "contains": lambda a, b: a is not None and b in a,
+}
+
+
+class Expr(ABC):
+    """Boolean expression over one patch."""
+
+    @abstractmethod
+    def evaluate(self, patch: Patch) -> bool:
+        """True when the patch satisfies the expression."""
+
+    def __and__(self, other: "Expr") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Expr") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def conjuncts(self) -> list["Expr"]:
+        """Flatten top-level ANDs (the unit of push-down/index matching)."""
+        return [self]
+
+
+class Comparison(Expr):
+    """attr <op> constant — the indexable leaf."""
+
+    def __init__(self, attr: str, op: str, value: Any) -> None:
+        if op not in _OPS:
+            raise QueryError(f"unknown comparison op {op!r}")
+        self.attr = attr
+        self.op = op
+        self.value = value
+
+    def evaluate(self, patch: Patch) -> bool:
+        return _OPS[self.op](patch.metadata.get(self.attr), self.value)
+
+    def __repr__(self) -> str:
+        return f"({self.attr} {self.op} {self.value!r})"
+
+
+class Between(Expr):
+    """lo <= attr <= hi — matches range indexes directly."""
+
+    def __init__(self, attr: str, lo: Any, hi: Any) -> None:
+        if lo is None and hi is None:
+            raise QueryError("between needs at least one bound")
+        self.attr = attr
+        self.lo = lo
+        self.hi = hi
+
+    def evaluate(self, patch: Patch) -> bool:
+        value = patch.metadata.get(self.attr)
+        if value is None:
+            return False
+        if self.lo is not None and value < self.lo:
+            return False
+        if self.hi is not None and value > self.hi:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"({self.lo!r} <= {self.attr} <= {self.hi!r})"
+
+
+class And(Expr):
+    def __init__(self, *children: Expr) -> None:
+        if len(children) < 2:
+            raise QueryError("And needs at least two children")
+        self.children = tuple(children)
+
+    def evaluate(self, patch: Patch) -> bool:
+        return all(child.evaluate(patch) for child in self.children)
+
+    def conjuncts(self) -> list[Expr]:
+        out: list[Expr] = []
+        for child in self.children:
+            out.extend(child.conjuncts())
+        return out
+
+    def __repr__(self) -> str:
+        return " & ".join(map(repr, self.children))
+
+
+class Or(Expr):
+    def __init__(self, *children: Expr) -> None:
+        if len(children) < 2:
+            raise QueryError("Or needs at least two children")
+        self.children = tuple(children)
+
+    def evaluate(self, patch: Patch) -> bool:
+        return any(child.evaluate(patch) for child in self.children)
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(map(repr, self.children)) + ")"
+
+
+class Not(Expr):
+    def __init__(self, child: Expr) -> None:
+        self.child = child
+
+    def evaluate(self, patch: Patch) -> bool:
+        return not self.child.evaluate(patch)
+
+    def __repr__(self) -> str:
+        return f"~{self.child!r}"
+
+
+class Predicate(Expr):
+    """Escape hatch: an opaque Python callable (never index-matched)."""
+
+    def __init__(self, fn: Callable[[Patch], bool], name: str = "<fn>") -> None:
+        self.fn = fn
+        self.name = name
+
+    def evaluate(self, patch: Patch) -> bool:
+        return bool(self.fn(patch))
+
+    def __repr__(self) -> str:
+        return f"Predicate({self.name})"
+
+
+class AlwaysTrue(Expr):
+    def evaluate(self, patch: Patch) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+def extract_bounds(
+    expr: Expr | None, attr: str
+) -> tuple[Any | None, Any | None, Expr | None]:
+    """Split ``expr`` into bounds on ``attr`` plus a residual expression.
+
+    Returns ``(lo, hi, residual)``: the tightest inclusive range implied by
+    the top-level conjuncts on ``attr`` (either may be None for open), and
+    the conjunction of every other conjunct (None when nothing remains).
+    This is the analysis behind temporal filter push-down (Section 3.1)
+    and range-index selection.
+    """
+    if expr is None:
+        return None, None, None
+    lo: Any | None = None
+    hi: Any | None = None
+    residual: list[Expr] = []
+    for conjunct in expr.conjuncts():
+        new_lo: Any | None = None
+        new_hi: Any | None = None
+        if isinstance(conjunct, Between) and conjunct.attr == attr:
+            new_lo, new_hi = conjunct.lo, conjunct.hi
+        elif isinstance(conjunct, Comparison) and conjunct.attr == attr:
+            if conjunct.op == "==":
+                new_lo = new_hi = conjunct.value
+            elif conjunct.op in ("<", "<="):
+                new_hi = conjunct.value
+            elif conjunct.op in (">", ">="):
+                new_lo = conjunct.value
+            else:
+                residual.append(conjunct)
+                continue
+            if conjunct.op in ("<", ">"):
+                # strict bounds stay as residual filters on top of the
+                # inclusive scan range
+                residual.append(conjunct)
+        else:
+            residual.append(conjunct)
+            continue
+        if new_lo is not None and (lo is None or new_lo > lo):
+            lo = new_lo
+        if new_hi is not None and (hi is None or new_hi < hi):
+            hi = new_hi
+    if not residual:
+        return lo, hi, None
+    if len(residual) == 1:
+        return lo, hi, residual[0]
+    return lo, hi, And(*residual)
+
+
+class Attr:
+    """Attribute reference — the DSL's entry point."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __eq__(self, value) -> Comparison:  # type: ignore[override]
+        return Comparison(self.name, "==", value)
+
+    def __ne__(self, value) -> Comparison:  # type: ignore[override]
+        return Comparison(self.name, "!=", value)
+
+    def __lt__(self, value) -> Comparison:
+        return Comparison(self.name, "<", value)
+
+    def __le__(self, value) -> Comparison:
+        return Comparison(self.name, "<=", value)
+
+    def __gt__(self, value) -> Comparison:
+        return Comparison(self.name, ">", value)
+
+    def __ge__(self, value) -> Comparison:
+        return Comparison(self.name, ">=", value)
+
+    def between(self, lo, hi) -> Between:
+        return Between(self.name, lo, hi)
+
+    def isin(self, values) -> Comparison:
+        return Comparison(self.name, "in", tuple(values))
+
+    def contains(self, needle) -> Comparison:
+        return Comparison(self.name, "contains", needle)
+
+    def is_not_none(self) -> Comparison:
+        return Comparison(self.name, "!=", None)
+
+    __hash__ = None  # type: ignore[assignment]  # == builds expressions

@@ -1,0 +1,48 @@
+"""Dataflow operators over rows of patches (Sections 2.2 and 5)."""
+
+from repro.core.operators.aggregates import (
+    Distinct,
+    DistinctCount,
+    GroupBy,
+    UnionFind,
+    cluster_pairs,
+)
+from repro.core.operators.base import Operator, as_rows
+from repro.core.operators.joins import (
+    BallTreeSimilarityJoin,
+    IndexEqJoin,
+    NestedLoopJoin,
+    RTreeOverlapJoin,
+)
+from repro.core.operators.scans import (
+    CollectionScan,
+    IndexLookupScan,
+    IndexRangeScan,
+    IteratorScan,
+    Limit,
+    MapPatches,
+    OrderBy,
+    Select,
+)
+
+__all__ = [
+    "BallTreeSimilarityJoin",
+    "CollectionScan",
+    "Distinct",
+    "DistinctCount",
+    "GroupBy",
+    "IndexEqJoin",
+    "IndexLookupScan",
+    "IndexRangeScan",
+    "IteratorScan",
+    "Limit",
+    "MapPatches",
+    "NestedLoopJoin",
+    "Operator",
+    "OrderBy",
+    "RTreeOverlapJoin",
+    "Select",
+    "UnionFind",
+    "as_rows",
+    "cluster_pairs",
+]

@@ -1,0 +1,136 @@
+"""Aggregation, distinct, and clustering operators.
+
+The benchmark queries aggregate in three ways:
+
+* q2 counts *frames* satisfying a predicate — :class:`DistinctCount` over
+  the ``frameno`` attribute;
+* q4 counts *distinct identities*, which requires deduplicating similarity
+  matches — :func:`cluster_pairs` turns the match pairs of a similarity
+  join into connected components (union-find), each component being one
+  real-world entity;
+* group-by aggregates (per-frame counts, per-clip trajectories) go through
+  :class:`GroupBy`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Iterator
+
+from repro.core.operators.base import Operator
+from repro.core.patch import Patch, Row
+from repro.errors import QueryError
+
+
+class DistinctCount:
+    """Count distinct key values over an operator's rows (a terminal)."""
+
+    def __init__(self, child: Operator, key: Callable[[Patch], Hashable]) -> None:
+        self.child = child
+        self.key = key
+
+    def execute(self) -> int:
+        seen: set[Hashable] = set()
+        for row in self.child:
+            seen.add(self.key(row[0]))
+        return len(seen)
+
+
+class Distinct(Operator):
+    """Emit one row per distinct key (first occurrence wins)."""
+
+    def __init__(self, child: Operator, key: Callable[[Patch], Hashable]) -> None:
+        self.child = child
+        self.key = key
+        self.arity = child.arity
+
+    def __iter__(self) -> Iterator[Row]:
+        seen: set[Hashable] = set()
+        for row in self.child:
+            value = self.key(row[0])
+            if value in seen:
+                continue
+            seen.add(value)
+            yield row
+
+
+class GroupBy:
+    """Group rows by a key and reduce each group (a terminal).
+
+    ``reducer`` maps a list of rows to any value; ``execute`` returns
+    ``{key: reduced}``.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        key: Callable[[Patch], Hashable],
+        reducer: Callable[[list[Row]], object] = len,
+    ) -> None:
+        self.child = child
+        self.key = key
+        self.reducer = reducer
+
+    def execute(self) -> dict[Hashable, object]:
+        groups: dict[Hashable, list[Row]] = {}
+        for row in self.child:
+            groups.setdefault(self.key(row[0]), []).append(row)
+        return {key: self.reducer(rows) for key, rows in groups.items()}
+
+
+class UnionFind:
+    """Disjoint sets with path compression and union by size."""
+
+    def __init__(self) -> None:
+        self._parent: dict[Hashable, Hashable] = {}
+        self._size: dict[Hashable, int] = {}
+
+    def add(self, item: Hashable) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def find(self, item: Hashable) -> Hashable:
+        if item not in self._parent:
+            raise QueryError(f"{item!r} not in the union-find structure")
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:  # path compression
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> None:
+        self.add(a)
+        self.add(b)
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+
+    def components(self) -> list[set[Hashable]]:
+        clusters: dict[Hashable, set[Hashable]] = {}
+        for item in self._parent:
+            clusters.setdefault(self.find(item), set()).add(item)
+        return list(clusters.values())
+
+    def n_components(self) -> int:
+        return sum(1 for item, parent in self._parent.items() if item == parent)
+
+
+def cluster_pairs(
+    items: Iterable[Hashable], pairs: Iterable[tuple[Hashable, Hashable]]
+) -> list[set[Hashable]]:
+    """Connected components of the match graph — q4's deduplication step.
+
+    ``items`` are all candidate entities (singletons included); ``pairs``
+    the matches produced by the similarity join.
+    """
+    uf = UnionFind()
+    for item in items:
+        uf.add(item)
+    for a, b in pairs:
+        uf.union(a, b)
+    return uf.components()

@@ -1,0 +1,51 @@
+"""Operator interface (Section 2.2).
+
+    Operator(Iterator<Tuple<Patch>> in, Iterator<Tuple<Patch>> out)
+
+Every operator is an iterator over rows, where a row is a tuple of patches
+(arity 1 from scans, 2+ after joins) — the closed algebra "collection of
+patches in and collection of patches out". Operators are lazy; pulling the
+root of a plan drives the whole pipeline, Volcano style [Graefe 94].
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator
+
+from repro.core.patch import Patch, Row
+from repro.errors import QueryError
+
+
+class Operator(ABC):
+    """One dataflow operator producing rows of patches."""
+
+    #: number of patches per output row
+    arity: int = 1
+
+    @abstractmethod
+    def __iter__(self) -> Iterator[Row]:
+        """Yield output rows."""
+
+    # -- terminal convenience methods ------------------------------------
+
+    def collect(self) -> list[Row]:
+        return list(self)
+
+    def patches(self) -> list[Patch]:
+        """Collect single-patch rows as bare patches."""
+        if self.arity != 1:
+            raise QueryError(
+                f"patches() needs arity-1 rows; this operator yields "
+                f"{self.arity}-tuples — use collect()"
+            )
+        return [row[0] for row in self]
+
+    def count(self) -> int:
+        return sum(1 for _ in self)
+
+
+def as_rows(patches: Iterable[Patch]) -> Iterator[Row]:
+    """Lift bare patches into arity-1 rows."""
+    for patch in patches:
+        yield (patch,)

@@ -1,0 +1,187 @@
+"""Scan-side operators: collection scans, index scans, selection, mapping.
+
+Scans are the leaves of every plan. Three access paths exist for a
+materialized collection, mirroring Section 3.2's index menu:
+
+* :class:`CollectionScan` — full scan in patch-id order;
+* :class:`IndexLookupScan` — hash/B+ point lookup (``attr == value``);
+* :class:`IndexRangeScan` — B+/sorted-file range (``lo <= attr <= hi``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.core.catalog import MaterializedCollection
+from repro.core.expressions import Expr
+from repro.core.operators.base import Operator, as_rows
+from repro.core.patch import Patch, Row
+from repro.errors import QueryError
+
+
+class IteratorScan(Operator):
+    """Wrap any patch iterable (ETL output, loader output) as an operator."""
+
+    def __init__(self, patches: Iterable[Patch]) -> None:
+        self._patches = patches
+        self._consumed = False
+
+    def __iter__(self) -> Iterator[Row]:
+        if self._consumed and not isinstance(self._patches, (list, tuple)):
+            raise QueryError(
+                "this IteratorScan wraps a one-shot iterator that was "
+                "already consumed; materialize the collection to re-scan"
+            )
+        self._consumed = True
+        return as_rows(iter(self._patches))
+
+
+class CollectionScan(Operator):
+    """Full scan of a materialized collection.
+
+    ``load_data=False`` projects out the pixel/feature payload — correct
+    whenever downstream operators only touch metadata.
+    """
+
+    def __init__(
+        self, collection: MaterializedCollection, *, load_data: bool = True
+    ) -> None:
+        self.collection = collection
+        self.load_data = load_data
+
+    def __iter__(self) -> Iterator[Row]:
+        return as_rows(self.collection.scan(load_data=self.load_data))
+
+
+class IndexLookupScan(Operator):
+    """Equality access path: patches with ``attr == value`` via an index."""
+
+    def __init__(
+        self,
+        collection: MaterializedCollection,
+        attr: str,
+        value,
+        kind: str = "hash",
+        *,
+        load_data: bool = True,
+    ) -> None:
+        self.collection = collection
+        self.attr = attr
+        self.value = value
+        self.kind = kind
+        self.load_data = load_data
+
+    def __iter__(self) -> Iterator[Row]:
+        index = self.collection.index(self.attr, self.kind)
+        for patch_id in index.lookup(self.value):
+            yield (self.collection.get(patch_id, load_data=self.load_data),)
+
+
+class IndexRangeScan(Operator):
+    """Range access path: ``lo <= attr <= hi`` via a B+ tree index."""
+
+    def __init__(
+        self,
+        collection: MaterializedCollection,
+        attr: str,
+        lo=None,
+        hi=None,
+        kind: str = "btree",
+        *,
+        load_data: bool = True,
+    ) -> None:
+        self.collection = collection
+        self.attr = attr
+        self.lo = lo
+        self.hi = hi
+        self.kind = kind
+        self.load_data = load_data
+
+    def __iter__(self) -> Iterator[Row]:
+        index = self.collection.index(self.attr, self.kind)
+        for _, patch_id in index.range(self.lo, self.hi):
+            yield (self.collection.get(patch_id, load_data=self.load_data),)
+
+
+class Select(Operator):
+    """Filter rows by an expression on one of their patches."""
+
+    def __init__(self, child: Operator, expr: Expr, *, on: int = 0) -> None:
+        self.child = child
+        self.expr = expr
+        self.on = on
+        self.arity = child.arity
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self.child:
+            if self.expr.evaluate(row[self.on]):
+                yield row
+
+
+class MapPatches(Operator):
+    """Apply a patch -> patch(es) function (a generator/transformer stage).
+
+    ``fn`` may return one patch, a list of patches, or None (drop).
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        fn: Callable[[Patch], Patch | list[Patch] | None],
+        *,
+        on: int = 0,
+    ) -> None:
+        if child.arity != 1:
+            raise QueryError("MapPatches operates on arity-1 rows")
+        self.child = child
+        self.fn = fn
+        self.on = on
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self.child:
+            result = self.fn(row[self.on])
+            if result is None:
+                continue
+            if isinstance(result, Patch):
+                yield (result,)
+            else:
+                for patch in result:
+                    yield (patch,)
+
+
+class Limit(Operator):
+    """Stop after ``n`` rows — gives q5 its first-match semantics."""
+
+    def __init__(self, child: Operator, n: int) -> None:
+        if n < 0:
+            raise QueryError(f"limit must be non-negative, got {n}")
+        self.child = child
+        self.n = n
+        self.arity = child.arity
+
+    def __iter__(self) -> Iterator[Row]:
+        remaining = self.n
+        if remaining == 0:
+            return
+        for row in self.child:
+            yield row
+            remaining -= 1
+            if remaining == 0:
+                return
+
+
+class OrderBy(Operator):
+    """Sort rows by a key over the first patch (pipeline breaker)."""
+
+    def __init__(
+        self, child: Operator, key: Callable[[Patch], object], *, reverse: bool = False
+    ) -> None:
+        self.child = child
+        self.key = key
+        self.reverse = reverse
+        self.arity = child.arity
+
+    def __iter__(self) -> Iterator[Row]:
+        rows = list(self.child)
+        rows.sort(key=lambda row: self.key(row[0]), reverse=self.reverse)
+        return iter(rows)

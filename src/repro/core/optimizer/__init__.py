@@ -1,0 +1,35 @@
+"""Query optimization: cost model, planner, storage advisor, synthesis."""
+
+from repro.core.optimizer.advisor import (
+    LayoutCosts,
+    StorageAdvisor,
+    StorageRecommendation,
+    WorkloadProfile,
+)
+from repro.core.optimizer.cost import CostModel
+from repro.core.optimizer.optimizer import (
+    Explanation,
+    Optimizer,
+    PlanAccuracy,
+    PlanChoice,
+)
+from repro.core.optimizer.synthesis import (
+    ComponentSpec,
+    PipelineSynthesizer,
+    SynthesisResult,
+)
+
+__all__ = [
+    "ComponentSpec",
+    "CostModel",
+    "Explanation",
+    "LayoutCosts",
+    "Optimizer",
+    "PipelineSynthesizer",
+    "PlanAccuracy",
+    "PlanChoice",
+    "StorageAdvisor",
+    "StorageRecommendation",
+    "SynthesisResult",
+    "WorkloadProfile",
+]

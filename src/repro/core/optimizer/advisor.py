@@ -1,0 +1,192 @@
+"""Storage advisor (Section 3 *Future Work*, implemented).
+
+"In the future, we would like to have a storage advisor that can analyze a
+workload or an SLO and return an optimized storage scheme." This module
+implements that advisor over the three layouts:
+
+* expected **storage** per layout from measured codec ratios;
+* expected **query latency** from decode throughput and each layout's
+  push-down granularity (Frame: exact; Segmented: clip-rounded; Encoded:
+  prefix scan to the end of the range);
+* the Segmented clip length is optimized in closed form: storage overhead
+  falls as clips grow (fewer I-frames) while wasted decode per selective
+  query grows, so the advisor minimizes the weighted sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import OptimizerError
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """What the advisor needs to know about the workload."""
+
+    n_frames: int
+    frame_bytes: int  # raw size of one decoded frame
+    #: average fraction of the video touched per query (temporal selectivity)
+    temporal_selectivity: float
+    #: how many queries amortize one ingest
+    queries_per_ingest: float = 10.0
+    #: hard cap on stored bytes (None = unconstrained)
+    storage_budget_bytes: int | None = None
+    #: True when downstream models are sensitive to compression artifacts
+    accuracy_sensitive: bool = False
+
+
+@dataclass(frozen=True)
+class LayoutCosts:
+    """Calibration constants measured from the codecs."""
+
+    #: size ratios vs RAW (calibrated on the TrafficCam benchmark at
+    #: high quality; see benchmarks/bench_ablation_advisor.py)
+    jpeg_ratio: float = 0.15
+    h264_p_ratio: float = 0.035  # P-frame bytes / raw bytes
+    h264_i_ratio: float = 0.12  # I-frame bytes / raw bytes
+    #: decode seconds per raw frame byte
+    decode_jpeg_per_byte: float = 6e-9
+    decode_h264_per_byte: float = 7e-9
+    read_raw_per_byte: float = 1.5e-9
+
+
+@dataclass(frozen=True)
+class StorageRecommendation:
+    layout: str
+    clip_len: int | None
+    quality: str
+    expected_size_bytes: float
+    expected_query_seconds: float
+    rationale: str
+
+
+class StorageAdvisor:
+    """Pick a physical layout for a video workload."""
+
+    def __init__(self, costs: LayoutCosts | None = None) -> None:
+        self.costs = costs or LayoutCosts()
+
+    def advise(self, workload: WorkloadProfile) -> StorageRecommendation:
+        if workload.n_frames < 1:
+            raise OptimizerError("workload must have at least one frame")
+        if not 0 < workload.temporal_selectivity <= 1:
+            raise OptimizerError(
+                f"temporal_selectivity must be in (0, 1], got "
+                f"{workload.temporal_selectivity}"
+            )
+        candidates = [
+            self._frame_raw(workload),
+            self._frame_jpeg(workload),
+            self._encoded(workload),
+            self._segmented(workload),
+        ]
+        feasible = [
+            candidate
+            for candidate in candidates
+            if workload.storage_budget_bytes is None
+            or candidate.expected_size_bytes <= workload.storage_budget_bytes
+        ]
+        if not feasible:
+            raise OptimizerError(
+                f"no layout fits the storage budget of "
+                f"{workload.storage_budget_bytes} bytes; the smallest candidate "
+                f"needs {min(c.expected_size_bytes for c in candidates):.0f}"
+            )
+        return min(feasible, key=lambda c: c.expected_query_seconds)
+
+    # -- per-layout models --------------------------------------------------
+
+    def _quality(self, workload: WorkloadProfile) -> str:
+        return "high" if workload.accuracy_sensitive else "medium"
+
+    def _frame_raw(self, workload: WorkloadProfile) -> StorageRecommendation:
+        size = workload.n_frames * workload.frame_bytes
+        touched = workload.n_frames * workload.temporal_selectivity
+        seconds = touched * workload.frame_bytes * self.costs.read_raw_per_byte
+        return StorageRecommendation(
+            layout="frame-raw",
+            clip_len=None,
+            quality="lossless",
+            expected_size_bytes=size,
+            expected_query_seconds=seconds,
+            rationale="exact push-down, no decode cost, maximum storage",
+        )
+
+    def _frame_jpeg(self, workload: WorkloadProfile) -> StorageRecommendation:
+        size = workload.n_frames * workload.frame_bytes * self.costs.jpeg_ratio
+        touched = workload.n_frames * workload.temporal_selectivity
+        seconds = touched * workload.frame_bytes * self.costs.decode_jpeg_per_byte
+        return StorageRecommendation(
+            layout="frame-jpeg",
+            clip_len=None,
+            quality=self._quality(workload),
+            expected_size_bytes=size,
+            expected_query_seconds=seconds,
+            rationale="exact push-down with intra-frame compression",
+        )
+
+    def _encoded(self, workload: WorkloadProfile) -> StorageRecommendation:
+        size = workload.n_frames * workload.frame_bytes * self.costs.h264_p_ratio
+        # sequential: a query ending at the middle of the video on average
+        # decodes half of it regardless of selectivity
+        prefix = workload.n_frames * min(workload.temporal_selectivity + 0.5, 1.0)
+        seconds = prefix * workload.frame_bytes * self.costs.decode_h264_per_byte
+        return StorageRecommendation(
+            layout="encoded",
+            clip_len=None,
+            quality=self._quality(workload),
+            expected_size_bytes=size,
+            expected_query_seconds=seconds,
+            rationale="best compression; every temporal query pays a prefix scan",
+        )
+
+    def _segmented(self, workload: WorkloadProfile) -> StorageRecommendation:
+        clip_len = self.optimal_clip_len(workload)
+        n_clips = np.ceil(workload.n_frames / clip_len)
+        size = workload.frame_bytes * (
+            n_clips * self.costs.h264_i_ratio
+            + (workload.n_frames - n_clips) * self.costs.h264_p_ratio
+        )
+        touched = workload.n_frames * workload.temporal_selectivity + clip_len
+        seconds = touched * workload.frame_bytes * self.costs.decode_h264_per_byte
+        return StorageRecommendation(
+            layout="segmented",
+            clip_len=clip_len,
+            quality=self._quality(workload),
+            expected_size_bytes=size,
+            expected_query_seconds=seconds,
+            rationale=(
+                f"clip-granular push-down with inter-frame compression; "
+                f"clip_len={clip_len} balances I-frame overhead against "
+                f"boundary decode waste"
+            ),
+        )
+
+    def optimal_clip_len(self, workload: WorkloadProfile) -> int:
+        """Closed-form clip length for the Segmented layout.
+
+        Storage overhead of clips: ``n/L * (i_ratio - p_ratio) * frame_bytes``
+        (one I-frame per clip). Query waste: up to one extra clip decoded
+        per query, ``queries * L * decode_cost``. The weighted sum is
+        minimized at ``L* = sqrt(storage_weight * n * delta_i / query_cost)``.
+        """
+        delta_i = (
+            (self.costs.h264_i_ratio - self.costs.h264_p_ratio)
+            * workload.frame_bytes
+        )
+        # one byte stored ~ read once per query amortization
+        storage_weight = self.costs.decode_h264_per_byte * max(
+            workload.queries_per_ingest, 1.0
+        )
+        query_waste = (
+            max(workload.queries_per_ingest, 1.0)
+            * workload.frame_bytes
+            * self.costs.decode_h264_per_byte
+        )
+        optimal = np.sqrt(
+            storage_weight * workload.n_frames * delta_i / max(query_waste, 1e-18)
+        )
+        return int(np.clip(optimal, 4, max(workload.n_frames, 4)))

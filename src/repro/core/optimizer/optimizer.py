@@ -1,0 +1,282 @@
+"""The visual query optimizer (Sections 5 and 7.4).
+
+Three decisions, each the subject of one of the paper's experiments:
+
+* **access-path selection** (Figure 4): full scan + filter vs hash lookup
+  vs B+ range scan, driven by the predicate's conjuncts and the catalog's
+  index registry;
+* **similarity-join strategy** (Figures 5/7): nested loop vs Ball-tree
+  (and which side to index), using the non-linear cost model;
+* **device placement** (Figure 8): CPU/AVX/GPU per kernel profile;
+* **accuracy-aware push-down** (Table 1): filter placement around a
+  matching operator changes recall, so plans carry accuracy estimates and
+  the optimizer exposes both orders with their latency/accuracy trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.catalog import Catalog
+from repro.core.expressions import And, Comparison, Expr, extract_bounds
+from repro.core.operators import (
+    CollectionScan,
+    IndexLookupScan,
+    IndexRangeScan,
+    Operator,
+    Select,
+)
+from repro.core.optimizer.cost import CostModel
+from repro.errors import OptimizerError
+from repro.vision.backends.device import DEVICE_SPECS
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """One considered physical plan with its estimated cost."""
+
+    kind: str
+    cost_seconds: float
+    params: dict = field(default_factory=dict)
+    accuracy: "PlanAccuracy | None" = None
+
+    def __repr__(self) -> str:
+        acc = f", accuracy={self.accuracy}" if self.accuracy else ""
+        return f"PlanChoice({self.kind}, {self.cost_seconds:.4g}s{acc})"
+
+
+@dataclass(frozen=True)
+class PlanAccuracy:
+    """Estimated accuracy profile of a plan (Table 1's second axis)."""
+
+    precision: float
+    recall: float
+
+    def __repr__(self) -> str:
+        return f"(P={self.precision:.2f}, R={self.recall:.2f})"
+
+
+@dataclass
+class Explanation:
+    """The optimizer's reasoning: every candidate and the winner."""
+
+    chosen: PlanChoice
+    candidates: list[PlanChoice]
+
+    def __str__(self) -> str:
+        lines = [f"chosen: {self.chosen}"]
+        lines.extend(f"  considered: {candidate}" for candidate in self.candidates)
+        return "\n".join(lines)
+
+
+#: default selectivity guesses when no statistics exist
+EQ_SELECTIVITY = 0.1
+RANGE_SELECTIVITY = 0.3
+
+
+class Optimizer:
+    """Cost-based planner over the catalog's collections and indexes."""
+
+    def __init__(self, catalog: Catalog, cost_model: CostModel | None = None) -> None:
+        self.catalog = catalog
+        self.cost = cost_model or CostModel()
+
+    # -- access-path selection ----------------------------------------------
+
+    def plan_filter(
+        self, collection_name: str, expr: Expr | None
+    ) -> tuple[Operator, Explanation]:
+        """Best access path for ``SELECT * FROM collection WHERE expr``."""
+        collection = self.catalog.collection(collection_name)
+        n = max(len(collection), 1)
+        candidates: list[tuple[PlanChoice, Operator]] = []
+
+        full = Select(CollectionScan(collection), expr) if expr else CollectionScan(collection)
+        candidates.append(
+            (PlanChoice("full-scan", self.cost.full_scan(n)), full)
+        )
+
+        if expr is not None:
+            candidates.extend(self._index_candidates(collection_name, expr, n))
+
+        candidates.sort(key=lambda pair: pair[0].cost_seconds)
+        chosen_choice, chosen_op = candidates[0]
+        return chosen_op, Explanation(
+            chosen=chosen_choice, candidates=[choice for choice, _ in candidates]
+        )
+
+    def _index_candidates(
+        self, collection_name: str, expr: Expr, n: int
+    ) -> list[tuple[PlanChoice, Operator]]:
+        collection = self.catalog.collection(collection_name)
+        conjuncts = expr.conjuncts()
+        out: list[tuple[PlanChoice, Operator]] = []
+        for position, conjunct in enumerate(conjuncts):
+            rest = [c for i, c in enumerate(conjuncts) if i != position]
+            residual = None if not rest else (rest[0] if len(rest) == 1 else And(*rest))
+            if isinstance(conjunct, Comparison) and conjunct.op == "==":
+                for kind in ("hash", "btree"):
+                    if not self.catalog.has_index(collection_name, conjunct.attr, kind):
+                        continue
+                    scan: Operator = IndexLookupScan(
+                        collection, conjunct.attr, conjunct.value, kind
+                    )
+                    if residual is not None:
+                        scan = Select(scan, residual)
+                    cost = self.cost.index_point_lookup(n * EQ_SELECTIVITY)
+                    out.append(
+                        (
+                            PlanChoice(
+                                f"{kind}-lookup",
+                                cost,
+                                {"attr": conjunct.attr, "value": conjunct.value},
+                            ),
+                            scan,
+                        )
+                    )
+            lo, hi, bound_residual = extract_bounds(conjunct, _attr_of(conjunct))
+            if (lo is not None or hi is not None) and self.catalog.has_index(
+                collection_name, _attr_of(conjunct), "btree"
+            ):
+                attr = _attr_of(conjunct)
+                scan = IndexRangeScan(collection, attr, lo, hi)
+                combined = _combine(bound_residual, residual)
+                if combined is not None:
+                    scan = Select(scan, combined)
+                cost = self.cost.index_range_scan(n * RANGE_SELECTIVITY)
+                out.append(
+                    (
+                        PlanChoice("btree-range", cost, {"attr": attr, "lo": lo, "hi": hi}),
+                        scan,
+                    )
+                )
+        return out
+
+    # -- similarity-join strategy ---------------------------------------
+
+    def plan_similarity_join(
+        self,
+        n_left: int,
+        n_right: int,
+        dim: int,
+        *,
+        prebuilt_side: str | None = None,
+    ) -> Explanation:
+        """Choose nested-loop vs Ball-tree and which side to index.
+
+        ``prebuilt_side`` ('left'/'right') marks a side with an existing
+        Ball-tree whose build cost is already sunk (Figure 4's "query
+        time" view vs Figure 5's end-to-end view).
+        """
+        if n_left < 1 or n_right < 1 or dim < 1:
+            raise OptimizerError(
+                f"join cardinalities/dim must be positive, got "
+                f"{n_left}, {n_right}, {dim}"
+            )
+        candidates = [
+            PlanChoice(
+                "nested-loop", self.cost.nested_loop_join(n_left, n_right, dim)
+            ),
+            PlanChoice(
+                "balltree-index-right",
+                self.cost.balltree_join(
+                    n_left, n_right, dim, prebuilt=(prebuilt_side == "right")
+                ),
+                {"build_side": "right"},
+            ),
+            PlanChoice(
+                "balltree-index-left",
+                self.cost.balltree_join(
+                    n_right, n_left, dim, prebuilt=(prebuilt_side == "left")
+                ),
+                {"build_side": "left"},
+            ),
+        ]
+        candidates.sort(key=lambda choice: choice.cost_seconds)
+        return Explanation(chosen=candidates[0], candidates=candidates)
+
+    # -- device placement -----------------------------------------------
+
+    def plan_device(
+        self, flops: float, bytes_moved: int, kernels: int = 1
+    ) -> Explanation:
+        """Pick the backend minimizing modeled kernel time (Figure 8)."""
+        candidates = []
+        for name, spec in DEVICE_SPECS.items():
+            seconds = flops / spec.flops_per_second
+            seconds += kernels * spec.launch_overhead_seconds
+            if spec.transfer_bytes_per_second is not None:
+                seconds += bytes_moved / spec.transfer_bytes_per_second
+                seconds += spec.session_overhead_seconds
+            candidates.append(PlanChoice(f"device-{name}", seconds, {"device": name}))
+        candidates.sort(key=lambda choice: choice.cost_seconds)
+        return Explanation(chosen=candidates[0], candidates=candidates)
+
+    # -- accuracy-aware push-down (Table 1) -------------------------------
+
+    def plan_dedup_filter_placement(
+        self,
+        *,
+        n_patches: int,
+        person_fraction: float,
+        mislabel_rate: float,
+        match_recall: float = 0.9,
+        match_precision: float = 0.97,
+        dim: int = 64,
+    ) -> Explanation:
+        """q4's two operator orders with latency *and* accuracy estimates.
+
+        ``Patch, Filter, Match`` pushes the label filter below the match:
+        cheaper (matching only the filtered subset) but any true person
+        mislabeled by the detector is gone before matching — recall drops
+        by roughly the mislabel rate.
+
+        ``Patch, Match, Filter`` matches everything and filters pairs
+        afterwards ("at least one person label"): a duplicate pair
+        survives unless *both* of its endpoints were mislabeled, so the
+        mislabel penalty is squared — higher recall, higher cost.
+        """
+        if not 0 < person_fraction <= 1:
+            raise OptimizerError(
+                f"person_fraction must be in (0, 1], got {person_fraction}"
+            )
+        n_persons = max(int(n_patches * person_fraction), 1)
+        push = PlanChoice(
+            "filter-then-match",
+            self.cost.full_scan(n_patches)
+            + self.cost.balltree_join(n_persons, n_persons, dim),
+            {"order": ("patch", "filter", "match")},
+            accuracy=PlanAccuracy(
+                precision=match_precision,
+                recall=match_recall * (1.0 - mislabel_rate),
+            ),
+        )
+        late = PlanChoice(
+            "match-then-filter",
+            self.cost.full_scan(n_patches)
+            + self.cost.balltree_join(n_patches, n_patches, dim),
+            {"order": ("patch", "match", "filter")},
+            accuracy=PlanAccuracy(
+                precision=match_precision * (1.0 + mislabel_rate * 0.1),
+                recall=match_recall * (1.0 - mislabel_rate**2),
+            ),
+        )
+        # latency order: push-down first; the Explanation keeps both so a
+        # caller with an accuracy SLO can pick the slower, better plan
+        return Explanation(chosen=push, candidates=[push, late])
+
+
+def _attr_of(expr: Expr) -> str:
+    if isinstance(expr, Comparison):
+        return expr.attr
+    if hasattr(expr, "attr"):
+        return expr.attr  # type: ignore[attr-defined]
+    return ""
+
+
+def _combine(a: Expr | None, b: Expr | None) -> Expr | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return And(a, b)

@@ -1,0 +1,152 @@
+"""Pipeline synthesis (Section 4 *Future Work*, implemented).
+
+"We envision a system that scores each model with a precision/recall
+profile for a desired dataset, and can choose the model that is most
+appropriate for a query." The synthesizer searches a typed component
+library for the cheapest pipeline that provides a set of required
+metadata fields subject to accuracy constraints:
+
+* each :class:`ComponentSpec` declares what fields it ``requires`` and
+  ``provides``, its per-item latency, and its recall/precision profile;
+* synthesis is Dijkstra over provided-field states: the frontier state is
+  the frozenset of fields available so far, edge weights are latency, and
+  pipeline recall is the product of stage recalls;
+* interchangeable detectors (a general model vs a cheap special-case one)
+  become alternative edges, and the accuracy constraint decides — exactly
+  the paper's example of choosing between "general purpose pre-trained
+  object detection models and some special case programmed models".
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field as dc_field
+from typing import Callable
+
+from repro.errors import OptimizerError
+from repro.etl.pipeline import Pipeline, Stage
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """One library entry: a typed, profiled pipeline stage."""
+
+    name: str
+    factory: Callable[[], Stage]
+    provides: frozenset[str]
+    requires: frozenset[str] = dc_field(default_factory=frozenset)
+    latency_per_item: float = 1e-3
+    recall: float = 1.0
+    precision: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.provides:
+            raise OptimizerError(f"component {self.name!r} provides nothing")
+        if not 0 < self.recall <= 1 or not 0 < self.precision <= 1:
+            raise OptimizerError(
+                f"component {self.name!r} has invalid accuracy profile "
+                f"(recall={self.recall}, precision={self.precision})"
+            )
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """A synthesized pipeline with its predicted profile."""
+
+    components: tuple[ComponentSpec, ...]
+    latency_per_item: float
+    recall: float
+    precision: float
+
+    def build(self) -> Pipeline:
+        return Pipeline([component.factory() for component in self.components])
+
+    def describe(self) -> str:
+        chain = " | ".join(component.name for component in self.components)
+        return (
+            f"{chain}  (latency/item={self.latency_per_item:.4g}s, "
+            f"R={self.recall:.3f}, P={self.precision:.3f})"
+        )
+
+
+class PipelineSynthesizer:
+    """Search a component library for a pipeline meeting a request."""
+
+    def __init__(self, library: list[ComponentSpec]) -> None:
+        if not library:
+            raise OptimizerError("the component library is empty")
+        self.library = list(library)
+
+    def synthesize(
+        self,
+        required_fields: set[str],
+        *,
+        min_recall: float = 0.0,
+        min_precision: float = 0.0,
+        initial_fields: set[str] | None = None,
+    ) -> SynthesisResult:
+        """Cheapest pipeline providing ``required_fields`` within constraints.
+
+        Raises :class:`OptimizerError` when no composition satisfies the
+        request — including the case where a pipeline *exists* but only
+        below the accuracy floor, which is reported distinctly.
+        """
+        target = frozenset(required_fields)
+        start = frozenset(initial_fields or {"pixels"})
+        # Dijkstra over (fields, recall, precision) states; recall/precision
+        # only shrink, so dominated states are pruned on (fields, >=recall).
+        heap: list[tuple[float, int, frozenset, float, float, tuple]] = [
+            (0.0, 0, start, 1.0, 1.0, ())
+        ]
+        best_seen: dict[frozenset, list[tuple[float, float, float]]] = {}
+        tie = 0
+        found_below_accuracy = False
+        while heap:
+            latency, _, fields, recall, precision, chain = heapq.heappop(heap)
+            if target <= fields:
+                if recall >= min_recall and precision >= min_precision:
+                    return SynthesisResult(
+                        components=chain,
+                        latency_per_item=latency,
+                        recall=recall,
+                        precision=precision,
+                    )
+                found_below_accuracy = True
+                continue
+            dominated = False
+            for seen_latency, seen_recall, seen_precision in best_seen.get(fields, []):
+                if (
+                    seen_latency <= latency
+                    and seen_recall >= recall
+                    and seen_precision >= precision
+                ):
+                    dominated = True
+                    break
+            if dominated:
+                continue
+            best_seen.setdefault(fields, []).append((latency, recall, precision))
+            for component in self.library:
+                if not component.requires <= fields:
+                    continue
+                if component.provides <= fields:
+                    continue  # nothing new
+                tie += 1
+                heapq.heappush(
+                    heap,
+                    (
+                        latency + component.latency_per_item,
+                        tie,
+                        fields | component.provides,
+                        recall * component.recall,
+                        precision * component.precision,
+                        chain + (component,),
+                    ),
+                )
+        if found_below_accuracy:
+            raise OptimizerError(
+                f"pipelines providing {sorted(target)} exist but none meets "
+                f"recall >= {min_recall} and precision >= {min_precision}"
+            )
+        raise OptimizerError(
+            f"no composition of the library provides {sorted(target)}"
+        )

@@ -1,0 +1,216 @@
+"""The Patch abstract data type (Section 2.2).
+
+    Patch(ImgRef, Data, MetaData)
+
+All visual corpora in DeepLens are unordered collections of patches: an
+n-dimensional dense ``data`` array (raw pixels or features), a ``metadata``
+key-value dictionary, and an ``img_ref`` lineage descriptor. "Lineage is
+maintained as every operator is required to update the ImgRef attribute to
+retain a lineage chain back to the original image" — here that contract is
+enforced by :meth:`Patch.derive`, the only sanctioned way to create a
+child patch, which extends the chain automatically and mirrors it into the
+metadata dictionary (key ``_lineage``) "so indexes and queries can be
+natively supported on them" (Section 5.1).
+"""
+
+from __future__ import annotations
+
+import struct as _struct
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import LineageError
+from repro.storage.kvstore import serialization
+
+#: metadata key carrying the serializable lineage chain
+LINEAGE_KEY = "_lineage"
+#: metadata keys every loader sets
+SOURCE_KEY = "source"
+FRAME_KEY = "frameno"
+
+
+@dataclass(frozen=True)
+class ImgRef:
+    """Pointer from a patch back toward its base image.
+
+    ``source`` names the ingested corpus ("video:cam0", "images:pc");
+    ``frame`` the frame/image ordinal within it; ``parent_id`` the
+    materialized id of the patch this one was derived from, when the parent
+    was persisted (in-flight parents have no id yet — the lineage *chain*
+    in metadata still records how they were made).
+    """
+
+    source: str
+    frame: int | None = None
+    parent_id: int | None = None
+
+    def to_value(self) -> tuple:
+        return (self.source, self.frame, self.parent_id)
+
+    @classmethod
+    def from_value(cls, value: tuple) -> "ImgRef":
+        return cls(source=value[0], frame=value[1], parent_id=value[2])
+
+
+@dataclass
+class Patch:
+    """One featurized subimage with metadata and lineage."""
+
+    img_ref: ImgRef
+    data: np.ndarray
+    metadata: dict[str, Any] = field(default_factory=dict)
+    patch_id: int | None = None  # assigned at materialization
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data)
+        self.metadata.setdefault(LINEAGE_KEY, ())
+        self.metadata.setdefault(SOURCE_KEY, self.img_ref.source)
+        if self.img_ref.frame is not None:
+            self.metadata.setdefault(FRAME_KEY, self.img_ref.frame)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_frame(cls, source: str, frame: int, pixels: np.ndarray, **metadata) -> "Patch":
+        """A whole-image patch as produced by the loader (Section 3.1)."""
+        patch = cls(
+            img_ref=ImgRef(source=source, frame=frame),
+            data=pixels,
+            metadata=dict(metadata),
+        )
+        patch.metadata[LINEAGE_KEY] = (("load", source, frame),)
+        return patch
+
+    def derive(
+        self,
+        data: np.ndarray,
+        op: str,
+        *params,
+        **metadata_updates,
+    ) -> "Patch":
+        """Create a child patch, extending the lineage chain.
+
+        ``op`` names the producing operator ("ssd", "histogram", ...);
+        ``params`` are its serializable parameters (a bbox, a model name).
+        The child inherits the parent's metadata (minus internal keys that
+        the child recomputes) updated with ``metadata_updates``.
+        """
+        child_meta = {
+            key: value
+            for key, value in self.metadata.items()
+            if key != LINEAGE_KEY
+        }
+        child_meta.update(metadata_updates)
+        child_meta[LINEAGE_KEY] = self.lineage + ((op, *params),)
+        # the parent pointer names the nearest *materialized* ancestor: an
+        # in-flight intermediate (patch_id None) passes its own parent
+        # through, so backtracing always lands on persisted data
+        parent_id = (
+            self.patch_id if self.patch_id is not None else self.img_ref.parent_id
+        )
+        return Patch(
+            img_ref=ImgRef(
+                source=self.img_ref.source,
+                frame=self.img_ref.frame,
+                parent_id=parent_id,
+            ),
+            data=data,
+            metadata=child_meta,
+        )
+
+    # -- lineage ------------------------------------------------------------
+
+    @property
+    def lineage(self) -> tuple:
+        """The full derivation chain, base image first."""
+        return tuple(self.metadata.get(LINEAGE_KEY, ()))
+
+    def base_ref(self) -> tuple[str, int | None]:
+        """(source, frame) of the raw image this patch descends from."""
+        chain = self.lineage
+        if chain and chain[0][0] == "load":
+            return (chain[0][1], chain[0][2])
+        if self.img_ref.frame is None and not chain:
+            raise LineageError(
+                f"patch {self.patch_id} has no lineage chain back to a base image"
+            )
+        return (self.img_ref.source, self.img_ref.frame)
+
+    # -- metadata convenience -------------------------------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.metadata.get(key, default)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.metadata[key]
+
+    @property
+    def bbox(self) -> tuple[int, int, int, int] | None:
+        value = self.metadata.get("bbox")
+        return tuple(value) if value is not None else None
+
+    # -- persistence ------------------------------------------------------
+
+    def to_record(self) -> bytes:
+        """Serialize for the materialization heap.
+
+        Layout: ``[4-byte header length][header][data payload]`` where the
+        header holds the ImgRef and metadata. Keeping the (large) data
+        payload physically after the header lets readers deserialize
+        *metadata only* — the projection push-down that metadata-only
+        queries (label filters, frameno lookups) rely on.
+        """
+        header = serialization.dumps(
+            {"ref": self.img_ref.to_value(), "meta": _normalize_meta(self.metadata)}
+        )
+        data_payload = serialization.dumps(self.data)
+        return (
+            _struct.pack(">I", len(header)) + header + data_payload
+        )
+
+    @classmethod
+    def from_record(
+        cls, payload: bytes, patch_id: int | None = None, *, with_data: bool = True
+    ) -> "Patch":
+        """Deserialize; ``with_data=False`` skips the pixel/feature payload
+        (``data`` comes back as an empty array)."""
+        (header_len,) = _struct.unpack_from(">I", payload, 0)
+        record = serialization.loads(payload[4 : 4 + header_len])
+        meta = dict(record["meta"])
+        meta[LINEAGE_KEY] = tuple(tuple(step) for step in meta.get(LINEAGE_KEY, ()))
+        if with_data:
+            data = serialization.loads(payload[4 + header_len :])
+        else:
+            data = np.empty(0, dtype=np.uint8)
+        return cls(
+            img_ref=ImgRef.from_value(tuple(record["ref"])),
+            data=data,
+            metadata=meta,
+            patch_id=patch_id,
+        )
+
+    def __repr__(self) -> str:
+        label = self.metadata.get("label")
+        return (
+            f"Patch(id={self.patch_id}, source={self.img_ref.source!r}, "
+            f"frame={self.img_ref.frame}, data={tuple(self.data.shape)}, "
+            f"label={label!r})"
+        )
+
+
+#: A row flowing between operators: a tuple of patches (arity 1 for scans
+#: and selections, 2+ after joins) — the ``Tuple<Patch>`` of Section 2.2.
+Row = tuple[Patch, ...]
+
+
+def _normalize_meta(metadata: dict[str, Any]) -> dict[str, Any]:
+    """Make metadata serializable (tuples of tuples for the lineage chain)."""
+    out = {}
+    for key, value in metadata.items():
+        if isinstance(value, np.generic):
+            value = value.item()
+        out[key] = value
+    return out

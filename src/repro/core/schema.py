@@ -1,0 +1,169 @@
+"""The type system (Section 4.2).
+
+"The entire API in DeepLens is typed, which allows us to validate
+pipelines ... Beyond the standard int, float, string types, our type
+system maintains the resolution and dimensions of each patch ... We also
+include the domains of any discrete metadata created when available."
+
+A :class:`PatchSchema` describes one patch collection: the kind and shape
+of the ``data`` payload plus a field catalogue for the metadata dictionary.
+Closed label worlds (e.g. the detector's ``{vehicle, person}``) let
+:func:`validate_filter_constant` reject filters that can never match —
+"any downstream operator (e.g., filter) that consumes those labels can be
+validated to see if that label is plausibly produced by the pipeline."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.errors import SchemaError, ValidationError
+from repro.core.patch import Patch
+
+_PY_KINDS = {
+    "int": (int, np.integer),
+    "float": (float, int, np.floating, np.integer),
+    "str": (str,),
+    "bool": (bool, np.bool_),
+    "bbox": (tuple, list),
+    "vector": (np.ndarray, tuple, list),
+    "any": (object,),
+}
+
+
+@dataclass(frozen=True)
+class Field:
+    """One metadata attribute: a name, a kind, an optional closed domain."""
+
+    name: str
+    kind: str  # one of _PY_KINDS
+    domain: frozenset | None = None  # closed world of values, if known
+    required: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in _PY_KINDS:
+            raise SchemaError(
+                f"unknown field kind {self.kind!r}; expected one of "
+                f"{sorted(_PY_KINDS)}"
+            )
+
+    def check_value(self, value) -> None:
+        if value is None:
+            if self.required:
+                raise ValidationError(f"field {self.name!r} is required")
+            return
+        if not isinstance(value, _PY_KINDS[self.kind]):
+            raise ValidationError(
+                f"field {self.name!r} expects kind {self.kind!r}, got "
+                f"{type(value).__name__}"
+            )
+        if self.kind == "bbox" and len(value) != 4:
+            raise ValidationError(
+                f"field {self.name!r} expects a 4-tuple bbox, got {value!r}"
+            )
+        if self.domain is not None and value not in self.domain:
+            raise ValidationError(
+                f"value {value!r} outside the closed domain of field "
+                f"{self.name!r} ({sorted(self.domain)})"
+            )
+
+
+@dataclass(frozen=True)
+class PatchSchema:
+    """Type of a patch collection."""
+
+    #: 'pixels' (uint8 image) or 'features' (float vector)
+    data_kind: str = "pixels"
+    #: fixed (height, width) for pixels, when the producer guarantees one
+    resolution: tuple[int, int] | None = None
+    #: feature dimensionality for 'features' data
+    dim: int | None = None
+    fields: dict[str, Field] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.data_kind not in ("pixels", "features"):
+            raise SchemaError(
+                f"data_kind must be 'pixels' or 'features', got {self.data_kind!r}"
+            )
+
+    # -- evolution --------------------------------------------------------
+
+    def with_field(self, new_field: Field) -> "PatchSchema":
+        fields = dict(self.fields)
+        fields[new_field.name] = new_field
+        return replace(self, fields=fields)
+
+    def with_fields(self, *new_fields: Field) -> "PatchSchema":
+        schema = self
+        for f in new_fields:
+            schema = schema.with_field(f)
+        return schema
+
+    def as_features(self, dim: int) -> "PatchSchema":
+        return replace(self, data_kind="features", dim=dim, resolution=None)
+
+    # -- checks -------------------------------------------------------------
+
+    def field(self, name: str) -> Field:
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise SchemaError(
+                f"no field {name!r} in schema (have {sorted(self.fields)})"
+            ) from None
+
+    def validate_patch(self, patch: Patch) -> None:
+        """Check one patch against this schema; raises ValidationError."""
+        data = patch.data
+        if self.data_kind == "pixels":
+            if data.ndim not in (2, 3):
+                raise ValidationError(
+                    f"pixel patch must be 2-D or 3-D, got shape {data.shape}"
+                )
+            if self.resolution is not None and data.shape[:2] != self.resolution:
+                raise ValidationError(
+                    f"patch resolution {data.shape[:2]} differs from the "
+                    f"declared {self.resolution}"
+                )
+        else:
+            if data.ndim != 1:
+                raise ValidationError(
+                    f"feature patch must be 1-D, got shape {data.shape}"
+                )
+            if self.dim is not None and data.shape[0] != self.dim:
+                raise ValidationError(
+                    f"feature dim {data.shape[0]} differs from the declared {self.dim}"
+                )
+        for schema_field in self.fields.values():
+            schema_field.check_value(patch.metadata.get(schema_field.name))
+
+
+def validate_filter_constant(schema: PatchSchema, attr: str, value) -> None:
+    """Reject filters whose constant can never be produced upstream.
+
+    The Section 4.2 example: an object-detection network has a closed world
+    of labels; filtering on a label outside it is a type error, not an
+    empty result.
+    """
+    if attr not in schema.fields:
+        return  # open metadata: nothing to check against
+    schema_field = schema.fields[attr]
+    if schema_field.domain is not None and value not in schema_field.domain:
+        raise ValidationError(
+            f"filter constant {value!r} is outside the closed domain of "
+            f"{attr!r}; upstream can only produce {sorted(schema_field.domain)}"
+        )
+
+
+def frame_schema(resolution: tuple[int, int] | None = None) -> PatchSchema:
+    """Schema of loader output: whole frames with source/frameno."""
+    return PatchSchema(
+        data_kind="pixels",
+        resolution=resolution,
+        fields={
+            "source": Field("source", "str", required=True),
+            "frameno": Field("frameno", "int", required=True),
+        },
+    )

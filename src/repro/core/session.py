@@ -1,0 +1,196 @@
+"""The DeepLens session: the library's top-level API.
+
+One :class:`DeepLens` instance owns a database directory — video stores,
+the patch catalog, lineage, indexes — and exposes the workflow of Figure 1:
+
+    ingest (storage layer) -> load -> ETL -> materialize -> query
+
+Example::
+
+    with DeepLens(workdir) as db:
+        db.ingest_video("cam0", dataset.frames(), layout="segmented")
+        detections = pipeline.run(db.load("cam0"))
+        db.materialize(detections, "detections")
+        db.create_index("detections", "label", "hash")
+        n_vehicles = (
+            db.scan("detections").filter(Attr("label") == "vehicle").count()
+        )
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.core.catalog import Catalog, MaterializedCollection
+from repro.core.expressions import Expr
+from repro.core.lineage import LineageStore
+from repro.core.operators import Operator
+from repro.core.optimizer import CostModel, Explanation, Optimizer
+from repro.core.patch import Patch
+from repro.core.schema import PatchSchema
+from repro.errors import QueryError, StorageError
+from repro.storage.formats import VideoStore, load_patches, open_store
+
+
+class DeepLens:
+    """A visual data management session over one database directory."""
+
+    def __init__(self, workdir: str | os.PathLike) -> None:
+        self.workdir = os.fspath(workdir)
+        os.makedirs(self.workdir, exist_ok=True)
+        self.catalog = Catalog(os.path.join(self.workdir, "catalog"))
+        self.optimizer = Optimizer(self.catalog, CostModel())
+        self._videos: dict[str, VideoStore] = {}
+        self._video_dir = os.path.join(self.workdir, "videos")
+        meta = self.catalog.pager.get_meta()
+        self._video_registry: dict[str, dict] = dict(meta.get("videos", {}))
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        for store in self._videos.values():
+            store.close()
+        self._videos.clear()
+        meta = self.catalog.pager.get_meta()
+        meta["videos"] = self._video_registry
+        self.catalog.pager.set_meta(meta)
+        self.catalog.close()
+
+    def __enter__(self) -> "DeepLens":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- storage layer ----------------------------------------------------
+
+    def ingest_video(
+        self,
+        name: str,
+        frames: Iterable[np.ndarray],
+        *,
+        layout: str = "segmented",
+        **layout_kwargs,
+    ) -> VideoStore:
+        """Store a frame stream under one of the physical layouts."""
+        if name in self._video_registry:
+            raise StorageError(f"video {name!r} already ingested")
+        store = open_store(layout, self._video_dir, name, **layout_kwargs)
+        store.ingest(frames)
+        self._videos[name] = store
+        self._video_registry[name] = {"layout": layout, "kwargs": layout_kwargs}
+        return store
+
+    def video(self, name: str) -> VideoStore:
+        """The store for an ingested video (reopened on demand)."""
+        if name in self._videos:
+            return self._videos[name]
+        try:
+            entry = self._video_registry[name]
+        except KeyError:
+            raise StorageError(
+                f"no video {name!r}; have {sorted(self._video_registry)}"
+            ) from None
+        store = open_store(
+            entry["layout"], self._video_dir, name, **dict(entry["kwargs"])
+        )
+        self._videos[name] = store
+        return store
+
+    def videos(self) -> list[str]:
+        return sorted(self._video_registry)
+
+    def load(self, video_name: str, filter: Expr | None = None) -> Iterator[Patch]:
+        """The Load API (Section 3.1): whole-frame patches with push-down."""
+        return load_patches(self.video(video_name), video_name, filter)
+
+    # -- materialization & indexes ----------------------------------------
+
+    def materialize(
+        self,
+        patches: Iterable[Patch],
+        name: str,
+        schema: PatchSchema | None = None,
+        *,
+        replace: bool = False,
+    ) -> MaterializedCollection:
+        return self.catalog.materialize(patches, name, schema, replace=replace)
+
+    def collection(self, name: str) -> MaterializedCollection:
+        return self.catalog.collection(name)
+
+    def create_index(
+        self,
+        collection: str,
+        attr: str,
+        kind: str,
+        *,
+        feature_fn: Callable[[Patch], np.ndarray] | None = None,
+        multi_value: bool = False,
+    ):
+        return self.catalog.create_index(
+            collection, attr, kind, feature_fn=feature_fn, multi_value=multi_value
+        )
+
+    @property
+    def lineage(self) -> LineageStore:
+        return self.catalog.lineage
+
+    # -- querying -----------------------------------------------------------
+
+    def scan(self, collection_name: str) -> "QueryBuilder":
+        """Start a query over a materialized collection."""
+        return QueryBuilder(self, collection_name)
+
+
+class QueryBuilder:
+    """Fluent select-project query over one collection, optimizer-planned."""
+
+    def __init__(self, session: DeepLens, collection_name: str) -> None:
+        self.session = session
+        self.collection_name = collection_name
+        self._filter: Expr | None = None
+
+    def filter(self, expr: Expr) -> "QueryBuilder":
+        if self._filter is None:
+            self._filter = expr
+        else:
+            self._filter = self._filter & expr
+        return self
+
+    # -- planning -----------------------------------------------------------
+
+    def plan(self) -> tuple[Operator, Explanation]:
+        return self.session.optimizer.plan_filter(self.collection_name, self._filter)
+
+    def explain(self) -> Explanation:
+        _, explanation = self.plan()
+        return explanation
+
+    # -- terminals ------------------------------------------------------
+
+    def operator(self) -> Operator:
+        operator, _ = self.plan()
+        return operator
+
+    def patches(self) -> list[Patch]:
+        return self.operator().patches()
+
+    def count(self) -> int:
+        return self.operator().count()
+
+    def distinct_count(self, key: Callable[[Patch], object]) -> int:
+        seen = set()
+        for (patch,) in self.operator():
+            seen.add(key(patch))
+        return len(seen)
+
+    def first(self) -> Patch:
+        for (patch,) in self.operator():
+            return patch
+        raise QueryError(
+            f"query over {self.collection_name!r} returned no patches"
+        )

@@ -1,0 +1,24 @@
+"""Synthetic datasets mirroring the paper's benchmark corpora (Section 6.1).
+
+* :class:`PCDataset` — 779 personal-computer images (photos, screenshots,
+  document scans) with near-duplicate and text ground truth.
+* :class:`TrafficCamDataset` — roadside CCTV video with vehicles and
+  pedestrians, full identity/box/depth ground truth.
+* :class:`FootballDataset` — 15 clips of numbered same-team players.
+
+All generators are deterministic per seed and accept ``scale`` (fraction
+of the paper's data volume); paper-scale parameters live in each module's
+``PAPER_SPEC``.
+"""
+
+from repro.datasets.football import FootballClip, FootballDataset
+from repro.datasets.pc import PCDataset, PCImage
+from repro.datasets.trafficcam import TrafficCamDataset
+
+__all__ = [
+    "FootballClip",
+    "FootballDataset",
+    "PCDataset",
+    "PCImage",
+    "TrafficCamDataset",
+]

@@ -1,0 +1,169 @@
+"""Football: the multi-clip sports dataset.
+
+Paper spec (Section 6.1): "15 low-definition (720p) videos of American
+football clips of the same team ranging from 30 secs to 1 mins (15244
+total images)". The synthetic equivalent generates 15 independent *plays*:
+each clip has the same team (same jersey hue) with numbered players moving
+across the field, one of whom is the tracked player q3 follows. Jersey
+numbers are stamped with the glyph font, so the OCR patch generator can
+genuinely read (and misread) them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.vision.render import Renderer
+from repro.vision.scene import Camera, GroundTruthBox, Scene, SceneObject, linear_states
+
+PAPER_SPEC = {
+    "clips": 15,
+    "resolution": (720, 1280),
+    "total_frames": 15_244,
+    "clip_seconds": (30, 60),
+}
+
+#: jersey colour shared by the team (identity is the number, not the hue)
+TEAM_COLOR = (200, 45, 45)
+#: clothing palette for non-team extras (referees etc.)
+_EXTRA_COLOR = (40, 80, 200)
+
+
+@dataclass(frozen=True)
+class FootballClip:
+    """One play: a scene plus its tracked-player annotation."""
+
+    clip_id: str
+    scene: Scene
+    renderer: Renderer
+    tracked_number: str
+    player_numbers: tuple[str, ...]
+
+    @property
+    def n_frames(self) -> int:
+        return self.scene.n_frames
+
+    def frames(self) -> Iterator[np.ndarray]:
+        return self.renderer.render_all()
+
+    def frame(self, index: int) -> np.ndarray:
+        return self.renderer.render(index)
+
+    def ground_truth(self, frame: int) -> list[GroundTruthBox]:
+        return self.scene.ground_truth(frame)
+
+    def tracked_trajectory(self) -> list[tuple[int, tuple[int, int, int, int]]]:
+        """q3 truth: (frame, bbox) of the tracked player across the clip."""
+        out = []
+        for frame in range(self.scene.n_frames):
+            for box in self.scene.ground_truth(frame):
+                if box.text == self.tracked_number:
+                    out.append((frame, box.bbox))
+        return out
+
+
+class FootballDataset:
+    """15 synthetic football plays with numbered players."""
+
+    name = "football"
+
+    def __init__(
+        self,
+        *,
+        scale: float = 0.01,
+        n_clips: int = PAPER_SPEC["clips"],
+        width: int = 320,
+        height: int = 180,
+        players_per_clip: int = 6,
+        seed: int = 23,
+        tracked_number: str = "7",
+    ) -> None:
+        if not 0 < scale <= 1.0:
+            raise DatasetError(f"scale must be in (0, 1], got {scale}")
+        if not 1 <= n_clips <= 64:
+            raise DatasetError(f"n_clips must be in 1..64, got {n_clips}")
+        self.tracked_number = tracked_number
+        self.seed = seed
+        frames_per_clip = max(int(PAPER_SPEC["total_frames"] * scale / n_clips), 12)
+        self.clips: list[FootballClip] = [
+            self._build_clip(index, frames_per_clip, width, height, players_per_clip)
+            for index in range(n_clips)
+        ]
+
+    def _build_clip(
+        self, index: int, n_frames: int, width: int, height: int, n_players: int
+    ) -> FootballClip:
+        rng = np.random.default_rng((self.seed, index))
+        camera = Camera(
+            horizon_y=height * 0.18, focal=height * 1.1, cam_height=9.0
+        )
+        scene = Scene(width, height, n_frames, camera=camera, name=f"clip-{index}")
+        numbers = self._pick_numbers(rng, n_players)
+        lateral_slots = np.linspace(-7.5, 7.5, n_players)
+        for player_idx, number in enumerate(numbers):
+            player = SceneObject(
+                f"clip{index}-player-{number}",
+                "person",
+                TEAM_COLOR,
+                label_text=number,
+            )
+            depth0 = float(rng.uniform(11, 16))
+            lateral = float(lateral_slots[player_idx] + rng.uniform(-0.5, 0.5))
+            drift = float(rng.uniform(-3.0, 3.0))
+            player.states = linear_states(
+                camera, width, range(n_frames),
+                depth0=depth0,
+                depth1=depth0 + float(rng.uniform(-2.0, 2.0)),
+                lateral0=lateral,
+                lateral1=lateral + drift,
+                real_width=1.1,
+                real_height=2.1,
+            )
+            scene.add(player)
+        # one referee-like extra so clips are not all-team
+        extra = SceneObject(f"clip{index}-ref", "person", _EXTRA_COLOR)
+        extra.states = linear_states(
+            camera, width, range(n_frames),
+            depth0=18.0, depth1=17.0, lateral0=-9.5, lateral1=-9.0,
+            real_width=0.6, real_height=1.8,
+        )
+        scene.add(extra)
+        return FootballClip(
+            clip_id=f"clip-{index}",
+            scene=scene,
+            renderer=Renderer(scene, seed=(self.seed * 1000 + index)),
+            tracked_number=self.tracked_number,
+            player_numbers=tuple(numbers),
+        )
+
+    def _pick_numbers(self, rng: np.random.Generator, n_players: int) -> list[str]:
+        # the tracked player appears in every clip; teammates get distinct
+        # one- or two-digit numbers that avoid the tracked one
+        numbers = {self.tracked_number}
+        while len(numbers) < n_players:
+            numbers.add(str(int(rng.integers(1, 100))))
+        ordered = sorted(numbers - {self.tracked_number})
+        return [self.tracked_number] + ordered
+
+    # -- access -------------------------------------------------------------
+
+    @property
+    def n_clips(self) -> int:
+        return len(self.clips)
+
+    @property
+    def total_frames(self) -> int:
+        return sum(clip.n_frames for clip in self.clips)
+
+    def clip(self, index: int) -> FootballClip:
+        if not 0 <= index < len(self.clips):
+            raise DatasetError(f"clip {index} out of range (0..{len(self.clips) - 1})")
+        return self.clips[index]
+
+    def tracked_trajectories(self) -> dict[str, list[tuple[int, tuple[int, int, int, int]]]]:
+        """q3 truth: clip_id -> tracked player's (frame, bbox) sequence."""
+        return {clip.clip_id: clip.tracked_trajectory() for clip in self.clips}

@@ -1,0 +1,257 @@
+"""PC: the personal-computer image corpus.
+
+Paper spec (Section 6.1): "779 photographs, screenshots, and document
+scans" of varying format and size. The synthetic corpus mixes the same
+three kinds:
+
+* **photographs** — single-frame rendered scenes with a few saturated
+  objects on textured backgrounds, at varied resolutions;
+* **screenshots** — light UI canvases with window chrome and short text;
+* **document scans** — white pages of glyph-font text lines with scanner
+  noise.
+
+Ground truth carries (a) the q1 near-duplicate pairs — a fraction of images
+are re-exports of earlier ones with brightness shift, sensor noise, and a
+small translation — and (b) the q5 text index (which strings appear in
+which image), since documents and screenshots know what they stamped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.datasets.words import sample_sentence, sample_words
+from repro.vision import glyphs
+from repro.vision.render import Renderer
+from repro.vision.scene import ObjectState, Scene, SceneObject
+
+PAPER_SPEC = {"images": 779, "kinds": ("photo", "screenshot", "document")}
+
+_OBJECT_PALETTE = [
+    (210, 45, 45), (45, 90, 210), (230, 150, 35), (60, 180, 75),
+    (170, 45, 200), (45, 180, 180),
+]
+
+
+@dataclass
+class PCImage:
+    """One corpus image with its provenance and text ground truth."""
+
+    image_id: str
+    kind: str  # 'photo' | 'screenshot' | 'document'
+    pixels: np.ndarray
+    text: str = ""
+    duplicate_of: str | None = None
+    words: frozenset[str] = field(default_factory=frozenset)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.pixels.shape
+
+
+class PCDataset:
+    """Synthetic personal-computer corpus with duplicate and text truth."""
+
+    name = "pc"
+
+    def __init__(
+        self,
+        *,
+        scale: float = 0.1,
+        seed: int = 41,
+        duplicate_fraction: float = 0.08,
+    ) -> None:
+        if not 0 < scale <= 1.0:
+            raise DatasetError(f"scale must be in (0, 1], got {scale}")
+        if not 0 <= duplicate_fraction < 0.5:
+            raise DatasetError(
+                f"duplicate_fraction must be in [0, 0.5), got {duplicate_fraction}"
+            )
+        self.seed = seed
+        n_images = max(int(PAPER_SPEC["images"] * scale), 12)
+        self.images: list[PCImage] = []
+        self._rng = np.random.default_rng(seed)
+        n_duplicates = int(n_images * duplicate_fraction)
+        n_originals = n_images - n_duplicates
+        for index in range(n_originals):
+            self.images.append(self._make_original(index))
+        originals = list(self.images)
+        for index in range(n_duplicates):
+            source = originals[int(self._rng.integers(0, len(originals)))]
+            self.images.append(self._make_duplicate(n_originals + index, source))
+
+    # -- generation ---------------------------------------------------------
+
+    def _make_original(self, index: int) -> PCImage:
+        kind_roll = self._rng.random()
+        if kind_roll < 0.5:
+            return self._make_photo(index)
+        if kind_roll < 0.75:
+            return self._make_screenshot(index)
+        return self._make_document(index)
+
+    def _make_photo(self, index: int) -> PCImage:
+        rng = self._rng
+        height = int(rng.integers(100, 200))
+        width = int(rng.integers(140, 280))
+        scene = Scene(width, height, 1, name=f"photo-{index}")
+        for obj_idx in range(int(rng.integers(1, 4))):
+            color = _OBJECT_PALETTE[int(rng.integers(0, len(_OBJECT_PALETTE)))]
+            category = "vehicle" if rng.random() < 0.5 else "person"
+            obj_w = float(rng.uniform(20, width * 0.3))
+            obj_h = min(obj_w * (0.45 if category == "vehicle" else 2.2), height * 0.55)
+            cy_lo = height * 0.35 + obj_h / 2
+            cy_hi = max(height - obj_h / 2 - 2, cy_lo + 1)
+            obj = SceneObject(f"photo{index}-obj{obj_idx}", category, color)
+            obj.states = {
+                0: ObjectState(
+                    frame=0,
+                    cx=float(rng.uniform(obj_w, max(width - obj_w, obj_w + 1))),
+                    cy=float(rng.uniform(cy_lo, cy_hi)),
+                    width=obj_w,
+                    height=obj_h,
+                    depth=float(rng.uniform(5, 30)),
+                )
+            }
+            scene.add(obj)
+        pixels = Renderer(scene, seed=int(rng.integers(0, 2**31))).render(0)
+        return PCImage(image_id=f"pc-{index:04d}", kind="photo", pixels=pixels)
+
+    def _make_screenshot(self, index: int) -> PCImage:
+        rng = self._rng
+        height, width = 150, 260
+        # every app has its own theme: background shade, title-bar hue,
+        # accent colour and placement all vary, so two different
+        # screenshots are *not* colour-space near-duplicates
+        background = float(rng.integers(170, 250))
+        canvas = np.full((height, width, 3), background, dtype=np.float64)
+        bar_color = tuple(int(c) for c in rng.integers(40, 200, size=3))
+        canvas[:14, :] = bar_color
+        title = sample_sentence(rng, 2)
+        glyphs.stamp_text(canvas, title, 4, 3, scale=1, color=(250, 250, 250))
+        n_lines = int(rng.integers(3, 7))
+        lines = [
+            sample_sentence(rng, int(rng.integers(2, 5))) for _ in range(n_lines)
+        ]
+        for line_idx, line in enumerate(lines):
+            glyphs.stamp_text(
+                canvas, line, 8, 24 + 16 * line_idx, scale=1, color=(40, 40, 50)
+            )
+        accent = tuple(int(c) for c in rng.integers(60, 230, size=3))
+        ax = int(rng.integers(130, 200))
+        ay = int(rng.integers(110, 130))
+        aw = int(rng.integers(40, min(width - ax - 2, 90)))
+        canvas[ay : ay + 22, ax : ax + aw] = accent
+        glyphs.stamp_text(
+            canvas, "OK", ax + aw // 2 - 5, ay + 7, scale=1, color=(255, 255, 255)
+        )
+        text = "\n".join([title] + lines)
+        return PCImage(
+            image_id=f"pc-{index:04d}",
+            kind="screenshot",
+            pixels=np.clip(canvas, 0, 255).astype(np.uint8),
+            text=text,
+            words=frozenset(text.replace("\n", " ").split(" ")),
+        )
+
+    def _make_document(self, index: int) -> PCImage:
+        rng = self._rng
+        height, width = 220, 170
+        # scanners and paper stocks differ: page tint, ink density, margins
+        # and line pitch vary per document
+        tint = rng.integers(226, 254, size=3).astype(np.float64)
+        canvas = np.tile(tint, (height, width, 1))
+        ink = tuple(int(c) for c in rng.integers(10, 70, size=3))
+        font_scale = int(rng.integers(1, 3))
+        pitch = int(rng.integers(12, 20)) * font_scale
+        margin = int(rng.integers(6, 18))
+        top = 10
+        # a third of documents carry a letterhead band, each its own colour
+        if rng.random() < 0.35:
+            band = tuple(int(c) for c in rng.integers(30, 220, size=3))
+            band_h = int(rng.integers(10, 24))
+            canvas[:band_h, :] = band
+            top = band_h + 6
+        n_lines = max(int(rng.integers(4, max((height - top) // pitch, 5))), 2)
+        lines = [sample_sentence(rng, int(rng.integers(2, 4))) for _ in range(n_lines)]
+        for line_idx, line in enumerate(lines):
+            y = top + pitch * line_idx
+            if y + 7 * font_scale >= height:
+                break
+            glyphs.stamp_text(
+                canvas, line, margin, y, scale=font_scale, color=ink
+            )
+        # scanner noise: mild grain over the whole page
+        canvas += rng.normal(0, float(rng.uniform(1.0, 3.0)), canvas.shape)
+        text = "\n".join(lines)
+        return PCImage(
+            image_id=f"pc-{index:04d}",
+            kind="document",
+            pixels=np.clip(canvas, 0, 255).astype(np.uint8),
+            text=text,
+            words=frozenset(text.replace("\n", " ").split(" ")),
+        )
+
+    def _make_duplicate(self, index: int, source: PCImage) -> PCImage:
+        rng = self._rng
+        pixels = source.pixels.astype(np.float64)
+        pixels += float(rng.uniform(-2, 2))  # slight exposure drift
+        pixels += rng.normal(0, 1.0, pixels.shape)  # re-encode noise
+        shift = int(rng.integers(-1, 2))
+        if shift:
+            # translate with edge replication (a wrap would fabricate a
+            # high-gradient seam no real re-export has)
+            pixels = np.roll(pixels, shift, axis=1)
+            if shift > 0:
+                pixels[:, :shift] = pixels[:, shift : shift + 1]
+            else:
+                pixels[:, shift:] = pixels[:, shift - 1 : shift]
+        return PCImage(
+            image_id=f"pc-{index:04d}",
+            kind=source.kind,
+            pixels=np.clip(pixels, 0, 255).astype(np.uint8),
+            text=source.text,
+            duplicate_of=source.image_id,
+            words=source.words,
+        )
+
+    # -- access -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __iter__(self):
+        return iter(self.images)
+
+    def by_id(self, image_id: str) -> PCImage:
+        for image in self.images:
+            if image.image_id == image_id:
+                return image
+        raise DatasetError(f"no image {image_id!r} in the PC dataset")
+
+    # -- query-level ground truth -------------------------------------------
+
+    def duplicate_pairs(self) -> set[frozenset[str]]:
+        """q1 truth: unordered near-duplicate id pairs."""
+        return {
+            frozenset((image.image_id, image.duplicate_of))
+            for image in self.images
+            if image.duplicate_of is not None
+        }
+
+    def images_with_word(self, word: str) -> list[str]:
+        """q5 truth: ids of images whose text contains ``word`` (in id order)."""
+        word = word.upper()
+        return sorted(
+            image.image_id for image in self.images if word in image.words
+        )
+
+    def present_words(self) -> set[str]:
+        """Every word that appears in at least one image."""
+        out: set[str] = set()
+        for image in self.images:
+            out |= image.words
+        return out

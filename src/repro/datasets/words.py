@@ -1,0 +1,42 @@
+"""Word stock for synthetic documents, screenshots, and search queries.
+
+Uppercase-only because the glyph font is uppercase; drawn from a fixed list
+so q5's target strings are guaranteed to exist (or be absent) by seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+WORDS = [
+    "ACCESS", "AGENT", "ALERT", "ANNUAL", "ARCHIVE", "AUDIT", "BALANCE",
+    "BANK", "BATCH", "BOARD", "BRIDGE", "BUDGET", "CAMERA", "CAMPUS",
+    "CENTER", "CHART", "CLAIM", "CLIENT", "CLOUD", "CODE", "CONTRACT",
+    "COUNCIL", "COURT", "CREDIT", "DELTA", "DESIGN", "DETAIL", "DEVICE",
+    "DIGEST", "DOCKET", "DRAFT", "ENERGY", "ENGINE", "EXPORT", "FIELD",
+    "FILE", "FOCUS", "FORUM", "FRAME", "FUND", "GATEWAY", "GLOBAL",
+    "GRANT", "GRAPH", "GROUP", "GUIDE", "HARBOR", "HEALTH", "IMPORT",
+    "INDEX", "INPUT", "INVOICE", "JOURNAL", "LEDGER", "LEGAL", "LETTER",
+    "LEVEL", "LICENSE", "LIMIT", "LOCAL", "MARKET", "MATRIX", "MEMO",
+    "METER", "METRO", "MODEL", "MODULE", "MOTION", "NETWORK", "NOTICE",
+    "OFFER", "OFFICE", "ORDER", "OUTPUT", "PANEL", "PAPER", "PARK",
+    "PATENT", "PERMIT", "PHASE", "PILOT", "PLAN", "PLAZA", "POLICY",
+    "PORTAL", "POWER", "PRESS", "PRICE", "PRIME", "PROFILE", "PROJECT",
+    "QUOTA", "RECORD", "REGION", "REPORT", "RESULT", "REVIEW", "ROUTE",
+    "SAFETY", "SAMPLE", "SCALE", "SCHEMA", "SCOPE", "SECTOR", "SERIES",
+    "SERVER", "SIGNAL", "SOURCE", "STATUS", "STOCK", "STREAM", "STREET",
+    "SUMMIT", "SURVEY", "SYSTEM", "TABLE", "TARGET", "TENDER", "TICKET",
+    "TOKEN", "TOWER", "TRACK", "TRADE", "TRANSIT", "TREND", "UNION",
+    "UPDATE", "VALLEY", "VECTOR", "VENDOR", "VENUE", "VERSION", "VOLUME",
+    "WALLET", "WINDOW", "ZONE",
+]
+
+
+def sample_words(rng: np.random.Generator, count: int) -> list[str]:
+    """Draw ``count`` words (with replacement) from the stock."""
+    indices = rng.integers(0, len(WORDS), size=count)
+    return [WORDS[int(idx)] for idx in indices]
+
+
+def sample_sentence(rng: np.random.Generator, n_words: int) -> str:
+    return " ".join(sample_words(rng, n_words))

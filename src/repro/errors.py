@@ -1,0 +1,80 @@
+"""Exception hierarchy for the DeepLens reproduction.
+
+Every error raised by the library derives from :class:`DeepLensError` so
+applications can catch library failures with a single ``except`` clause while
+still distinguishing subsystems when they need to.
+"""
+
+from __future__ import annotations
+
+
+class DeepLensError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class StorageError(DeepLensError):
+    """A failure in the persistent storage layer (pager, B+ tree, formats)."""
+
+
+class PageError(StorageError):
+    """An invalid page id, page overflow, or corrupted page image."""
+
+
+class KeyNotFoundError(StorageError, KeyError):
+    """A point lookup referenced a key that is not present."""
+
+
+class DuplicateKeyError(StorageError):
+    """An insert would violate a unique-key constraint."""
+
+
+class CodecError(StorageError):
+    """Encoding or decoding a video stream failed."""
+
+
+class RandomAccessUnsupportedError(CodecError):
+    """A random-access read was attempted on a sequential-only encoding.
+
+    Raised by the Encoded File format when a caller asks to seek directly to
+    a frame: the paper's point (Section 7.1) is that sequential codecs cannot
+    support temporal filter push-down, so DeepLens surfaces the limitation
+    explicitly rather than silently scanning.
+    """
+
+
+class IndexError_(DeepLensError):
+    """A failure in an index structure (named with a trailing underscore to
+    avoid shadowing the :class:`IndexError` builtin)."""
+
+
+class SchemaError(DeepLensError):
+    """A pipeline or query failed type validation (Section 4.2)."""
+
+
+class ValidationError(SchemaError):
+    """An operator consumes values outside its input domain, e.g. filtering
+    on a label that no upstream generator can produce."""
+
+
+class QueryError(DeepLensError):
+    """A malformed logical query or an unsupported physical plan request."""
+
+
+class OptimizerError(QueryError):
+    """The optimizer could not produce a physical plan."""
+
+
+class LineageError(DeepLensError):
+    """A lineage backtrace referenced an unknown patch or broken chain."""
+
+
+class ETLError(DeepLensError):
+    """A patch generator or transformer failed."""
+
+
+class DatasetError(DeepLensError):
+    """A synthetic dataset generator was misconfigured."""
+
+
+class DeviceError(DeepLensError):
+    """An execution-backend (CPU/AVX/GPU) failure or unknown device name."""

@@ -1,0 +1,33 @@
+"""Visual ETL (Section 4): patch generators, transformers, typed pipelines."""
+
+from repro.etl.generators import (
+    ObjectDetectorGenerator,
+    OCRGenerator,
+    PatchGenerator,
+    TileGenerator,
+    WholeImageGenerator,
+)
+from repro.etl.pipeline import Pipeline
+from repro.etl.transformers import (
+    CropTransformer,
+    DepthTransformer,
+    EmbeddingTransformer,
+    GradientTransformer,
+    HistogramTransformer,
+    Transformer,
+)
+
+__all__ = [
+    "CropTransformer",
+    "DepthTransformer",
+    "EmbeddingTransformer",
+    "GradientTransformer",
+    "HistogramTransformer",
+    "ObjectDetectorGenerator",
+    "OCRGenerator",
+    "PatchGenerator",
+    "Pipeline",
+    "TileGenerator",
+    "Transformer",
+    "WholeImageGenerator",
+]

@@ -1,0 +1,186 @@
+"""Patch generators (Section 4.1).
+
+"These generators take as input an iterator over raw images and return an
+iterator over Patch objects." The library mirrors the paper's three
+instantiations — object detection, optical character recognition, and
+whole-image patches — plus a tiling generator for fixed-grid workloads.
+
+Every generator declares its output schema (Section 4.2), including closed
+label domains where the underlying model has one, and extends each
+patch's lineage chain through :meth:`Patch.derive`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator
+
+from repro.core.patch import Patch
+from repro.core.schema import Field, PatchSchema
+from repro.errors import ETLError
+from repro.vision.models.ocr import TemplateOCR
+from repro.vision.models.ssd import SyntheticSSD
+
+
+class PatchGenerator(ABC):
+    """Raw-image patches in, derived patches out."""
+
+    name: str = "generator"
+
+    @abstractmethod
+    def generate(self, patch: Patch) -> list[Patch]:
+        """Derive zero or more patches from one input patch."""
+
+    @abstractmethod
+    def output_schema(self, input_schema: PatchSchema) -> PatchSchema:
+        """Schema of the generated collection given the input's."""
+
+    def __call__(self, patches: Iterable[Patch]) -> Iterator[Patch]:
+        for patch in patches:
+            yield from self.generate(patch)
+
+
+class ObjectDetectorGenerator(PatchGenerator):
+    """Run a detector; one cropped patch per detection.
+
+    Output metadata: ``label`` (closed domain from the model), ``score``,
+    ``bbox`` (frame coordinates) — the paper's ``SSDPatch``.
+    """
+
+    name = "object-detector"
+
+    def __init__(self, model: SyntheticSSD, *, min_score: float = 0.0) -> None:
+        self.model = model
+        self.min_score = min_score
+
+    def generate(self, patch: Patch) -> list[Patch]:
+        if patch.data.ndim != 3:
+            raise ETLError(
+                f"object detection needs (H, W, 3) pixels, got {patch.data.shape}"
+            )
+        out = []
+        for detection in self.model.process(patch.data):
+            if detection.score < self.min_score:
+                continue
+            out.append(
+                patch.derive(
+                    detection.crop(patch.data),
+                    "detect",
+                    detection.bbox,
+                    label=detection.label,
+                    score=float(detection.score),
+                    bbox=tuple(int(v) for v in detection.bbox),
+                )
+            )
+        return out
+
+    def output_schema(self, input_schema: PatchSchema) -> PatchSchema:
+        if input_schema.data_kind != "pixels":
+            raise ETLError(
+                f"{self.name} consumes pixel patches, upstream produces "
+                f"{input_schema.data_kind!r}"
+            )
+        return PatchSchema(
+            data_kind="pixels",
+            fields=dict(input_schema.fields),
+        ).with_fields(
+            Field("label", "str", domain=self.model.label_domain, required=True),
+            Field("score", "float", required=True),
+            Field("bbox", "bbox", required=True),
+        )
+
+
+class OCRGenerator(PatchGenerator):
+    """Run OCR over incoming patches; emits patches that contain text.
+
+    Output metadata: ``text`` (full recognized string), ``tokens`` (tuple
+    of words), ``ocr_conf``. Patches with no recognizable text are dropped
+    (set ``keep_empty=True`` to keep them with empty text).
+    """
+
+    name = "ocr"
+
+    def __init__(self, model: TemplateOCR, *, keep_empty: bool = False) -> None:
+        self.model = model
+        self.keep_empty = keep_empty
+
+    def generate(self, patch: Patch) -> list[Patch]:
+        result = self.model.process(patch.data)
+        if not result.text and not self.keep_empty:
+            return []
+        return [
+            patch.derive(
+                patch.data,
+                "ocr",
+                text=result.text,
+                tokens=tuple(result.tokens()),
+                ocr_conf=float(result.confidence),
+            )
+        ]
+
+    def output_schema(self, input_schema: PatchSchema) -> PatchSchema:
+        if input_schema.data_kind != "pixels":
+            raise ETLError(
+                f"{self.name} consumes pixel patches, upstream produces "
+                f"{input_schema.data_kind!r}"
+            )
+        return input_schema.with_fields(
+            Field("text", "str", required=not self.keep_empty),
+            Field("ocr_conf", "float"),
+        )
+
+
+class WholeImageGenerator(PatchGenerator):
+    """Pass frames through as single whole-image patches (Section 4.1)."""
+
+    name = "whole-image"
+
+    def generate(self, patch: Patch) -> list[Patch]:
+        return [patch.derive(patch.data, "whole")]
+
+    def output_schema(self, input_schema: PatchSchema) -> PatchSchema:
+        return input_schema
+
+
+class TileGenerator(PatchGenerator):
+    """Split each frame into a fixed grid of tiles with bbox metadata."""
+
+    name = "tiles"
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ETLError(f"grid must be positive, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+
+    def generate(self, patch: Patch) -> list[Patch]:
+        height, width = patch.data.shape[:2]
+        if height < self.rows or width < self.cols:
+            raise ETLError(
+                f"frame {height}x{width} smaller than the {self.rows}x"
+                f"{self.cols} tile grid"
+            )
+        out = []
+        row_edges = [round(r * height / self.rows) for r in range(self.rows + 1)]
+        col_edges = [round(c * width / self.cols) for c in range(self.cols + 1)]
+        for row in range(self.rows):
+            for col in range(self.cols):
+                y1, y2 = row_edges[row], row_edges[row + 1]
+                x1, x2 = col_edges[col], col_edges[col + 1]
+                out.append(
+                    patch.derive(
+                        patch.data[y1:y2, x1:x2],
+                        "tile",
+                        (x1, y1, x2, y2),
+                        bbox=(x1, y1, x2, y2),
+                        tile=(row, col),
+                    )
+                )
+        return out
+
+    def output_schema(self, input_schema: PatchSchema) -> PatchSchema:
+        if input_schema.data_kind != "pixels":
+            raise ETLError(f"{self.name} consumes pixel patches")
+        return PatchSchema(
+            data_kind="pixels", fields=dict(input_schema.fields)
+        ).with_fields(Field("bbox", "bbox", required=True))

@@ -1,0 +1,204 @@
+"""Patch transformers (Section 4.1).
+
+"A transformer takes as input an iterator over Patch objects and returns
+an iterator over transformed Patch objects." The paper's two experimental
+transformers — colour-histogram features and depth prediction — plus the
+CNN embedder, each writing its output into the metadata dictionary (and
+optionally *replacing* the pixel payload with the feature vector, the
+"pre-compressed to features" storage option of Section 2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.patch import Patch
+from repro.core.schema import Field, PatchSchema
+from repro.errors import ETLError
+from repro.vision.features import color_histogram, gradient_histogram, marginal_histogram
+from repro.vision.models.depth import MonocularDepth
+from repro.vision.models.embeddings import TinyEmbedder
+
+
+class Transformer(ABC):
+    """Patch in, transformed patch out (1:1)."""
+
+    name: str = "transformer"
+
+    @abstractmethod
+    def transform(self, patch: Patch) -> Patch:
+        """Produce the transformed patch."""
+
+    @abstractmethod
+    def output_schema(self, input_schema: PatchSchema) -> PatchSchema:
+        """Schema after transformation."""
+
+    def __call__(self, patches: Iterable[Patch]) -> Iterator[Patch]:
+        for patch in patches:
+            yield self.transform(patch)
+
+
+class HistogramTransformer(Transformer):
+    """Colour-histogram featurizer — the paper's image-matching feature."""
+
+    name = "color-histogram"
+
+    def __init__(
+        self,
+        *,
+        bins: int = 4,
+        kind: str = "joint",
+        key: str = "hist",
+        replace_data: bool = False,
+    ) -> None:
+        if kind not in ("joint", "marginal"):
+            raise ETLError(f"kind must be 'joint' or 'marginal', got {kind!r}")
+        self.bins = bins
+        self.kind = kind
+        self.key = key
+        self.replace_data = replace_data
+
+    @property
+    def dim(self) -> int:
+        return self.bins**3 if self.kind == "joint" else 3 * self.bins
+
+    def transform(self, patch: Patch) -> Patch:
+        if self.kind == "joint":
+            features = color_histogram(patch.data, bins=self.bins)
+        else:
+            features = marginal_histogram(patch.data, bins=self.bins)
+        data = features if self.replace_data else patch.data
+        return patch.derive(data, self.name, self.kind, self.bins, **{self.key: features})
+
+    def output_schema(self, input_schema: PatchSchema) -> PatchSchema:
+        if input_schema.data_kind != "pixels":
+            raise ETLError(f"{self.name} consumes pixel patches")
+        schema = input_schema.with_field(Field(self.key, "vector", required=True))
+        if self.replace_data:
+            schema = schema.as_features(self.dim)
+        return schema
+
+
+class EmbeddingTransformer(Transformer):
+    """CNN descriptor featurizer (TinyEmbedder)."""
+
+    name = "embedding"
+
+    def __init__(
+        self,
+        model: TinyEmbedder,
+        *,
+        key: str = "emb",
+        replace_data: bool = False,
+    ) -> None:
+        self.model = model
+        self.key = key
+        self.replace_data = replace_data
+
+    def transform(self, patch: Patch) -> Patch:
+        features = self.model.process(patch.data)
+        data = features if self.replace_data else patch.data
+        return patch.derive(data, self.name, self.model.dim, **{self.key: features})
+
+    def output_schema(self, input_schema: PatchSchema) -> PatchSchema:
+        if input_schema.data_kind != "pixels":
+            raise ETLError(f"{self.name} consumes pixel patches")
+        schema = input_schema.with_field(Field(self.key, "vector", required=True))
+        if self.replace_data:
+            schema = schema.as_features(self.model.dim)
+        return schema
+
+
+class GradientTransformer(Transformer):
+    """HOG-style shape featurizer."""
+
+    name = "gradient-histogram"
+
+    def __init__(
+        self, *, grid: int = 2, orientations: int = 8, key: str = "hog"
+    ) -> None:
+        self.grid = grid
+        self.orientations = orientations
+        self.key = key
+
+    def transform(self, patch: Patch) -> Patch:
+        features = gradient_histogram(
+            patch.data, grid=self.grid, orientations=self.orientations
+        )
+        return patch.derive(patch.data, self.name, **{self.key: features})
+
+    def output_schema(self, input_schema: PatchSchema) -> PatchSchema:
+        if input_schema.data_kind != "pixels":
+            raise ETLError(f"{self.name} consumes pixel patches")
+        return input_schema.with_field(Field(self.key, "vector", required=True))
+
+
+class DepthTransformer(Transformer):
+    """Depth prediction (the paper's second transformer, for q6).
+
+    Needs a ``bbox`` in frame coordinates — i.e. it composes after an
+    object-detection generator; the schema check enforces that.
+    """
+
+    name = "depth"
+
+    def __init__(self, model: MonocularDepth, *, key: str = "depth") -> None:
+        self.model = model
+        self.key = key
+
+    def transform(self, patch: Patch) -> Patch:
+        bbox = patch.metadata.get("bbox")
+        if bbox is None:
+            depth = self.model.process(patch.data)
+        else:
+            depth = self.model.estimate(tuple(bbox))
+        return patch.derive(patch.data, self.name, **{self.key: float(depth)})
+
+    def output_schema(self, input_schema: PatchSchema) -> PatchSchema:
+        if "bbox" not in input_schema.fields:
+            raise ETLError(
+                "depth prediction needs upstream 'bbox' metadata; compose "
+                "after an object-detection generator"
+            )
+        return input_schema.with_field(Field(self.key, "float", required=True))
+
+
+class CropTransformer(Transformer):
+    """Geometric crop of each patch (e.g. torso region before jersey OCR)."""
+
+    name = "crop"
+
+    def __init__(
+        self,
+        *,
+        top: float = 0.0,
+        bottom: float = 1.0,
+        left: float = 0.0,
+        right: float = 1.0,
+    ) -> None:
+        if not (0.0 <= top < bottom <= 1.0 and 0.0 <= left < right <= 1.0):
+            raise ETLError(
+                f"invalid crop fractions top={top} bottom={bottom} "
+                f"left={left} right={right}"
+            )
+        self.top, self.bottom = top, bottom
+        self.left, self.right = left, right
+
+    def transform(self, patch: Patch) -> Patch:
+        height, width = patch.data.shape[:2]
+        y1, y2 = int(height * self.top), max(int(height * self.bottom), int(height * self.top) + 1)
+        x1, x2 = int(width * self.left), max(int(width * self.right), int(width * self.left) + 1)
+        return patch.derive(
+            np.ascontiguousarray(patch.data[y1:y2, x1:x2]),
+            self.name,
+            (self.top, self.bottom, self.left, self.right),
+        )
+
+    def output_schema(self, input_schema: PatchSchema) -> PatchSchema:
+        if input_schema.data_kind != "pixels":
+            raise ETLError(f"{self.name} consumes pixel patches")
+        # resolution is no longer guaranteed after cropping
+        return PatchSchema(data_kind="pixels", fields=dict(input_schema.fields))

@@ -1,0 +1,23 @@
+"""Index structures (Section 3.2).
+
+Single-dimensional: :class:`HashIndex`, :class:`BTreeIndex`,
+:class:`SortedFileIndex`. Multi-dimensional: :class:`RTree` (intersection /
+containment), :class:`BallTree` (Euclidean threshold / kNN), plus
+:class:`RandomHyperplaneLSH` as the approximate alternative the paper
+suggests in Section 7.3.
+"""
+
+from repro.indexes.balltree import BallTree
+from repro.indexes.lsh import RandomHyperplaneLSH
+from repro.indexes.rtree import RTree, rect_from_bbox
+from repro.indexes.single_dim import BTreeIndex, HashIndex, SortedFileIndex
+
+__all__ = [
+    "BallTree",
+    "BTreeIndex",
+    "HashIndex",
+    "RTree",
+    "RandomHyperplaneLSH",
+    "SortedFileIndex",
+    "rect_from_bbox",
+]

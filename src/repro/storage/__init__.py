@@ -1,0 +1,1 @@
+"""Storage layer: embedded KV substrate, video codecs, and storage formats."""

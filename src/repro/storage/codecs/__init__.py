@@ -1,0 +1,49 @@
+"""Video codecs: RAW, JPEG-like (intra-only), H.264-like (sequential).
+
+Use :func:`get_codec` to construct one by name::
+
+    codec = get_codec("h264", quality="high", gop=30)
+    stream = codec.encode_stream(frames)
+"""
+
+from repro.errors import CodecError
+from repro.storage.codecs.base import VideoCodec
+from repro.storage.codecs.blocks import psnr
+from repro.storage.codecs.h264_like import H264LikeCodec
+from repro.storage.codecs.jpeg_like import JpegLikeCodec, decode_image, encode_image
+from repro.storage.codecs.quality import HIGH, LOW, MEDIUM, PRESETS, QualityPreset
+from repro.storage.codecs.raw import RawCodec
+
+_CODECS = {
+    "raw": RawCodec,
+    "jpeg": JpegLikeCodec,
+    "h264": H264LikeCodec,
+}
+
+
+def get_codec(name: str, **kwargs) -> VideoCodec:
+    """Construct a codec by name: ``raw``, ``jpeg``, or ``h264``."""
+    try:
+        cls = _CODECS[name.lower()]
+    except KeyError:
+        raise CodecError(
+            f"unknown codec {name!r}; expected one of {sorted(_CODECS)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "HIGH",
+    "LOW",
+    "MEDIUM",
+    "PRESETS",
+    "H264LikeCodec",
+    "JpegLikeCodec",
+    "QualityPreset",
+    "RawCodec",
+    "VideoCodec",
+    "decode_image",
+    "encode_image",
+    "get_codec",
+    "psnr",
+]

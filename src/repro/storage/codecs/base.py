@@ -1,0 +1,64 @@
+"""Codec interface.
+
+A codec turns an iterable of frames (uint8 arrays of shape ``(H, W, 3)``)
+into one self-contained byte stream and back. The property that matters to
+the storage layer is :attr:`VideoCodec.supports_random_access`: the paper's
+central encoding observation (Section 7.1) is that sequential codecs cannot
+serve temporal filter push-down, while frame-independent formats can.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import CodecError
+
+
+class VideoCodec(ABC):
+    """Abstract video codec over uint8 RGB frames."""
+
+    #: short identifier used by the storage formats and the factory
+    name: str = "abstract"
+    #: whether decoding loses information
+    lossy: bool = False
+    #: whether ``decode_frame(data, i)`` is O(frame) rather than O(stream)
+    supports_random_access: bool = False
+
+    @abstractmethod
+    def encode_stream(self, frames: Iterable[np.ndarray]) -> bytes:
+        """Encode ``frames`` into one self-contained byte stream."""
+
+    @abstractmethod
+    def decode_stream(self, data: bytes) -> Iterator[np.ndarray]:
+        """Yield every frame of the stream in order."""
+
+    @abstractmethod
+    def frame_count(self, data: bytes) -> int:
+        """Number of frames in the stream without decoding them."""
+
+    def decode_frame(self, data: bytes, index: int) -> np.ndarray:
+        """Decode a single frame by position.
+
+        Sequential codecs override this to raise
+        :class:`~repro.errors.RandomAccessUnsupportedError`.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def _validate_frame(frame: np.ndarray, expected_shape=None) -> np.ndarray:
+        frame = np.asarray(frame)
+        if frame.ndim != 3 or frame.shape[2] != 3:
+            raise CodecError(
+                f"frames must have shape (H, W, 3), got {frame.shape}"
+            )
+        if frame.dtype != np.uint8:
+            raise CodecError(f"frames must be uint8, got {frame.dtype}")
+        if expected_shape is not None and frame.shape != expected_shape:
+            raise CodecError(
+                f"frame shape {frame.shape} differs from stream shape "
+                f"{expected_shape}; all frames in a stream must match"
+            )
+        return frame

@@ -1,0 +1,140 @@
+"""Block-transform machinery shared by the lossy codecs.
+
+The JPEG-like intra codec and the H.264-like inter codec both code 8x8
+pixel blocks through the classic transform pipeline:
+
+    blockify -> 2-D DCT -> quantize -> coefficient-major reorder -> zlib
+
+Quantization is where the loss happens (and where the quality presets act);
+the coefficient-major reorder groups the same frequency position across all
+blocks so the long zero runs of high frequencies compress well — the same
+role zig-zag + run-length coding plays in real JPEG/H.264 entropy coders.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+from scipy.fft import dctn, idctn
+
+from repro.errors import CodecError
+
+BLOCK = 8
+
+# The ISO/IEC 10918-1 (JPEG) luminance quantization table; the de-facto
+# reference for perceptually-weighted coefficient precision.
+BASE_QUANT = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+
+
+def quant_matrix(quality: int) -> np.ndarray:
+    """JPEG-style quality (1..100) to quantization matrix scaling.
+
+    Quality 50 is the base table; higher quality shrinks the steps
+    (less loss), lower quality grows them (more loss, more compression).
+    """
+    if not 1 <= quality <= 100:
+        raise CodecError(f"quality must be in 1..100, got {quality}")
+    if quality < 50:
+        scale = 5000.0 / quality
+    else:
+        scale = 200.0 - 2.0 * quality
+    table = np.floor((BASE_QUANT * scale + 50.0) / 100.0)
+    return np.clip(table, 1, 255)
+
+
+def pad_to_blocks(channel: np.ndarray) -> np.ndarray:
+    """Edge-pad a 2-D array so both dimensions are multiples of BLOCK."""
+    height, width = channel.shape
+    pad_h = (-height) % BLOCK
+    pad_w = (-width) % BLOCK
+    if pad_h == 0 and pad_w == 0:
+        return channel
+    return np.pad(channel, ((0, pad_h), (0, pad_w)), mode="edge")
+
+
+def blockify(channel: np.ndarray) -> np.ndarray:
+    """(H, W) -> (H//8 * W//8, 8, 8) without copying rows twice."""
+    height, width = channel.shape
+    if height % BLOCK or width % BLOCK:
+        raise CodecError(f"blockify needs multiples of {BLOCK}, got {channel.shape}")
+    tiles = channel.reshape(height // BLOCK, BLOCK, width // BLOCK, BLOCK)
+    return tiles.transpose(0, 2, 1, 3).reshape(-1, BLOCK, BLOCK)
+
+
+def unblockify(blocks: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Inverse of :func:`blockify` for a padded (height, width) canvas."""
+    n_by, n_bx = height // BLOCK, width // BLOCK
+    tiles = blocks.reshape(n_by, n_bx, BLOCK, BLOCK)
+    return tiles.transpose(0, 2, 1, 3).reshape(height, width)
+
+
+def encode_plane(plane: np.ndarray, quant: np.ndarray) -> bytes:
+    """Transform-code one 2-D plane (pixel channel or residual).
+
+    ``plane`` may be any integer-valued array (intra channels are shifted
+    to be zero-centred by the caller; inter residuals already are).
+    Returns a self-contained payload: original dims + zlib'd coefficients.
+    """
+    height, width = plane.shape
+    padded = pad_to_blocks(np.asarray(plane, dtype=np.float64))
+    blocks = blockify(padded)
+    coeffs = dctn(blocks, axes=(1, 2), norm="ortho")
+    quantized = np.round(coeffs / quant).astype(np.int16)
+    # Coefficient-major layout: all blocks' (0,0), then all (0,1), ... so
+    # the almost-always-zero high frequencies form megabyte-long zero runs.
+    stream = np.ascontiguousarray(quantized.transpose(1, 2, 0)).tobytes()
+    payload = zlib.compress(stream, 6)
+    header = struct.pack(">III", height, width, len(payload))
+    return header + payload
+
+
+def decode_plane(buf: bytes, quant: np.ndarray) -> tuple[np.ndarray, int]:
+    """Inverse of :func:`encode_plane`.
+
+    Returns ``(plane, bytes_consumed)`` so callers can concatenate payloads.
+    The plane comes back as float64 (still zero-centred for intra data).
+    """
+    if len(buf) < 12:
+        raise CodecError("truncated plane payload")
+    height, width, length = struct.unpack_from(">III", buf, 0)
+    payload = buf[12 : 12 + length]
+    if len(payload) != length:
+        raise CodecError("short plane payload")
+    stream = zlib.decompress(payload)
+    padded_h = height + ((-height) % BLOCK)
+    padded_w = width + ((-width) % BLOCK)
+    n_blocks = (padded_h // BLOCK) * (padded_w // BLOCK)
+    quantized = (
+        np.frombuffer(stream, dtype=np.int16)
+        .reshape(BLOCK, BLOCK, n_blocks)
+        .transpose(2, 0, 1)
+        .astype(np.float64)
+    )
+    coeffs = quantized * quant
+    blocks = idctn(coeffs, axes=(1, 2), norm="ortho")
+    plane = unblockify(blocks, padded_h, padded_w)[:height, :width]
+    return plane, 12 + length
+
+
+def psnr(reference: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB between two uint8 images."""
+    reference = np.asarray(reference, dtype=np.float64)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64)
+    mse = float(np.mean((reference - reconstructed) ** 2))
+    if mse == 0:
+        return float("inf")
+    return 10.0 * np.log10(255.0**2 / mse)

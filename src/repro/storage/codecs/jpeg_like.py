@@ -1,0 +1,111 @@
+"""JPEG-like intra-only codec.
+
+Every frame is transform-coded independently (block DCT + quantization +
+entropy coding), so the stream keeps per-frame random access — the property
+that lets the Frame File push temporal predicates down (paper Figure 3:
+"the JPEG and RAW formats can trivially support the push down
+optimization"). The price is that inter-frame redundancy is never
+exploited, so compression trails the sequential codec by a wide margin on
+video.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import CodecError
+from repro.storage.codecs import blocks
+from repro.storage.codecs.base import VideoCodec
+from repro.storage.codecs.quality import QualityPreset, get_preset
+
+_MAGIC = b"DLJPGV01"
+_HEADER_FMT = ">8sIB"  # magic, n_frames, quality
+_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+
+
+def encode_image(image: np.ndarray, quality: int) -> bytes:
+    """Encode one uint8 RGB image (used directly by the PC image dataset)."""
+    quant = blocks.quant_matrix(quality)
+    parts = [struct.pack(">B", image.shape[2])]
+    for channel in range(image.shape[2]):
+        plane = image[:, :, channel].astype(np.float64) - 128.0
+        parts.append(blocks.encode_plane(plane, quant))
+    return b"".join(parts)
+
+
+def decode_image(buf: bytes, quality: int) -> np.ndarray:
+    """Inverse of :func:`encode_image`."""
+    quant = blocks.quant_matrix(quality)
+    (n_channels,) = struct.unpack_from(">B", buf, 0)
+    pos = 1
+    planes = []
+    for _ in range(n_channels):
+        plane, used = blocks.decode_plane(buf[pos:], quant)
+        planes.append(np.clip(plane + 128.0, 0, 255).astype(np.uint8))
+        pos += used
+    return np.stack(planes, axis=2)
+
+
+class JpegLikeCodec(VideoCodec):
+    """Intra-only lossy codec with a frame offset table for random access."""
+
+    name = "jpeg"
+    lossy = True
+    supports_random_access = True
+
+    def __init__(self, quality: int | str | QualityPreset = "high") -> None:
+        if isinstance(quality, int):
+            self.quality = quality
+        else:
+            self.quality = get_preset(quality).quality
+
+    def encode_stream(self, frames: Iterable[np.ndarray]) -> bytes:
+        payloads: list[bytes] = []
+        shape = None
+        for frame in frames:
+            frame = self._validate_frame(frame, shape)
+            shape = frame.shape
+            payloads.append(encode_image(frame, self.quality))
+        if shape is None:
+            raise CodecError("cannot encode an empty frame stream")
+        header = struct.pack(_HEADER_FMT, _MAGIC, len(payloads), self.quality)
+        offsets = []
+        position = _HEADER_SIZE + 8 * len(payloads)
+        for payload in payloads:
+            offsets.append(position)
+            position += len(payload)
+        table = b"".join(struct.pack(">Q", offset) for offset in offsets)
+        return header + table + b"".join(payloads)
+
+    def decode_stream(self, data: bytes) -> Iterator[np.ndarray]:
+        count, quality, offsets = self._parse_header(data)
+        for index in range(count):
+            end = offsets[index + 1] if index + 1 < count else len(data)
+            yield decode_image(data[offsets[index] : end], quality)
+
+    def decode_frame(self, data: bytes, index: int) -> np.ndarray:
+        count, quality, offsets = self._parse_header(data)
+        if not 0 <= index < count:
+            raise CodecError(f"frame index {index} out of range (0..{count - 1})")
+        end = offsets[index + 1] if index + 1 < count else len(data)
+        return decode_image(data[offsets[index] : end], quality)
+
+    def frame_count(self, data: bytes) -> int:
+        count, _, _ = self._parse_header(data)
+        return count
+
+    @staticmethod
+    def _parse_header(data: bytes) -> tuple[int, int, list[int]]:
+        if len(data) < _HEADER_SIZE:
+            raise CodecError("truncated JPEG-like stream header")
+        magic, count, quality = struct.unpack_from(_HEADER_FMT, data, 0)
+        if magic != _MAGIC:
+            raise CodecError(f"bad JPEG-like stream magic {magic!r}")
+        offsets = [
+            struct.unpack_from(">Q", data, _HEADER_SIZE + 8 * i)[0]
+            for i in range(count)
+        ]
+        return count, quality, offsets

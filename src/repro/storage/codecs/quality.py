@@ -1,0 +1,43 @@
+"""Quality presets for the lossy codecs.
+
+The paper's Figure 2 compares "three levels of lossy encoding: High,
+Medium, Low" against RAW. These presets pin the JPEG-style quality factors
+used everywhere in this reproduction so benchmarks and tests agree on what
+"High" means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CodecError
+
+
+@dataclass(frozen=True)
+class QualityPreset:
+    """A named lossy-encoding operating point."""
+
+    name: str
+    quality: int  # JPEG-style 1..100
+    description: str
+
+
+HIGH = QualityPreset(
+    "high", 90, "visually lossless; negligible downstream accuracy impact"
+)
+MEDIUM = QualityPreset("medium", 50, "visible softening; mild accuracy impact")
+LOW = QualityPreset("low", 10, "heavy quantization; measurable accuracy loss")
+
+PRESETS = {preset.name: preset for preset in (HIGH, MEDIUM, LOW)}
+
+
+def get_preset(name: str | QualityPreset) -> QualityPreset:
+    """Resolve a preset by name (or pass one through)."""
+    if isinstance(name, QualityPreset):
+        return name
+    try:
+        return PRESETS[name.lower()]
+    except KeyError:
+        raise CodecError(
+            f"unknown quality preset {name!r}; expected one of {sorted(PRESETS)}"
+        ) from None

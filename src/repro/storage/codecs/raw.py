@@ -1,0 +1,76 @@
+"""RAW codec: frames stored as uncompressed pixel arrays.
+
+This is the paper's "RAW encoding (where every frame is an image)" baseline
+that "rests at about 107 GB on disk" for the TrafficCam video. Lossless,
+random access in O(1) by offset arithmetic, and enormous.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import CodecError
+from repro.storage.codecs.base import VideoCodec
+
+_MAGIC = b"DLRAWV01"
+_HEADER_FMT = ">8sIIII"  # magic, n_frames, height, width, channels
+_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+
+
+class RawCodec(VideoCodec):
+    """Uncompressed frame-sequence codec."""
+
+    name = "raw"
+    lossy = False
+    supports_random_access = True
+
+    def encode_stream(self, frames: Iterable[np.ndarray]) -> bytes:
+        chunks: list[bytes] = []
+        shape = None
+        count = 0
+        for frame in frames:
+            frame = self._validate_frame(frame, shape)
+            shape = frame.shape
+            chunks.append(np.ascontiguousarray(frame).tobytes())
+            count += 1
+        if shape is None:
+            raise CodecError("cannot encode an empty frame stream")
+        header = struct.pack(_HEADER_FMT, _MAGIC, count, *shape)
+        return header + b"".join(chunks)
+
+    def decode_stream(self, data: bytes) -> Iterator[np.ndarray]:
+        count, shape, frame_size = self._parse_header(data)
+        for index in range(count):
+            yield self._frame_at(data, index, shape, frame_size)
+
+    def decode_frame(self, data: bytes, index: int) -> np.ndarray:
+        count, shape, frame_size = self._parse_header(data)
+        if not 0 <= index < count:
+            raise CodecError(f"frame index {index} out of range (0..{count - 1})")
+        return self._frame_at(data, index, shape, frame_size)
+
+    def frame_count(self, data: bytes) -> int:
+        count, _, _ = self._parse_header(data)
+        return count
+
+    @staticmethod
+    def _parse_header(data: bytes) -> tuple[int, tuple[int, int, int], int]:
+        if len(data) < _HEADER_SIZE:
+            raise CodecError("truncated RAW stream header")
+        magic, count, height, width, channels = struct.unpack_from(_HEADER_FMT, data, 0)
+        if magic != _MAGIC:
+            raise CodecError(f"bad RAW stream magic {magic!r}")
+        return count, (height, width, channels), height * width * channels
+
+    @staticmethod
+    def _frame_at(
+        data: bytes, index: int, shape: tuple[int, int, int], frame_size: int
+    ) -> np.ndarray:
+        start = _HEADER_SIZE + index * frame_size
+        payload = data[start : start + frame_size]
+        if len(payload) != frame_size:
+            raise CodecError(f"truncated RAW frame {index}")
+        return np.frombuffer(payload, dtype=np.uint8).reshape(shape).copy()

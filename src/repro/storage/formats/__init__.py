@@ -1,0 +1,17 @@
+"""Physical video layouts (Section 3.1) and the loading API."""
+
+from repro.storage.formats.base import VideoStore
+from repro.storage.formats.encoded_file import EncodedFile
+from repro.storage.formats.frame_file import FrameFile
+from repro.storage.formats.loader import LAYOUTS, load_patches, open_store
+from repro.storage.formats.segmented_file import SegmentedFile
+
+__all__ = [
+    "LAYOUTS",
+    "EncodedFile",
+    "FrameFile",
+    "SegmentedFile",
+    "VideoStore",
+    "load_patches",
+    "open_store",
+]

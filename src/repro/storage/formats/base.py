@@ -1,0 +1,84 @@
+"""Video-store interface shared by the three physical layouts (Section 3.1).
+
+A store holds one ingested video and exposes:
+
+* ``append`` / ``ingest`` — write frames in order;
+* ``scan(lo, hi)`` — iterate ``(frameno, pixels)``; whether the range
+  bounds actually *prune work* is the layout's defining property
+  (``supports_pushdown``);
+* ``get_frame`` — random access where the layout allows it;
+* ``size_bytes`` — the on-disk footprint Figure 2 compares.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import StorageError
+
+
+class VideoStore(ABC):
+    """One video under one physical layout."""
+
+    layout: str = "abstract"
+    #: True when scan(lo, hi) prunes decoding work to the requested range
+    supports_pushdown: bool = False
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    @abstractmethod
+    def append(self, frame: np.ndarray) -> int:
+        """Store the next frame; returns its frame number."""
+
+    def ingest(self, frames: Iterable[np.ndarray]) -> int:
+        """Append every frame; returns the number ingested."""
+        count = 0
+        for frame in frames:
+            self.append(frame)
+            count += 1
+        self.finalize()
+        return count
+
+    def finalize(self) -> None:
+        """Hook for layouts that buffer until ingestion completes."""
+
+    @abstractmethod
+    def scan(
+        self, lo: int | None = None, hi: int | None = None
+    ) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(frameno, pixels)`` for frames in ``[lo, hi]``."""
+
+    @abstractmethod
+    def get_frame(self, frameno: int) -> np.ndarray:
+        """Random access to one frame (layout permitting)."""
+
+    @property
+    @abstractmethod
+    def n_frames(self) -> int:
+        """Frames stored so far."""
+
+    @property
+    @abstractmethod
+    def size_bytes(self) -> int:
+        """On-disk footprint."""
+
+    def close(self) -> None:
+        """Release file handles."""
+
+    def __enter__(self) -> "VideoStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_range(self, lo: int | None, hi: int | None) -> tuple[int, int]:
+        count = self.n_frames
+        if count == 0:
+            raise StorageError(f"video store {self.name!r} is empty")
+        lo = 0 if lo is None else max(int(lo), 0)
+        hi = count - 1 if hi is None else min(int(hi), count - 1)
+        return lo, hi

@@ -1,0 +1,109 @@
+"""Encoded File layout (Section 3.1).
+
+"We also support storing video in common encoded formats ... The tradeoff
+is that encoding precludes pushing down temporal predicates since many
+encoding formats require a sequential decoding procedure."
+
+The whole video is one H.264-like stream on disk. ``scan(lo, hi)`` still
+accepts bounds, but it must decode every frame from the stream start up to
+``hi`` — the honest cost Figure 3 measures. ``get_frame`` refuses random
+access outright, mirroring the codec.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import RandomAccessUnsupportedError, StorageError
+from repro.storage.codecs import H264LikeCodec
+from repro.storage.codecs.quality import QualityPreset
+from repro.storage.formats.base import VideoStore
+
+
+class EncodedFile(VideoStore):
+    """One sequential encoded stream per video."""
+
+    layout = "encoded"
+    supports_pushdown = False
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        name: str,
+        *,
+        quality: int | str | QualityPreset = "high",
+        gop: int = 30,
+    ) -> None:
+        super().__init__(name)
+        directory = os.fspath(directory)
+        os.makedirs(directory, exist_ok=True)
+        self.path = os.path.join(directory, f"{name}.h264sim")
+        self.codec = H264LikeCodec(quality=quality, gop=gop)
+        self._pending: list[np.ndarray] = []
+        self._stream: bytes | None = None
+        if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+            with open(self.path, "rb") as handle:
+                self._stream = handle.read()
+
+    # -- writes ---------------------------------------------------------
+
+    def append(self, frame: np.ndarray) -> int:
+        if self._stream is not None:
+            raise StorageError(
+                f"EncodedFile {self.name!r} is already finalized; sequential "
+                f"streams cannot be appended to"
+            )
+        self._pending.append(np.asarray(frame))
+        return len(self._pending) - 1
+
+    def finalize(self) -> None:
+        if self._stream is not None:
+            return
+        if not self._pending:
+            raise StorageError(f"EncodedFile {self.name!r} has no frames to encode")
+        self._stream = self.codec.encode_stream(self._pending)
+        with open(self.path, "wb") as handle:
+            handle.write(self._stream)
+        self._pending = []
+
+    # -- reads ----------------------------------------------------------
+
+    def scan(
+        self, lo: int | None = None, hi: int | None = None
+    ) -> Iterator[tuple[int, np.ndarray]]:
+        lo, hi = self._check_range(lo, hi)
+        # Sequential decode from frame 0 regardless of lo: the stream offers
+        # no entry point, so the scan price includes the whole prefix.
+        for frameno, frame in enumerate(self.codec.decode_stream(self._require())):
+            if frameno > hi:
+                return
+            if frameno >= lo:
+                yield frameno, frame
+
+    def get_frame(self, frameno: int) -> np.ndarray:
+        raise RandomAccessUnsupportedError(
+            f"EncodedFile {self.name!r} is a sequential stream; frame "
+            f"{frameno} is only reachable by scanning — use scan() or a "
+            f"Segmented File layout"
+        )
+
+    @property
+    def n_frames(self) -> int:
+        if self._stream is not None:
+            return self.codec.frame_count(self._stream)
+        return len(self._pending)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._require())
+
+    def _require(self) -> bytes:
+        if self._stream is None:
+            raise StorageError(
+                f"EncodedFile {self.name!r} not finalized; call ingest() or "
+                f"finalize() first"
+            )
+        return self._stream

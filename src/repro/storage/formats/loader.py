@@ -1,0 +1,71 @@
+"""The loading API (Section 3.1).
+
+    Load(filename, filter=True)
+
+"Videos are loaded into the system returning an iterator that returns a
+patch collection where each patch is a full video frame ... The loader can
+take a filter as an optional argument and it only returns those frames
+that satisfy the filter condition. The loader abstracts the encoding
+scheme of the underlying video from the user."
+
+:func:`load_patches` analyzes the filter: conjuncts on ``frameno`` become
+scan bounds — *pushed down* into the store when its layout supports it,
+otherwise the store's scan pays its sequential price — and every other
+conjunct is applied as a residual filter on the decoded frames.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator
+
+from repro.core.expressions import Expr, extract_bounds
+from repro.core.patch import Patch
+from repro.errors import StorageError
+from repro.storage.formats.base import VideoStore
+from repro.storage.formats.encoded_file import EncodedFile
+from repro.storage.formats.frame_file import FrameFile
+from repro.storage.formats.segmented_file import SegmentedFile
+
+#: layout name -> constructor; the session's ``ingest_video`` menu
+LAYOUTS = {
+    "frame-raw": lambda directory, name, **kw: FrameFile(
+        directory, name, codec="raw", **kw
+    ),
+    "frame-jpeg": lambda directory, name, **kw: FrameFile(
+        directory, name, codec="jpeg", **kw
+    ),
+    "encoded": EncodedFile,
+    "segmented": SegmentedFile,
+}
+
+
+def open_store(
+    layout: str, directory: str | os.PathLike, name: str, **kwargs
+) -> VideoStore:
+    """Construct a video store by layout name."""
+    try:
+        factory = LAYOUTS[layout]
+    except KeyError:
+        raise StorageError(
+            f"unknown layout {layout!r}; expected one of {sorted(LAYOUTS)}"
+        ) from None
+    return factory(directory, name, **kwargs)
+
+
+def load_patches(
+    store: VideoStore,
+    source: str | None = None,
+    filter: Expr | None = None,
+) -> Iterator[Patch]:
+    """Iterate whole-frame patches, pushing temporal bounds into the store.
+
+    The returned patches carry ``source`` and ``frameno`` metadata and a
+    one-step lineage chain, ready for the ETL layer.
+    """
+    source = source or store.name
+    lo, hi, residual = extract_bounds(filter, "frameno")
+    for frameno, pixels in store.scan(lo, hi):
+        patch = Patch.from_frame(source, frameno, pixels)
+        if residual is None or residual.evaluate(patch):
+            yield patch

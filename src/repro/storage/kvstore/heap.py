@@ -1,0 +1,121 @@
+"""Append-only blob heap.
+
+Large values — serialized video frames, encoded clips, feature matrices —
+do not fit inside B+ tree pages. The Frame File and Segmented File keep the
+bulky bytes in a :class:`BlobHeap` and store only a small
+``(offset, length)`` pointer in the tree, the classic heap-file split used
+by record-oriented storage managers.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+
+_MAGIC = b"DLHP0001"
+_HEADER_SIZE = 16  # magic + reserved
+_REC_HEADER = ">QB"  # payload length, flags
+_REC_HEADER_SIZE = struct.calcsize(_REC_HEADER)
+_FLAG_COMPRESSED = 0x01
+
+
+@dataclass(frozen=True)
+class BlobRef:
+    """Location of one blob inside a heap file."""
+
+    offset: int
+    length: int
+
+    def to_tuple(self) -> tuple[int, int]:
+        return (self.offset, self.length)
+
+    @classmethod
+    def from_tuple(cls, pair: tuple[int, int]) -> "BlobRef":
+        return cls(int(pair[0]), int(pair[1]))
+
+
+class BlobHeap:
+    """Append-only blob store with optional per-blob zlib compression."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+        exists = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        self._file = open(self.path, "r+b" if exists else "w+b")
+        if exists:
+            self._file.seek(0)
+            magic = self._file.read(8)
+            if magic != _MAGIC:
+                raise StorageError(f"{self.path}: bad heap magic {magic!r}")
+            self._file.seek(0, os.SEEK_END)
+            self._end = self._file.tell()
+        else:
+            self._file.write(_MAGIC.ljust(_HEADER_SIZE, b"\x00"))
+            self._file.flush()
+            self._end = _HEADER_SIZE
+        self._closed = False
+
+    def __enter__(self) -> "BlobHeap":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._file.flush()
+            self._file.close()
+            self._closed = True
+
+    def put(self, data: bytes, *, compress: bool = False) -> BlobRef:
+        """Append ``data``; returns the reference needed to read it back."""
+        self._check_open()
+        flags = 0
+        payload = data
+        if compress:
+            squeezed = zlib.compress(data, 6)
+            if len(squeezed) < len(data):
+                payload = squeezed
+                flags |= _FLAG_COMPRESSED
+        offset = self._end
+        self._file.seek(offset)
+        self._file.write(struct.pack(_REC_HEADER, len(payload), flags))
+        self._file.write(payload)
+        self._end = offset + _REC_HEADER_SIZE + len(payload)
+        return BlobRef(offset=offset, length=len(payload))
+
+    def get(self, ref: BlobRef) -> bytes:
+        """Read a blob previously stored with :meth:`put`."""
+        self._check_open()
+        if ref.offset < _HEADER_SIZE or ref.offset >= self._end:
+            raise StorageError(f"blob offset {ref.offset} out of range")
+        self._file.seek(ref.offset)
+        header = self._file.read(_REC_HEADER_SIZE)
+        length, flags = struct.unpack(_REC_HEADER, header)
+        if length != ref.length:
+            raise StorageError(
+                f"blob length mismatch at {ref.offset}: header says {length}, "
+                f"ref says {ref.length}"
+            )
+        payload = self._file.read(length)
+        if len(payload) != length:
+            raise StorageError(f"short read of blob at {ref.offset}")
+        if flags & _FLAG_COMPRESSED:
+            return zlib.decompress(payload)
+        return payload
+
+    def sync(self) -> None:
+        self._check_open()
+        self._file.flush()
+
+    @property
+    def size_bytes(self) -> int:
+        """Total bytes in the heap file (the on-disk footprint)."""
+        return self._end
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError(f"{self.path}: heap is closed")

@@ -1,0 +1,241 @@
+"""Page-based storage manager.
+
+A :class:`Pager` exposes a single file as an array of fixed-size pages with
+allocation, a free list, a write-back LRU cache, and a small metadata
+dictionary for clients (the B+ tree stores its root page id there, the hash
+file its bucket directory page, and so on). It is the substrate that stands
+in for BerkeleyDB's underlying mpool/file layer in the paper's prototype.
+
+Layout::
+
+    page 0        header: magic, page_size, page_count, freelist head,
+                  meta page id
+    page meta     serialized dict of client metadata (single page)
+    page 2..n     client pages / free pages (free pages chain through their
+                  first 8 bytes)
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from collections import OrderedDict
+
+from repro.errors import PageError, StorageError
+from repro.storage.kvstore import serialization
+
+MAGIC = b"DLPG0001"
+DEFAULT_PAGE_SIZE = 4096
+_HEADER_FMT = ">8sIQQQ"  # magic, page_size, page_count, freelist_head, meta_page
+_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+_NO_PAGE = 0  # page 0 is the header, so 0 doubles as the null page id
+
+
+class Pager:
+    """Fixed-size page manager over one file.
+
+    Parameters
+    ----------
+    path:
+        File to open or create.
+    page_size:
+        Page size in bytes for a *new* file; an existing file's recorded
+        page size always wins.
+    cache_pages:
+        Number of pages held in the write-back LRU cache.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        cache_pages: int = 256,
+    ) -> None:
+        self.path = os.fspath(path)
+        self._cache: OrderedDict[int, bytearray] = OrderedDict()
+        self._dirty: set[int] = set()
+        self._cache_pages = max(cache_pages, 8)
+        self._closed = False
+        self._sync_hooks: list = []
+        exists = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        self._file = open(self.path, "r+b" if exists else "w+b")
+        if exists:
+            self._load_header()
+        else:
+            if page_size < 512:
+                raise PageError(f"page size {page_size} too small (minimum 512)")
+            self.page_size = page_size
+            self.page_count = 1
+            self._freelist_head = _NO_PAGE
+            self._meta_page = _NO_PAGE
+            self._write_header()
+            self._meta_page = self.allocate()
+            self.set_meta({})
+            self._write_header()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def __enter__(self) -> "Pager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Flush all dirty pages and close the backing file."""
+        if self._closed:
+            return
+        self.sync()
+        self._file.close()
+        self._closed = True
+
+    def register_sync_hook(self, hook) -> None:
+        """Register a callable run at the start of every :meth:`sync`.
+
+        Clients (B+ trees, hash files) use this to persist their root
+        pointers lazily instead of rewriting the metadata page per insert.
+        """
+        self._sync_hooks.append(hook)
+
+    def sync(self) -> None:
+        """Write every dirty cached page and the header to disk."""
+        self._check_open()
+        for hook in self._sync_hooks:
+            hook()
+        for page_id in sorted(self._dirty):
+            self._write_through(page_id, self._cache[page_id])
+        self._dirty.clear()
+        self._write_header()
+        self._file.flush()
+
+    # -- page operations --------------------------------------------------
+
+    def allocate(self) -> int:
+        """Return the id of a fresh zeroed page, reusing freed pages first."""
+        self._check_open()
+        if self._freelist_head != _NO_PAGE:
+            page_id = self._freelist_head
+            page = self.read(page_id)
+            (self._freelist_head,) = struct.unpack_from(">Q", page, 0)
+            self.write(page_id, bytes(self.page_size))
+            return page_id
+        page_id = self.page_count
+        self.page_count += 1
+        self.write(page_id, bytes(self.page_size))
+        return page_id
+
+    def free(self, page_id: int) -> None:
+        """Return ``page_id`` to the free list."""
+        self._check_open()
+        self._validate_id(page_id)
+        page = bytearray(self.page_size)
+        struct.pack_into(">Q", page, 0, self._freelist_head)
+        self.write(page_id, bytes(page))
+        self._freelist_head = page_id
+
+    def read(self, page_id: int) -> bytearray:
+        """Return a mutable copy of the page image (callers own the copy)."""
+        self._check_open()
+        self._validate_id(page_id)
+        if page_id in self._cache:
+            self._cache.move_to_end(page_id)
+            return bytearray(self._cache[page_id])
+        self._file.seek(page_id * self.page_size)
+        data = self._file.read(self.page_size)
+        if len(data) < self.page_size:
+            data = data.ljust(self.page_size, b"\x00")
+        image = bytearray(data)
+        self._cache_put(page_id, image, dirty=False)
+        return bytearray(image)
+
+    def write(self, page_id: int, data: bytes) -> None:
+        """Replace the page image; buffered until eviction or :meth:`sync`."""
+        self._check_open()
+        self._validate_id(page_id)
+        if len(data) > self.page_size:
+            raise PageError(
+                f"page image of {len(data)} bytes exceeds page size {self.page_size}"
+            )
+        image = bytearray(data.ljust(self.page_size, b"\x00"))
+        self._cache_put(page_id, image, dirty=True)
+
+    # -- client metadata ----------------------------------------------------
+
+    def get_meta(self) -> dict:
+        """Return the client metadata dictionary (e.g. index root pointers)."""
+        page = self.read(self._meta_page)
+        (length,) = struct.unpack_from(">I", page, 0)
+        if length == 0:
+            return {}
+        return serialization.loads(bytes(page[4 : 4 + length]))
+
+    def set_meta(self, meta: dict) -> None:
+        """Persist the client metadata dictionary (must fit in one page)."""
+        payload = serialization.dumps(meta)
+        if len(payload) + 4 > self.page_size:
+            raise PageError(
+                f"meta dict of {len(payload)} bytes does not fit in one "
+                f"{self.page_size}-byte page"
+            )
+        image = bytearray(self.page_size)
+        struct.pack_into(">I", image, 0, len(payload))
+        image[4 : 4 + len(payload)] = payload
+        self.write(self._meta_page, bytes(image))
+
+    # -- internals ----------------------------------------------------------
+
+    def _cache_put(self, page_id: int, image: bytearray, *, dirty: bool) -> None:
+        self._cache[page_id] = image
+        self._cache.move_to_end(page_id)
+        if dirty:
+            self._dirty.add(page_id)
+        while len(self._cache) > self._cache_pages:
+            victim, victim_image = self._cache.popitem(last=False)
+            if victim in self._dirty:
+                self._write_through(victim, victim_image)
+                self._dirty.discard(victim)
+
+    def _write_through(self, page_id: int, image: bytearray) -> None:
+        self._file.seek(page_id * self.page_size)
+        self._file.write(image)
+
+    def _write_header(self) -> None:
+        header = struct.pack(
+            _HEADER_FMT,
+            MAGIC,
+            self.page_size,
+            self.page_count,
+            self._freelist_head,
+            self._meta_page,
+        )
+        self._file.seek(0)
+        self._file.write(header.ljust(min(self.page_size, 512), b"\x00"))
+        self._file.flush()
+
+    def _load_header(self) -> None:
+        self._file.seek(0)
+        raw = self._file.read(_HEADER_SIZE)
+        if len(raw) < _HEADER_SIZE:
+            raise StorageError(f"{self.path}: truncated pager header")
+        magic, page_size, page_count, freelist_head, meta_page = struct.unpack(
+            _HEADER_FMT, raw
+        )
+        if magic != MAGIC:
+            raise StorageError(f"{self.path}: bad magic {magic!r}; not a pager file")
+        self.page_size = page_size
+        self.page_count = page_count
+        self._freelist_head = freelist_head
+        self._meta_page = meta_page
+
+    def _validate_id(self, page_id: int) -> None:
+        if page_id <= 0 or page_id >= max(self.page_count, 1):
+            raise PageError(f"page id {page_id} out of range (1..{self.page_count - 1})")
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError(f"{self.path}: pager is closed")
+
+    @property
+    def capacity(self) -> int:
+        """Usable bytes per page for client payloads."""
+        return self.page_size

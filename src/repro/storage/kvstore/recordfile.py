@@ -1,0 +1,195 @@
+"""Sorted record file.
+
+The paper's Frame File keeps records "in a sorted file by frame number ...
+The sorted file allows for quick retrieval of temporal predicates"
+(Section 3.1), and Section 3.2 lists Sorted Files among DeepLens's
+single-dimensional index options. This module implements that structure: an
+append-ordered file of ``(key, value)`` records with an in-memory offset
+index rebuilt on open, binary-search point lookups, and sequential range
+scans.
+
+Appends must arrive in non-decreasing key order — exactly the pattern of a
+video loader emitting frames — and :meth:`SortedRecordFile.bulk_build`
+handles the arbitrary-order case by sorting once up front.
+"""
+
+from __future__ import annotations
+
+import bisect
+import os
+import struct
+from typing import Any, Iterator
+
+from repro.errors import StorageError
+from repro.storage.kvstore import serialization
+
+_MAGIC = b"DLSF0001"
+_HEADER_SIZE = 16
+_REC_FMT = ">II"  # key length, value length
+_REC_SIZE = struct.calcsize(_REC_FMT)
+
+
+class SortedRecordFile:
+    """On-disk sequence of records sorted by key."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+        exists = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        self._file = open(self.path, "r+b" if exists else "w+b")
+        self._keys: list[bytes] = []
+        self._offsets: list[int] = []
+        self._closed = False
+        if exists:
+            self._file.seek(0)
+            magic = self._file.read(8)
+            if magic != _MAGIC:
+                raise StorageError(f"{self.path}: bad sorted-file magic {magic!r}")
+            self._rebuild_index()
+        else:
+            self._file.write(_MAGIC.ljust(_HEADER_SIZE, b"\x00"))
+            self._file.flush()
+            self._end = _HEADER_SIZE
+
+    def __enter__(self) -> "SortedRecordFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._file.flush()
+            self._file.close()
+            self._closed = True
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    # -- writes ---------------------------------------------------------
+
+    def append(self, key: Any, value: bytes) -> None:
+        """Append a record; ``key`` must be >= the last appended key."""
+        self._check_open()
+        key_bytes = serialization.encode_key(key)
+        if self._keys and key_bytes < self._keys[-1]:
+            raise StorageError(
+                f"append out of order: key {key!r} sorts before the current tail; "
+                f"use bulk_build for unsorted input"
+            )
+        self._file.seek(self._end)
+        self._file.write(struct.pack(_REC_FMT, len(key_bytes), len(value)))
+        self._file.write(key_bytes)
+        self._file.write(value)
+        self._keys.append(key_bytes)
+        self._offsets.append(self._end)
+        self._end += _REC_SIZE + len(key_bytes) + len(value)
+
+    def bulk_build(self, items: list[tuple[Any, bytes]]) -> None:
+        """Replace the file contents with ``items`` sorted by key."""
+        self._check_open()
+        encoded = sorted(
+            ((serialization.encode_key(k), bytes(v)) for k, v in items),
+            key=lambda pair: pair[0],
+        )
+        self._file.seek(0)
+        self._file.truncate()
+        self._file.write(_MAGIC.ljust(_HEADER_SIZE, b"\x00"))
+        self._keys = []
+        self._offsets = []
+        self._end = _HEADER_SIZE
+        for key_bytes, value in encoded:
+            self._file.write(struct.pack(_REC_FMT, len(key_bytes), len(value)))
+            self._file.write(key_bytes)
+            self._file.write(value)
+            self._keys.append(key_bytes)
+            self._offsets.append(self._end)
+            self._end += _REC_SIZE + len(key_bytes) + len(value)
+        self._file.flush()
+
+    def sync(self) -> None:
+        self._check_open()
+        self._file.flush()
+
+    # -- reads ----------------------------------------------------------
+
+    def get(self, key: Any) -> list[bytes]:
+        """Return all values stored under ``key`` via binary search."""
+        self._check_open()
+        key_bytes = serialization.encode_key(key)
+        idx = bisect.bisect_left(self._keys, key_bytes)
+        out = []
+        while idx < len(self._keys) and self._keys[idx] == key_bytes:
+            out.append(self._read_value(idx))
+            idx += 1
+        return out
+
+    def range(
+        self,
+        lo: Any = None,
+        hi: Any = None,
+        *,
+        include_lo: bool = True,
+        include_hi: bool = True,
+    ) -> Iterator[tuple[Any, bytes]]:
+        """Yield ``(key, value)`` with ``lo <= key <= hi`` in key order."""
+        self._check_open()
+        if lo is None:
+            start = 0
+        else:
+            lo_bytes = serialization.encode_key(lo)
+            start = (
+                bisect.bisect_left(self._keys, lo_bytes)
+                if include_lo
+                else bisect.bisect_right(self._keys, lo_bytes)
+            )
+        hi_bytes = None if hi is None else serialization.encode_key(hi)
+        for idx in range(start, len(self._keys)):
+            key_bytes = self._keys[idx]
+            if hi_bytes is not None:
+                if key_bytes > hi_bytes:
+                    return
+                if key_bytes == hi_bytes and not include_hi:
+                    return
+            yield serialization.decode_key(key_bytes), self._read_value(idx)
+
+    def items(self) -> Iterator[tuple[Any, bytes]]:
+        return self.range()
+
+    @property
+    def size_bytes(self) -> int:
+        return self._end
+
+    # -- internals ----------------------------------------------------------
+
+    def _read_value(self, idx: int) -> bytes:
+        offset = self._offsets[idx]
+        self._file.seek(offset)
+        key_len, value_len = struct.unpack(_REC_FMT, self._file.read(_REC_SIZE))
+        self._file.seek(offset + _REC_SIZE + key_len)
+        value = self._file.read(value_len)
+        if len(value) != value_len:
+            raise StorageError(f"{self.path}: short read at offset {offset}")
+        return value
+
+    def _rebuild_index(self) -> None:
+        self._file.seek(0, os.SEEK_END)
+        file_end = self._file.tell()
+        self._keys = []
+        self._offsets = []
+        pos = _HEADER_SIZE
+        self._file.seek(pos)
+        while pos + _REC_SIZE <= file_end:
+            header = self._file.read(_REC_SIZE)
+            if len(header) < _REC_SIZE:
+                break
+            key_len, value_len = struct.unpack(_REC_FMT, header)
+            key_bytes = self._file.read(key_len)
+            self._file.seek(value_len, os.SEEK_CUR)
+            self._keys.append(key_bytes)
+            self._offsets.append(pos)
+            pos += _REC_SIZE + key_len + value_len
+        self._end = pos
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError(f"{self.path}: sorted record file is closed")

@@ -1,0 +1,36 @@
+"""Vision substrate: synthetic scenes, renderer, models, features, backends.
+
+This package is the stand-in for the paper's pretrained-network stack
+(PyTorch SSD, OCR, FCRN depth) — see DESIGN.md §1 for the substitution
+rationale. Everything is deterministic given its seed.
+"""
+
+from repro.vision.backends.device import DEVICE_SPECS, Device, get_device
+from repro.vision.models.base import Detection, VisionModel, iou
+from repro.vision.models.depth import MonocularDepth
+from repro.vision.models.embeddings import TinyEmbedder
+from repro.vision.models.ocr import OcrResult, TemplateOCR
+from repro.vision.models.ssd import DetectorNoise, SyntheticSSD
+from repro.vision.render import Renderer
+from repro.vision.scene import Camera, GroundTruthBox, ObjectState, Scene, SceneObject
+
+__all__ = [
+    "DEVICE_SPECS",
+    "Camera",
+    "Detection",
+    "DetectorNoise",
+    "Device",
+    "GroundTruthBox",
+    "MonocularDepth",
+    "ObjectState",
+    "OcrResult",
+    "Renderer",
+    "Scene",
+    "SceneObject",
+    "SyntheticSSD",
+    "TemplateOCR",
+    "TinyEmbedder",
+    "VisionModel",
+    "get_device",
+    "iou",
+]

@@ -1,0 +1,1 @@
+"""Execution backends: device cost models and compute kernels."""

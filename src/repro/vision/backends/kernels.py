@@ -1,0 +1,240 @@
+"""Compute kernels with device-charged cost accounting.
+
+Every kernel takes a :class:`~repro.vision.backends.device.Device`, executes
+vectorized numpy (identical results on every backend), and charges the
+device's cost model with the kernel's arithmetic work and transfer volume.
+Naive ``*_reference`` implementations exist for the hot kernels so tests can
+check the vectorized versions against straight-line scalar code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.vision.backends.device import Device
+
+
+def matmul(device: Device, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` with 2*m*k*n FLOPs charged."""
+    if a.shape[-1] != b.shape[0]:
+        raise DeviceError(f"matmul shape mismatch {a.shape} x {b.shape}")
+    m = int(np.prod(a.shape[:-1]))
+    k = a.shape[-1]
+    n = b.shape[-1] if b.ndim > 1 else 1
+    return device.execute(
+        lambda: a @ b,
+        flops=2.0 * m * k * n,
+        bytes_in=a.nbytes + b.nbytes,
+        bytes_out=m * n * 8,
+    )
+
+
+def relu(device: Device, x: np.ndarray) -> np.ndarray:
+    return device.execute(lambda: np.maximum(x, 0.0), flops=float(x.size))
+
+
+def conv2d(
+    device: Device, images: np.ndarray, weights: np.ndarray, stride: int = 1
+) -> np.ndarray:
+    """Batched 2-D convolution via im2col + matmul.
+
+    ``images``: (N, H, W, C_in); ``weights``: (KH, KW, C_in, C_out).
+    Returns (N, H', W', C_out) with valid padding.
+    """
+    n, height, width, c_in = images.shape
+    kh, kw, wc_in, c_out = weights.shape
+    if wc_in != c_in:
+        raise DeviceError(
+            f"conv2d channel mismatch: images have {c_in}, weights expect {wc_in}"
+        )
+    out_h = (height - kh) // stride + 1
+    out_w = (width - kw) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise DeviceError(
+            f"conv2d kernel {kh}x{kw} larger than image {height}x{width}"
+        )
+
+    def _run() -> np.ndarray:
+        windows = np.lib.stride_tricks.sliding_window_view(
+            images, (kh, kw), axis=(1, 2)
+        )  # (N, H-kh+1, W-kw+1, C_in, KH, KW)
+        windows = windows[:, ::stride, ::stride]
+        columns = windows.transpose(0, 1, 2, 4, 5, 3).reshape(
+            n * out_h * out_w, kh * kw * c_in
+        )
+        kernel = weights.reshape(kh * kw * c_in, c_out)
+        return (columns @ kernel).reshape(n, out_h, out_w, c_out)
+
+    flops = 2.0 * n * out_h * out_w * kh * kw * c_in * c_out
+    return device.execute(
+        _run,
+        flops=flops,
+        bytes_in=images.nbytes + weights.nbytes,
+        bytes_out=n * out_h * out_w * c_out * 8,
+    )
+
+
+def conv2d_reference(
+    images: np.ndarray, weights: np.ndarray, stride: int = 1
+) -> np.ndarray:
+    """Scalar-loop convolution used only to validate :func:`conv2d`."""
+    n, height, width, c_in = images.shape
+    kh, kw, _, c_out = weights.shape
+    out_h = (height - kh) // stride + 1
+    out_w = (width - kw) // stride + 1
+    out = np.zeros((n, out_h, out_w, c_out))
+    for img in range(n):
+        for row in range(out_h):
+            for col in range(out_w):
+                window = images[
+                    img,
+                    row * stride : row * stride + kh,
+                    col * stride : col * stride + kw,
+                    :,
+                ]
+                for ch in range(c_out):
+                    out[img, row, col, ch] = np.sum(window * weights[:, :, :, ch])
+    return out
+
+
+def pairwise_sq_dists(
+    device: Device,
+    left: np.ndarray,
+    right: np.ndarray,
+    *,
+    rows_per_kernel: int | None = None,
+) -> np.ndarray:
+    """All-pairs squared Euclidean distances, (n, m) for (n,d) x (m,d).
+
+    ``rows_per_kernel`` models how the work is tiled into device launches:
+    the paper's GPU all-pairs matcher issues one kernel per probe batch, so
+    small batches on a GPU pay launch overhead many times — the mechanism
+    behind q1's GPU slowdown (Figure 8).
+    """
+    if left.ndim != 2 or right.ndim != 2 or left.shape[1] != right.shape[1]:
+        raise DeviceError(
+            f"pairwise_sq_dists needs (n,d) and (m,d), got {left.shape}, {right.shape}"
+        )
+    n, d = left.shape
+    m = right.shape[0]
+    kernels = 1
+    if rows_per_kernel is not None and rows_per_kernel > 0:
+        kernels = -(-n // rows_per_kernel)
+
+    def _run() -> np.ndarray:
+        left_sq = np.sum(left**2, axis=1)[:, None]
+        right_sq = np.sum(right**2, axis=1)[None, :]
+        cross = left @ right.T
+        return np.maximum(left_sq + right_sq - 2.0 * cross, 0.0)
+
+    return device.execute(
+        _run,
+        flops=2.0 * n * m * d + 3.0 * n * m,
+        bytes_in=left.nbytes + right.nbytes,
+        bytes_out=n * m * 8,
+        kernels=kernels,
+    )
+
+
+def pairwise_sq_dists_reference(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Scalar-loop distances used only to validate :func:`pairwise_sq_dists`."""
+    n, m = left.shape[0], right.shape[0]
+    out = np.zeros((n, m))
+    for i in range(n):
+        for j in range(m):
+            diff = left[i] - right[j]
+            out[i, j] = float(np.dot(diff, diff))
+    return out
+
+
+def pairwise_threshold_match(
+    device: Device,
+    left: np.ndarray,
+    right: np.ndarray,
+    threshold: float,
+    *,
+    rows_per_kernel: int | None = None,
+) -> list[tuple[int, int]]:
+    """All pairs within Euclidean ``threshold``; only matches transfer back.
+
+    The GPU-honest variant of the all-pairs matcher: the distance matrix is
+    reduced on-device and only the (sparse) matched index pairs cross the
+    bus, so ``bytes_out`` scales with matches, not with n*m.
+    """
+    if left.ndim != 2 or right.ndim != 2 or left.shape[1] != right.shape[1]:
+        raise DeviceError(
+            f"pairwise_threshold_match needs (n,d) and (m,d), got "
+            f"{left.shape}, {right.shape}"
+        )
+    n, d = left.shape
+    m = right.shape[0]
+    kernels = 1
+    if rows_per_kernel is not None and rows_per_kernel > 0:
+        kernels = -(-n // rows_per_kernel)
+
+    def _run() -> list[tuple[int, int]]:
+        left_sq = np.sum(left**2, axis=1)[:, None]
+        right_sq = np.sum(right**2, axis=1)[None, :]
+        dists = np.maximum(left_sq + right_sq - 2.0 * (left @ right.T), 0.0)
+        rows, cols = np.nonzero(dists <= threshold * threshold)
+        return list(zip(rows.tolist(), cols.tolist()))
+
+    matches = device.execute(
+        _run,
+        flops=2.0 * n * m * d + 4.0 * n * m,
+        bytes_in=left.nbytes + right.nbytes,
+        bytes_out=0,  # adjusted below once the match count is known
+        kernels=kernels,
+    )
+    device.clock.charge(
+        device.cost(0.0, bytes_out=16 * len(matches), kernels=0)
+        if device.spec.transfer_bytes_per_second
+        else 0.0
+    )
+    return matches
+
+
+def avg_pool_to(device: Device, maps: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Adaptive average pooling of (N, H, W, C) feature maps to (out_h, out_w)."""
+    n, height, width, channels = maps.shape
+    if height < out_h or width < out_w:
+        raise DeviceError(
+            f"cannot pool {height}x{width} maps up to {out_h}x{out_w}"
+        )
+
+    def _run() -> np.ndarray:
+        row_edges = np.linspace(0, height, out_h + 1).astype(int)
+        col_edges = np.linspace(0, width, out_w + 1).astype(int)
+        out = np.empty((n, out_h, out_w, channels))
+        for row in range(out_h):
+            for col in range(out_w):
+                tile = maps[
+                    :, row_edges[row] : row_edges[row + 1],
+                    col_edges[col] : col_edges[col + 1], :,
+                ]
+                out[:, row, col, :] = tile.mean(axis=(1, 2))
+        return out
+
+    return device.execute(_run, flops=float(maps.size), bytes_in=maps.nbytes)
+
+
+def resize_mean(image: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Block-mean resize of (H, W[, C]) to (out_h, out_w[, C]).
+
+    Host-side preprocessing (not device-charged): the equivalent of the
+    fixed input-resolution resampling every CNN front-end performs.
+    """
+    squeeze = image.ndim == 2
+    if squeeze:
+        image = image[:, :, None]
+    height, width, channels = image.shape
+    row_edges = np.linspace(0, height, out_h + 1).astype(int)
+    col_edges = np.linspace(0, width, out_w + 1).astype(int)
+    out = np.empty((out_h, out_w, channels), dtype=np.float64)
+    for row in range(out_h):
+        row_lo, row_hi = row_edges[row], max(row_edges[row + 1], row_edges[row] + 1)
+        for col in range(out_w):
+            col_lo, col_hi = col_edges[col], max(col_edges[col + 1], col_edges[col] + 1)
+            out[row, col, :] = image[row_lo:row_hi, col_lo:col_hi, :].mean(axis=(0, 1))
+    return out[:, :, 0] if squeeze else out

@@ -1,0 +1,17 @@
+"""Patch featurizers: colour histograms and gradient histograms."""
+
+from repro.vision.features.color_histogram import (
+    color_histogram,
+    color_histogram_soft,
+    histogram_distance,
+    marginal_histogram,
+)
+from repro.vision.features.hog import gradient_histogram
+
+__all__ = [
+    "color_histogram",
+    "color_histogram_soft",
+    "gradient_histogram",
+    "histogram_distance",
+    "marginal_histogram",
+]

@@ -1,0 +1,1 @@
+"""Simulated vision models (detector, OCR, depth, embeddings)."""

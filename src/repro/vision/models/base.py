@@ -1,0 +1,66 @@
+"""Vision-model interface and shared output types.
+
+The query layer (Section 2.2) is agnostic to how patches are produced; a
+model here is anything that maps pixels to structured outputs. Each model
+declares the *domain* of labels it can emit — the hook the type system
+(Section 4.2) uses to validate that a downstream filter's constant is
+plausibly produced by the pipeline.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.vision.backends.device import Device, get_device
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detector output: a box, a label from the model's domain, a score."""
+
+    bbox: tuple[int, int, int, int]  # x1, y1, x2, y2 (pixel, half-open)
+    label: str
+    score: float
+
+    def width(self) -> int:
+        return self.bbox[2] - self.bbox[0]
+
+    def height(self) -> int:
+        return self.bbox[3] - self.bbox[1]
+
+    def area(self) -> int:
+        return max(self.width(), 0) * max(self.height(), 0)
+
+    def crop(self, image: np.ndarray) -> np.ndarray:
+        x1, y1, x2, y2 = self.bbox
+        return image[max(y1, 0) : y2, max(x1, 0) : x2]
+
+
+def iou(a: tuple[int, int, int, int], b: tuple[int, int, int, int]) -> float:
+    """Intersection-over-union of two (x1, y1, x2, y2) boxes."""
+    ix1, iy1 = max(a[0], b[0]), max(a[1], b[1])
+    ix2, iy2 = min(a[2], b[2]), min(a[3], b[3])
+    inter = max(ix2 - ix1, 0) * max(iy2 - iy1, 0)
+    if inter == 0:
+        return 0.0
+    area_a = (a[2] - a[0]) * (a[3] - a[1])
+    area_b = (b[2] - b[0]) * (b[3] - b[1])
+    return inter / float(area_a + area_b - inter)
+
+
+class VisionModel(ABC):
+    """A pixel-consuming model bound to an execution device."""
+
+    name: str = "model"
+    #: closed world of labels this model can emit (None = open / not label-like)
+    label_domain: frozenset[str] | None = None
+
+    def __init__(self, device: Device | None = None) -> None:
+        self.device = device or get_device("avx")
+
+    @abstractmethod
+    def process(self, image: np.ndarray):
+        """Run the model on one uint8 image."""

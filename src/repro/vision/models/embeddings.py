@@ -1,0 +1,87 @@
+"""TinyEmbedder: the pretrained-CNN-feature substitute.
+
+Image-matching queries (q1 near-duplicates, q4 deduplication) compare
+patches in a feature space. Besides colour histograms (the paper's
+explicit choice), DeepLens experiments need genuinely *high-dimensional*
+features for the Ball-tree studies (Figures 6/7). TinyEmbedder is a real
+forward-only convolutional network in numpy:
+
+    resize 32x32 -> conv3x3(12, stride 2) -> ReLU
+                 -> conv3x3(24, stride 2) -> ReLU
+                 -> adaptive avg-pool 2x2 -> flatten (96)
+                 -> linear projection to ``dim`` -> tanh -> L2 normalize
+
+Weights are fixed by seed (a "pretrained" net whose parameters happen to be
+random projections — which preserve relative distances well, the property
+matching queries rely on). All arithmetic flows through the device kernels,
+so CPU/AVX/GPU comparisons charge realistic inference costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.vision.backends.device import Device
+from repro.vision.backends.kernels import avg_pool_to, conv2d, matmul, relu, resize_mean
+from repro.vision.models.base import VisionModel
+
+INPUT_SIZE = 32
+
+
+class TinyEmbedder(VisionModel):
+    """Forward-only numpy CNN producing L2-normalized descriptors."""
+
+    name = "tiny-embedder"
+    label_domain = None
+
+    def __init__(
+        self, device: Device | None = None, *, dim: int = 64, seed: int = 17
+    ) -> None:
+        super().__init__(device)
+        if dim < 4:
+            raise DeviceError(f"embedding dim must be >= 4, got {dim}")
+        self.dim = dim
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self.conv1 = rng.normal(0.0, 0.35, size=(3, 3, 3, 12))
+        self.conv2 = rng.normal(0.0, 0.25, size=(3, 3, 12, 24))
+        self.projection = rng.normal(0.0, 0.3, size=(96, dim))
+
+    def process(self, image: np.ndarray) -> np.ndarray:
+        """Embed one uint8 patch into a ``dim``-d unit vector."""
+        return self.embed_batch([image])[0]
+
+    def embed_batch(self, images: list[np.ndarray]) -> np.ndarray:
+        """Embed a batch of patches; returns (n, dim).
+
+        Batching matters for the device comparison: one batch is one kernel
+        sequence, so GPU launch overhead amortizes across the batch exactly
+        as it would for real inference.
+        """
+        if not images:
+            return np.zeros((0, self.dim))
+        batch = np.stack(
+            [self._prepare(image) for image in images], axis=0
+        )  # (n, 32, 32, 3)
+        maps = relu(self.device, conv2d(self.device, batch, self.conv1, stride=2))
+        maps = relu(self.device, conv2d(self.device, maps, self.conv2, stride=2))
+        pooled = avg_pool_to(self.device, maps, 2, 2)  # (n, 2, 2, 24)
+        flat = pooled.reshape(len(images), -1)  # (n, 96)
+        projected = np.tanh(matmul(self.device, flat, self.projection))
+        norms = np.linalg.norm(projected, axis=1, keepdims=True)
+        return projected / np.maximum(norms, 1e-9)
+
+    @staticmethod
+    def _prepare(image: np.ndarray) -> np.ndarray:
+        image = np.asarray(image, dtype=np.float64)
+        if image.ndim == 2:
+            image = np.stack([image] * 3, axis=2)
+        if image.shape[0] < 2 or image.shape[1] < 2:
+            image = np.pad(
+                image,
+                ((0, max(2 - image.shape[0], 0)), (0, max(2 - image.shape[1], 0)), (0, 0)),
+                mode="edge",
+            )
+        resized = resize_mean(image, INPUT_SIZE, INPUT_SIZE)
+        return (resized - 128.0) / 128.0

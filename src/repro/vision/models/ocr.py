@@ -1,0 +1,176 @@
+"""TemplateOCR: the optical-character-recognition substitute.
+
+DeepLens's ETL layer includes an OCR patch generator (Section 4.1) used by
+q3 (jersey numbers) and q5 (strings in documents/screenshots). Offline,
+recognition is done by classic template matching over the same 5x7 glyph
+font the renderer stamps:
+
+1. grayscale + polarity detection (ink can be darker or lighter than the
+   surround);
+2. row projection splits lines, column projection splits glyphs;
+3. every glyph is block-mean resized to 7x5 and matched against the font
+   by mean absolute difference;
+4. per-glyph scores below the confidence floor are rejected.
+
+Recognition genuinely fails on small or heavily-compressed text — the same
+failure profile a learned OCR model has, which is what q5's accuracy and
+the encoding experiments need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.vision import glyphs
+from repro.vision.backends.device import Device
+from repro.vision.backends.kernels import resize_mean
+from repro.vision.models.base import VisionModel
+
+#: FLOPs charged per input pixel — template matching plus the light
+#: projection passes (far cheaper than detection CNNs).
+FLOPS_PER_PIXEL = 2_000.0
+
+
+@dataclass(frozen=True)
+class OcrResult:
+    """Recognized text for one patch."""
+
+    text: str
+    confidence: float  # mean per-glyph match score in [0, 1]
+    n_lines: int
+
+    def tokens(self) -> list[str]:
+        return [token for token in self.text.replace("\n", " ").split(" ") if token]
+
+
+class TemplateOCR(VisionModel):
+    """Glyph-template OCR over the renderer's dot-matrix font."""
+
+    name = "template-ocr"
+    label_domain = None  # open output: any string over the font alphabet
+
+    def __init__(
+        self,
+        device: Device | None = None,
+        *,
+        min_glyph_score: float = 0.72,
+        min_ink_fraction: float = 0.01,
+    ) -> None:
+        super().__init__(device)
+        self.min_glyph_score = min_glyph_score
+        self.min_ink_fraction = min_ink_fraction
+        self._templates = {
+            char: glyphs.glyph_bitmap(char) for char in glyphs.ALPHABET if char != " "
+        }
+
+    def process(self, image: np.ndarray) -> OcrResult:
+        """Recognize text in one uint8 patch (RGB or grayscale)."""
+        flops = FLOPS_PER_PIXEL * image.shape[0] * image.shape[1]
+        return self.device.execute(
+            lambda: self._recognize(image), flops=flops, bytes_in=image.nbytes
+        )
+
+    # -- recognition pipeline -----------------------------------------------
+
+    def _recognize(self, image: np.ndarray) -> OcrResult:
+        gray = image.astype(np.float64)
+        if gray.ndim == 3:
+            gray = gray.mean(axis=2)
+        ink = self._binarize(gray)
+        if ink is None:
+            return OcrResult(text="", confidence=0.0, n_lines=0)
+        lines = self._split_rows(ink)
+        texts: list[str] = []
+        scores: list[float] = []
+        for row_lo, row_hi in lines:
+            line_text, line_scores = self._read_line(ink[row_lo:row_hi])
+            if line_text:
+                texts.append(line_text)
+                scores.extend(line_scores)
+        text = "\n".join(texts)
+        confidence = float(np.mean(scores)) if scores else 0.0
+        return OcrResult(text=text, confidence=confidence, n_lines=len(texts))
+
+    def _binarize(self, gray: np.ndarray) -> np.ndarray | None:
+        lo, hi = float(gray.min()), float(gray.max())
+        if hi - lo < 30.0:
+            return None  # no contrast: nothing to read
+        threshold = (lo + hi) / 2.0
+        dark = gray < threshold
+        # Ink is the minority phase; pick the polarity with fewer pixels.
+        ink = dark if dark.mean() <= 0.5 else ~dark
+        if ink.mean() < self.min_ink_fraction:
+            return None
+        return ink
+
+    @staticmethod
+    def _split_rows(ink: np.ndarray) -> list[tuple[int, int]]:
+        profile = ink.any(axis=1)
+        lines = []
+        start = None
+        for row, has_ink in enumerate(profile):
+            if has_ink and start is None:
+                start = row
+            elif not has_ink and start is not None:
+                lines.append((start, row))
+                start = None
+        if start is not None:
+            lines.append((start, len(profile)))
+        return [(lo, hi) for lo, hi in lines if hi - lo >= 3]
+
+    def _read_line(self, line: np.ndarray) -> tuple[str, list[float]]:
+        profile = line.any(axis=0)
+        glyph_spans = []
+        start = None
+        for col, has_ink in enumerate(profile):
+            if has_ink and start is None:
+                start = col
+            elif not has_ink and start is not None:
+                glyph_spans.append((start, col))
+                start = None
+        if start is not None:
+            glyph_spans.append((start, len(profile)))
+
+        chars: list[str] = []
+        scores: list[float] = []
+        gap_threshold = self._space_gap(glyph_spans)
+        previous_end = None
+        for col_lo, col_hi in glyph_spans:
+            if col_hi - col_lo < 2:
+                continue
+            if (
+                previous_end is not None
+                and gap_threshold is not None
+                and col_lo - previous_end >= gap_threshold
+            ):
+                chars.append(" ")
+            previous_end = col_hi
+            rows = line[:, col_lo:col_hi]
+            row_profile = rows.any(axis=1)
+            row_indices = np.flatnonzero(row_profile)
+            crop = rows[row_indices[0] : row_indices[-1] + 1]
+            char, score = self._match_glyph(crop)
+            if score >= self.min_glyph_score:
+                chars.append(char)
+                scores.append(score)
+        return "".join(chars).strip(), scores
+
+    @staticmethod
+    def _space_gap(spans: list[tuple[int, int]]) -> float | None:
+        if len(spans) < 2:
+            return None
+        widths = [hi - lo for lo, hi in spans]
+        # inter-word gaps are wider than the 1-dot inter-glyph spacing,
+        # proportionally to the glyph scale
+        return max(float(np.median(widths)) * 0.75, 2.0)
+
+    def _match_glyph(self, crop: np.ndarray) -> tuple[str, float]:
+        resized = resize_mean(crop.astype(np.float64), glyphs.GLYPH_H, glyphs.GLYPH_W)
+        best_char, best_score = "?", 0.0
+        for char, template in self._templates.items():
+            score = 1.0 - float(np.abs(resized - template).mean())
+            if score > best_score:
+                best_char, best_score = char, score
+        return best_char, best_score

@@ -1,0 +1,200 @@
+"""Synthetic scene model.
+
+A :class:`Scene` is the ground-truth world behind every synthetic dataset:
+typed objects (vehicles, pedestrians, players, text blocks) with per-frame
+states (position, apparent size, metric depth). The renderer turns scenes
+into pixel frames; the datasets keep the scene around as ground truth for
+accuracy metrics (Figure 2, Table 1).
+
+Geometry uses a one-parameter pinhole camera: an object of real height
+``H`` metres at depth ``d`` appears ``focal * H / d`` pixels tall with its
+foot-line at ``horizon_y + focal * cam_height / d``. The depth *model*
+(:mod:`repro.vision.models.depth`) estimates depth by inverting exactly
+this projection from observed pixels — it never reads the ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class Camera:
+    """Minimal pinhole ground-plane camera."""
+
+    horizon_y: float  # pixel row of the horizon
+    focal: float  # pixels per (metre / metre-of-depth)
+    cam_height: float  # metres above the ground plane
+
+    def place(
+        self,
+        depth: float,
+        lateral: float,
+        real_width: float,
+        real_height: float,
+        frame_width: int,
+    ) -> tuple[float, float, float, float]:
+        """Project an object to pixel space.
+
+        Returns ``(cx, cy, width_px, height_px)`` for an object of real size
+        ``real_width x real_height`` metres standing on the ground plane at
+        ``depth`` metres, offset ``lateral`` metres from the optical axis.
+        """
+        if depth <= 0:
+            raise DatasetError(f"object depth must be positive, got {depth}")
+        scale = self.focal / depth
+        width_px = real_width * scale
+        height_px = real_height * scale
+        y_bottom = self.horizon_y + self.cam_height * scale
+        cx = frame_width / 2.0 + lateral * scale
+        cy = y_bottom - height_px / 2.0
+        return cx, cy, width_px, height_px
+
+    def depth_from_foot(self, y_bottom: float) -> float:
+        """Invert the projection: metric depth from a foot-line pixel row."""
+        drop = y_bottom - self.horizon_y
+        if drop <= 0:
+            raise DatasetError(
+                f"foot-line {y_bottom} is above the horizon {self.horizon_y}"
+            )
+        return self.focal * self.cam_height / drop
+
+
+@dataclass(frozen=True)
+class ObjectState:
+    """Where one object is in one frame."""
+
+    frame: int
+    cx: float
+    cy: float
+    width: float
+    height: float
+    depth: float
+
+    def bbox(self) -> tuple[int, int, int, int]:
+        """Integer (x1, y1, x2, y2) pixel bounding box."""
+        x1 = int(round(self.cx - self.width / 2.0))
+        y1 = int(round(self.cy - self.height / 2.0))
+        x2 = int(round(self.cx + self.width / 2.0))
+        y2 = int(round(self.cy + self.height / 2.0))
+        return (x1, y1, x2, y2)
+
+
+@dataclass
+class SceneObject:
+    """One identity across the whole scene."""
+
+    object_id: str
+    category: str  # 'vehicle' | 'person' | 'text'
+    color: tuple[int, int, int]
+    states: dict[int, ObjectState] = field(default_factory=dict)
+    label_text: str | None = None  # jersey number / document string
+    secondary_color: tuple[int, int, int] | None = None
+
+    def state_at(self, frame: int) -> ObjectState | None:
+        return self.states.get(frame)
+
+
+@dataclass(frozen=True)
+class GroundTruthBox:
+    """One annotation: the truth a perfect detector would output."""
+
+    frame: int
+    object_id: str
+    category: str
+    bbox: tuple[int, int, int, int]
+    depth: float
+    text: str | None = None
+
+
+class Scene:
+    """A camera, a frame count, and the objects that inhabit the video."""
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        n_frames: int,
+        camera: Camera | None = None,
+        name: str = "scene",
+    ) -> None:
+        if width <= 0 or height <= 0 or n_frames <= 0:
+            raise DatasetError(
+                f"scene dimensions must be positive, got {width}x{height}x{n_frames}"
+            )
+        self.width = width
+        self.height = height
+        self.n_frames = n_frames
+        self.name = name
+        self.camera = camera or Camera(
+            horizon_y=height * 0.25, focal=height * 1.2, cam_height=5.0
+        )
+        self.objects: list[SceneObject] = []
+
+    def add(self, obj: SceneObject) -> SceneObject:
+        self.objects.append(obj)
+        return obj
+
+    def objects_at(self, frame: int) -> list[tuple[SceneObject, ObjectState]]:
+        """Objects visible in ``frame``, farthest first (painter's order)."""
+        present = [
+            (obj, state)
+            for obj in self.objects
+            if (state := obj.state_at(frame)) is not None
+        ]
+        present.sort(key=lambda pair: -pair[1].depth)
+        return present
+
+    def ground_truth(self, frame: int) -> list[GroundTruthBox]:
+        """Annotations for every object whose box intersects the frame."""
+        out = []
+        for obj, state in self.objects_at(frame):
+            x1, y1, x2, y2 = state.bbox()
+            x1c, y1c = max(x1, 0), max(y1, 0)
+            x2c, y2c = min(x2, self.width), min(y2, self.height)
+            if x2c <= x1c or y2c <= y1c:
+                continue
+            out.append(
+                GroundTruthBox(
+                    frame=frame,
+                    object_id=obj.object_id,
+                    category=obj.category,
+                    bbox=(x1c, y1c, x2c, y2c),
+                    depth=state.depth,
+                    text=obj.label_text,
+                )
+            )
+        return out
+
+    def all_ground_truth(self) -> list[GroundTruthBox]:
+        return [box for frame in range(self.n_frames) for box in self.ground_truth(frame)]
+
+
+def linear_states(
+    camera: Camera,
+    frame_width: int,
+    frames: range,
+    *,
+    depth0: float,
+    depth1: float,
+    lateral0: float,
+    lateral1: float,
+    real_width: float,
+    real_height: float,
+) -> dict[int, ObjectState]:
+    """States for an object moving linearly in world space across ``frames``."""
+    steps = max(len(frames) - 1, 1)
+    states: dict[int, ObjectState] = {}
+    for i, frame in enumerate(frames):
+        t = i / steps
+        depth = depth0 + (depth1 - depth0) * t
+        lateral = lateral0 + (lateral1 - lateral0) * t
+        cx, cy, width_px, height_px = camera.place(
+            depth, lateral, real_width, real_height, frame_width
+        )
+        states[frame] = ObjectState(
+            frame=frame, cx=cx, cy=cy, width=width_px, height=height_px, depth=depth
+        )
+    return states

@@ -1,0 +1,204 @@
+"""Tests for benchmark metrics and the six queries at tiny scale.
+
+These are the integration tests of the whole stack: dataset -> ingest ->
+ETL -> materialize -> physical design -> query, with accuracy checked
+against ground truth and plan pairs checked for answer agreement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    build_football_workload,
+    build_pc_workload,
+    build_traffic_workload,
+    prepare_football_design,
+    prepare_pc_design,
+    prepare_traffic_design,
+    q1_near_duplicates,
+    q2_vehicle_frames,
+    q3_player_trajectory,
+    q4_distinct_pedestrians,
+    q4_plan_accuracy,
+    q5_string_lookup,
+    q5_token_lookup,
+    q6_behind_pairs,
+)
+from repro.bench.metrics import (
+    PRF,
+    Timer,
+    assign_identity,
+    detection_prf,
+    pairwise_cluster_prf,
+    set_prf,
+)
+from repro.core import DeepLens
+from repro.datasets import FootballDataset, PCDataset, TrafficCamDataset
+from repro.errors import QueryError
+from repro.vision.scene import GroundTruthBox
+
+
+class TestMetrics:
+    def test_set_prf(self):
+        prf = set_prf({1, 2, 3}, {2, 3, 4})
+        assert prf.precision == pytest.approx(2 / 3)
+        assert prf.recall == pytest.approx(2 / 3)
+        assert 0 < prf.f1 < 1
+
+    def test_set_prf_edges(self):
+        assert set_prf(set(), set()).precision == 1.0
+        assert set_prf(set(), {1}).recall == 0.0
+        assert set_prf({1}, set()).precision == 0.0
+
+    def test_prf_f1_zero(self):
+        assert PRF(precision=0.0, recall=0.0).f1 == 0.0
+
+    def test_assign_identity(self):
+        truth = [
+            GroundTruthBox(0, "ped-1", "person", (10, 10, 20, 40), 12.0),
+            GroundTruthBox(0, "veh-1", "vehicle", (50, 20, 90, 40), 8.0),
+        ]
+        assert assign_identity((11, 11, 20, 39), truth) == "ped-1"
+        assert assign_identity((11, 11, 20, 39), truth, category="vehicle") is None
+        assert assign_identity((200, 200, 210, 210), truth) is None
+
+    def test_pairwise_cluster_prf_ignores_double_none(self):
+        clusters = [{1, 2}, {3, 4}]
+        identity = {1: "a", 2: "a", 3: None, 4: None}
+        prf = pairwise_cluster_prf(clusters, identity)
+        assert prf.precision == 1.0 and prf.recall == 1.0
+
+    def test_pairwise_cluster_penalizes_mixed_pair(self):
+        clusters = [{1, 2, 3}]
+        identity = {1: "a", 2: "a", 3: None}
+        prf = pairwise_cluster_prf(clusters, identity)
+        assert prf.precision == pytest.approx(1 / 3)
+
+    def test_detection_prf(self):
+        class Det:
+            def __init__(self, bbox, label, score=1.0):
+                self.bbox, self.label, self.score = bbox, label, score
+
+        truth = {0: [GroundTruthBox(0, "x", "person", (0, 0, 10, 20), 5.0)]}
+        perfect = {0: [Det((0, 0, 10, 20), "person")]}
+        assert detection_prf(perfect, truth).f1 == 1.0
+        wrong_label = {0: [Det((0, 0, 10, 20), "vehicle")]}
+        assert detection_prf(wrong_label, truth).f1 == 0.0
+
+    def test_timer(self):
+        with Timer() as timer:
+            sum(range(1000))
+        assert timer.seconds >= 0
+
+
+@pytest.fixture(scope="module")
+def traffic(tmp_path_factory):
+    db = DeepLens(tmp_path_factory.mktemp("traffic"))
+    workload = build_traffic_workload(db, TrafficCamDataset(scale=0.004, seed=7))
+    design = prepare_traffic_design(workload)
+    yield workload, design
+    db.close()
+
+
+@pytest.fixture(scope="module")
+def pc(tmp_path_factory):
+    db = DeepLens(tmp_path_factory.mktemp("pc"))
+    workload = build_pc_workload(db, PCDataset(scale=0.08, seed=41))
+    prepare_pc_design(workload)
+    yield workload
+    db.close()
+
+
+@pytest.fixture(scope="module")
+def football(tmp_path_factory):
+    db = DeepLens(tmp_path_factory.mktemp("fb"))
+    workload = build_football_workload(
+        db, FootballDataset(scale=0.004, n_clips=3, seed=23)
+    )
+    prepare_football_design(workload)
+    yield workload
+    db.close()
+
+
+class TestTrafficQueries:
+    def test_q2_plans_agree_and_accurate(self, traffic):
+        workload, _ = traffic
+        base = q2_vehicle_frames(workload, "baseline")
+        opt = q2_vehicle_frames(workload, "optimized")
+        assert base.answer == opt.answer
+        assert opt.accuracy.f1 > 0.9
+
+    def test_q4_plans_agree(self, traffic):
+        workload, design = traffic
+        base = q4_distinct_pedestrians(workload, "baseline")
+        opt = q4_distinct_pedestrians(workload, "optimized", persons=design.persons)
+        otf = q4_distinct_pedestrians(
+            workload, "optimized", persons=design.persons, on_the_fly=True
+        )
+        assert base.answer == opt.answer == otf.answer
+        assert opt.accuracy.f1 > 0.75
+
+    def test_q4_needs_design(self, traffic):
+        workload, _ = traffic
+        with pytest.raises(QueryError, match="prepared person"):
+            q4_distinct_pedestrians(workload, "optimized")
+
+    def test_q4_table1_tradeoff(self, traffic):
+        workload, _ = traffic
+        push = q4_plan_accuracy(workload, "filter-then-match")
+        late = q4_plan_accuracy(workload, "match-then-filter")
+        assert late.accuracy.recall >= push.accuracy.recall
+        assert late.seconds > push.seconds
+
+    def test_q6_plans_agree(self, traffic):
+        workload, design = traffic
+        base = q6_behind_pairs(workload, "baseline")
+        opt = q6_behind_pairs(workload, "optimized", persons=design.persons)
+        assert base.answer == opt.answer
+
+    def test_unknown_plan_rejected(self, traffic):
+        workload, _ = traffic
+        with pytest.raises(QueryError, match="unknown"):
+            q2_vehicle_frames(workload, "mystery")
+
+
+class TestPCQueries:
+    def test_q1_plans_agree_and_find_duplicates(self, pc):
+        base = q1_near_duplicates(pc, "baseline")
+        opt = q1_near_duplicates(pc, "optimized")
+        assert base.answer == opt.answer
+        # at this tiny scale only a handful of duplicate pairs exist, so
+        # accuracy checks stay coarse (the benchmark scale is scored in
+        # benchmarks/bench_fig4_indexes.py)
+        assert opt.accuracy.recall > 0.1
+        assert opt.accuracy.precision >= 0.5
+
+    def test_q5_substring_and_token_agree(self, pc):
+        word = sorted(w for w in pc.dataset.present_words() if w)[0]
+        scan = q5_string_lookup(pc, "baseline", target=word)
+        token = q5_token_lookup(pc, target=word)
+        assert scan.answer == token.answer
+        assert scan.accuracy.precision == 1.0
+
+    def test_q5_missing_word(self, pc):
+        result = q5_string_lookup(pc, "baseline", target="XYZZY")
+        assert result.answer is None
+
+
+class TestFootballQueries:
+    def test_q3_plans_agree(self, football):
+        base = q3_player_trajectory(football, "baseline")
+        opt = q3_player_trajectory(football, "optimized")
+        assert base.answer == opt.answer
+        assert opt.accuracy.precision > 0.9
+
+    def test_q3_other_number(self, football):
+        clip = football.dataset.clips[0]
+        other = next(
+            n for n in clip.player_numbers if n != football.dataset.tracked_number
+        )
+        result = q3_player_trajectory(football, "optimized", number=other)
+        assert isinstance(result.answer, list)
+
+    def test_workload_etl_timed(self, football):
+        assert football.etl_seconds > 0

@@ -1,0 +1,203 @@
+"""Tests for the dataflow operators (scans, selects, joins, aggregates)."""
+
+import numpy as np
+import pytest
+
+from repro.core.expressions import Attr
+from repro.core.operators import (
+    BallTreeSimilarityJoin,
+    Distinct,
+    DistinctCount,
+    GroupBy,
+    IteratorScan,
+    Limit,
+    MapPatches,
+    NestedLoopJoin,
+    OrderBy,
+    Select,
+    UnionFind,
+    cluster_pairs,
+)
+from repro.core.patch import Patch
+from repro.errors import QueryError
+
+
+def patches(n=10, **extra):
+    out = []
+    for i in range(n):
+        patch = Patch.from_frame("v", i, np.zeros((4, 4, 3), np.uint8))
+        patch.patch_id = i
+        patch.metadata["label"] = "car" if i % 2 == 0 else "person"
+        patch.metadata["vec"] = np.array([float(i // 3), 0.0])
+        for key, fn in extra.items():
+            patch.metadata[key] = fn(i)
+        out.append(patch)
+    return out
+
+
+class TestScansAndSelect:
+    def test_iterator_scan(self):
+        rows = IteratorScan(patches(4)).collect()
+        assert len(rows) == 4
+        assert all(len(row) == 1 for row in rows)
+
+    def test_iterator_scan_one_shot_guard(self):
+        scan = IteratorScan(iter(patches(2)))
+        scan.collect()
+        with pytest.raises(QueryError, match="already consumed"):
+            scan.collect()
+
+    def test_iterator_scan_list_rescannable(self):
+        scan = IteratorScan(patches(2))
+        assert scan.count() == 2
+        assert scan.count() == 2
+
+    def test_select(self):
+        result = Select(IteratorScan(patches(10)), Attr("label") == "car").patches()
+        assert len(result) == 5
+
+    def test_patches_rejects_joined_rows(self):
+        join = NestedLoopJoin(
+            IteratorScan(patches(2)), IteratorScan(patches(2)), lambda a, b: True
+        )
+        with pytest.raises(QueryError, match="arity"):
+            join.patches()
+
+    def test_map_patches_expansion_and_drop(self):
+        def split(patch):
+            if patch["frameno"] % 3 == 0:
+                return None
+            return [patch, patch]
+
+        result = MapPatches(IteratorScan(patches(6)), split).patches()
+        assert len(result) == 8  # frames 1,2,4,5 doubled
+
+    def test_limit(self):
+        assert Limit(IteratorScan(patches(10)), 3).count() == 3
+        assert Limit(IteratorScan(patches(10)), 0).count() == 0
+        with pytest.raises(QueryError):
+            Limit(IteratorScan(patches(1)), -1)
+
+    def test_orderby(self):
+        result = OrderBy(
+            IteratorScan(patches(5)), key=lambda p: -p["frameno"]
+        ).patches()
+        assert [p["frameno"] for p in result] == [4, 3, 2, 1, 0]
+
+
+class TestJoins:
+    def test_nested_loop_theta(self):
+        left = IteratorScan(patches(4))
+        right = IteratorScan(patches(4))
+        join = NestedLoopJoin(
+            left, right, lambda a, b: a["frameno"] == b["frameno"]
+        )
+        rows = join.collect()
+        assert len(rows) == 4
+        assert all(a["frameno"] == b["frameno"] for a, b in rows)
+
+    def test_nested_loop_exclude_self(self):
+        items = patches(3)
+        join = NestedLoopJoin(
+            IteratorScan(items), IteratorScan(items), lambda a, b: True,
+            exclude_self=True,
+        )
+        assert join.count() == 6  # 3x3 minus diagonal
+
+    def test_balltree_on_the_fly_matches_nested_loop(self):
+        items = patches(12)
+
+        def close(a, b):
+            return float(np.linalg.norm(a["vec"] - b["vec"])) <= 0.5
+
+        nested = {
+            (a.patch_id, b.patch_id)
+            for a, b in NestedLoopJoin(
+                IteratorScan(items), IteratorScan(items), close, exclude_self=True
+            )
+        }
+        balltree = {
+            (a.patch_id, b.patch_id)
+            for a, b in BallTreeSimilarityJoin(
+                IteratorScan(items),
+                IteratorScan(items),
+                threshold=0.5,
+                features=lambda p: p["vec"],
+                exclude_self=True,
+            )
+        }
+        assert balltree == nested
+        assert nested  # non-trivial
+
+    def test_balltree_requires_exactly_one_side_spec(self):
+        items = patches(3)
+        with pytest.raises(QueryError, match="exactly one"):
+            BallTreeSimilarityJoin(
+                IteratorScan(items), None, threshold=0.5
+            )
+
+    def test_balltree_empty_right(self):
+        join = BallTreeSimilarityJoin(
+            IteratorScan(patches(3)),
+            IteratorScan([]),
+            threshold=1.0,
+            features=lambda p: p["vec"],
+        )
+        assert join.count() == 0
+
+
+class TestAggregates:
+    def test_distinct_count(self):
+        assert DistinctCount(
+            IteratorScan(patches(10)), key=lambda p: p["label"]
+        ).execute() == 2
+
+    def test_distinct_operator(self):
+        result = Distinct(IteratorScan(patches(10)), key=lambda p: p["label"])
+        assert [p["frameno"] for p in result.patches()] == [0, 1]
+
+    def test_group_by(self):
+        groups = GroupBy(
+            IteratorScan(patches(10)), key=lambda p: p["label"], reducer=len
+        ).execute()
+        assert groups == {"car": 5, "person": 5}
+
+    def test_group_by_custom_reducer(self):
+        groups = GroupBy(
+            IteratorScan(patches(6)),
+            key=lambda p: p["label"],
+            reducer=lambda rows: max(r[0]["frameno"] for r in rows),
+        ).execute()
+        assert groups == {"car": 4, "person": 5}
+
+
+class TestUnionFind:
+    def test_components(self):
+        uf = UnionFind()
+        for item in range(6):
+            uf.add(item)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(4, 5)
+        components = {frozenset(c) for c in uf.components()}
+        assert components == {
+            frozenset({0, 1, 2}),
+            frozenset({3}),
+            frozenset({4, 5}),
+        }
+        assert uf.n_components() == 3
+
+    def test_find_unknown_raises(self):
+        with pytest.raises(QueryError):
+            UnionFind().find("ghost")
+
+    def test_cluster_pairs(self):
+        clusters = cluster_pairs([1, 2, 3, 4], [(1, 2), (2, 3)])
+        assert {frozenset(c) for c in clusters} == {
+            frozenset({1, 2, 3}),
+            frozenset({4}),
+        }
+
+    def test_cluster_pairs_idempotent_unions(self):
+        clusters = cluster_pairs([1, 2], [(1, 2), (2, 1), (1, 2)])
+        assert len(clusters) == 1

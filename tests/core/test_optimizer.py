@@ -1,0 +1,242 @@
+"""Tests for the cost model, planner, storage advisor, and synthesizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.catalog import Catalog
+from repro.core.optimizer import (
+    ComponentSpec,
+    CostModel,
+    Optimizer,
+    PipelineSynthesizer,
+    StorageAdvisor,
+    WorkloadProfile,
+)
+from repro.core.patch import Patch
+from repro.errors import OptimizerError
+from repro.etl import WholeImageGenerator
+
+
+def populate(catalog, n=30):
+    def gen():
+        for i in range(n):
+            patch = Patch.from_frame("v", i, np.zeros((4, 4, 3), np.uint8))
+            patch.metadata["label"] = "vehicle" if i % 2 else "person"
+            yield patch
+
+    return catalog.materialize(gen(), "c")
+
+
+class TestCostModel:
+    def test_nested_loop_scales_quadratically(self):
+        cost = CostModel()
+        assert cost.nested_loop_join(2000, 2000, 64) > 3.5 * cost.nested_loop_join(
+            1000, 1000, 64
+        )
+
+    def test_balltree_beats_nested_loop_at_scale(self):
+        cost = CostModel()
+        n = 20_000
+        assert cost.balltree_join(n, n, 16) < cost.nested_loop_join(n, n, 16)
+
+    def test_probe_alpha_rises_with_dim(self):
+        cost = CostModel()
+        assert cost.probe_alpha(64) > cost.probe_alpha(4)
+        assert cost.probe_alpha(200) == 1.0
+
+    def test_prebuilt_cheaper_than_fresh(self):
+        cost = CostModel()
+        assert cost.balltree_join(100, 5000, 8, prebuilt=True) < cost.balltree_join(
+            100, 5000, 8, prebuilt=False
+        )
+
+    def test_calibrate_sets_flag_and_positive_constants(self):
+        cost = CostModel().calibrate()
+        assert cost.calibrated
+        assert cost.dist_per_dim > 0
+        assert cost.build_per_point > 0
+        assert 0 < cost.probe_alpha(4) <= 1
+
+
+class TestOptimizerPlans:
+    def test_access_path_selection(self, tmp_path):
+        with Catalog(tmp_path) as catalog:
+            populate(catalog)
+            catalog.create_index("c", "label", "hash")
+            optimizer = Optimizer(catalog)
+            from repro.core.expressions import Attr
+
+            operator, explanation = optimizer.plan_filter("c", Attr("label") == "person")
+            assert explanation.chosen.kind == "hash-lookup"
+            assert len(list(operator)) == 15
+            # explanation keeps the rejected full scan
+            kinds = {choice.kind for choice in explanation.candidates}
+            assert "full-scan" in kinds
+
+    def test_similarity_join_strategy_flips_with_size(self, tmp_path):
+        with Catalog(tmp_path) as catalog:
+            optimizer = Optimizer(catalog)
+            # in high dimension the Ball-tree degrades to a linear probe
+            # plus build cost, so the nested loop wins; in low dimension
+            # pruning pays off at scale
+            high_dim = optimizer.plan_similarity_join(100, 100, 64)
+            low_dim = optimizer.plan_similarity_join(30_000, 30_000, 8)
+            assert high_dim.chosen.kind == "nested-loop"
+            assert low_dim.chosen.kind.startswith("balltree")
+
+    def test_similarity_join_prefers_prebuilt_side(self, tmp_path):
+        with Catalog(tmp_path) as catalog:
+            optimizer = Optimizer(catalog)
+            explanation = optimizer.plan_similarity_join(
+                5000, 5000, 16, prebuilt_side="right"
+            )
+            assert explanation.chosen.params.get("build_side") == "right"
+
+    def test_similarity_join_validates(self, tmp_path):
+        with Catalog(tmp_path) as catalog:
+            with pytest.raises(OptimizerError):
+                Optimizer(catalog).plan_similarity_join(0, 10, 4)
+
+    def test_device_placement(self, tmp_path):
+        with Catalog(tmp_path) as catalog:
+            optimizer = Optimizer(catalog)
+            big = optimizer.plan_device(50e9, 10_000_000, kernels=2)
+            assert big.chosen.params["device"] == "gpu"
+            small = optimizer.plan_device(1e6, 1_000, kernels=40)
+            assert small.chosen.params["device"] == "avx"
+
+    def test_dedup_accuracy_tradeoff(self, tmp_path):
+        with Catalog(tmp_path) as catalog:
+            explanation = Optimizer(catalog).plan_dedup_filter_placement(
+                n_patches=1000, person_fraction=0.4, mislabel_rate=0.08
+            )
+            by_kind = {c.kind: c for c in explanation.candidates}
+            push = by_kind["filter-then-match"]
+            late = by_kind["match-then-filter"]
+            assert late.accuracy.recall > push.accuracy.recall
+            assert late.cost_seconds > push.cost_seconds
+
+
+class TestStorageAdvisor:
+    def test_selective_workload_prefers_pushdown_layout(self):
+        advisor = StorageAdvisor()
+        recommendation = advisor.advise(
+            WorkloadProfile(
+                n_frames=30_000,
+                frame_bytes=170_000,
+                temporal_selectivity=0.02,
+            )
+        )
+        assert recommendation.layout in ("frame-raw", "frame-jpeg", "segmented")
+
+    def test_budget_forces_compression(self):
+        advisor = StorageAdvisor()
+        raw_size = 30_000 * 170_000
+        recommendation = advisor.advise(
+            WorkloadProfile(
+                n_frames=30_000,
+                frame_bytes=170_000,
+                temporal_selectivity=0.02,
+                storage_budget_bytes=raw_size // 20,
+            )
+        )
+        assert recommendation.layout in ("encoded", "segmented")
+        assert recommendation.expected_size_bytes <= raw_size // 20
+
+    def test_impossible_budget_raises(self):
+        advisor = StorageAdvisor()
+        with pytest.raises(OptimizerError, match="budget"):
+            advisor.advise(
+                WorkloadProfile(
+                    n_frames=1000,
+                    frame_bytes=100_000,
+                    temporal_selectivity=0.5,
+                    storage_budget_bytes=10,
+                )
+            )
+
+    def test_accuracy_sensitive_gets_high_quality(self):
+        advisor = StorageAdvisor()
+        recommendation = advisor.advise(
+            WorkloadProfile(
+                n_frames=10_000,
+                frame_bytes=170_000,
+                temporal_selectivity=0.3,
+                storage_budget_bytes=10_000 * 170_000 // 10,
+                accuracy_sensitive=True,
+            )
+        )
+        assert recommendation.quality == "high"
+
+    def test_clip_len_in_bounds(self):
+        advisor = StorageAdvisor()
+        profile = WorkloadProfile(
+            n_frames=5_000, frame_bytes=170_000, temporal_selectivity=0.05
+        )
+        clip_len = advisor.optimal_clip_len(profile)
+        assert 4 <= clip_len <= 5_000
+
+    def test_validates_profile(self):
+        advisor = StorageAdvisor()
+        with pytest.raises(OptimizerError):
+            advisor.advise(
+                WorkloadProfile(n_frames=0, frame_bytes=1, temporal_selectivity=0.5)
+            )
+        with pytest.raises(OptimizerError):
+            advisor.advise(
+                WorkloadProfile(n_frames=10, frame_bytes=1, temporal_selectivity=2.0)
+            )
+
+
+def _component(name, provides, requires=frozenset(), latency=1e-3, recall=1.0):
+    return ComponentSpec(
+        name=name,
+        factory=WholeImageGenerator,
+        provides=frozenset(provides),
+        requires=frozenset(requires),
+        latency_per_item=latency,
+        recall=recall,
+    )
+
+
+class TestPipelineSynthesis:
+    def test_chooses_cheapest_chain(self):
+        library = [
+            _component("det-big", {"bbox", "label"}, {"pixels"}, latency=10e-3),
+            _component("det-small", {"bbox", "label"}, {"pixels"}, latency=2e-3,
+                       recall=0.8),
+            _component("depth", {"depth"}, {"bbox"}, latency=1e-3),
+        ]
+        result = PipelineSynthesizer(library).synthesize({"depth"})
+        names = [c.name for c in result.components]
+        assert names == ["det-small", "depth"]
+
+    def test_accuracy_constraint_switches_model(self):
+        library = [
+            _component("det-big", {"bbox"}, {"pixels"}, latency=10e-3, recall=0.95),
+            _component("det-small", {"bbox"}, {"pixels"}, latency=2e-3, recall=0.7),
+        ]
+        result = PipelineSynthesizer(library).synthesize(
+            {"bbox"}, min_recall=0.9
+        )
+        assert result.components[0].name == "det-big"
+
+    def test_unreachable_fields(self):
+        library = [_component("det", {"bbox"}, {"pixels"})]
+        with pytest.raises(OptimizerError, match="no composition"):
+            PipelineSynthesizer(library).synthesize({"depth"})
+
+    def test_accuracy_infeasible_reported_distinctly(self):
+        library = [_component("det", {"bbox"}, {"pixels"}, recall=0.5)]
+        with pytest.raises(OptimizerError, match="recall"):
+            PipelineSynthesizer(library).synthesize({"bbox"}, min_recall=0.9)
+
+    def test_result_builds_pipeline(self):
+        library = [_component("whole", {"whole"}, {"pixels"})]
+        result = PipelineSynthesizer(library).synthesize({"whole"})
+        assert result.build() is not None
+        assert "whole" in result.describe()
+
+    def test_rejects_empty_library(self):
+        with pytest.raises(OptimizerError, match="empty"):
+            PipelineSynthesizer([])

@@ -1,0 +1,223 @@
+"""Tests for the Patch ADT, schema/type system, and expression DSL."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.expressions import (
+    AlwaysTrue,
+    Attr,
+    Predicate,
+    extract_bounds,
+)
+from repro.core.patch import ImgRef, Patch
+from repro.core.schema import (
+    Field,
+    PatchSchema,
+    frame_schema,
+    validate_filter_constant,
+)
+from repro.errors import QueryError, SchemaError, ValidationError
+
+
+def make_patch(**meta) -> Patch:
+    return Patch.from_frame("vid", 3, np.zeros((8, 8, 3), np.uint8), **meta)
+
+
+class TestPatch:
+    def test_from_frame_sets_metadata(self):
+        patch = make_patch()
+        assert patch["source"] == "vid"
+        assert patch["frameno"] == 3
+        assert patch.lineage == (("load", "vid", 3),)
+
+    def test_derive_extends_lineage(self):
+        child = make_patch().derive(
+            np.zeros((4, 4, 3), np.uint8), "detect", (1, 2, 3, 4), label="car"
+        )
+        assert child.lineage[-1] == ("detect", (1, 2, 3, 4))
+        assert child["label"] == "car"
+        assert child.base_ref() == ("vid", 3)
+
+    def test_derive_parent_pointer_tracks_materialized_ancestor(self):
+        parent = make_patch()
+        parent.patch_id = 42
+        child = parent.derive(parent.data, "crop")
+        assert child.img_ref.parent_id == 42
+        # an unmaterialized intermediate passes the pointer through
+        grandchild = child.derive(child.data, "ocr", text="7")
+        assert grandchild.img_ref.parent_id == 42
+
+    def test_record_round_trip(self):
+        patch = make_patch(label="car", score=0.5)
+        patch.metadata["hist"] = np.arange(4.0)
+        restored = Patch.from_record(patch.to_record(), patch_id=9)
+        assert restored.patch_id == 9
+        assert restored["label"] == "car"
+        assert restored.lineage == patch.lineage
+        np.testing.assert_array_equal(restored["hist"], np.arange(4.0))
+        np.testing.assert_array_equal(restored.data, patch.data)
+
+    def test_record_metadata_only_projection(self):
+        patch = make_patch(label="car")
+        restored = Patch.from_record(patch.to_record(), with_data=False)
+        assert restored["label"] == "car"
+        assert restored.data.size == 0
+
+    def test_bbox_property(self):
+        patch = make_patch(bbox=(1, 2, 3, 4))
+        assert patch.bbox == (1, 2, 3, 4)
+        assert make_patch().bbox is None
+
+    def test_getitem_and_get(self):
+        patch = make_patch(label="car")
+        assert patch["label"] == "car"
+        assert patch.get("missing", "dflt") == "dflt"
+        with pytest.raises(KeyError):
+            patch["missing"]
+
+
+class TestSchema:
+    def test_field_domain_check(self):
+        field = Field("label", "str", domain=frozenset({"car", "person"}))
+        field.check_value("car")
+        with pytest.raises(ValidationError, match="closed domain"):
+            field.check_value("bicycle")
+
+    def test_field_kind_check(self):
+        field = Field("score", "float")
+        field.check_value(0.5)
+        with pytest.raises(ValidationError, match="kind"):
+            field.check_value("high")
+
+    def test_required_field(self):
+        field = Field("label", "str", required=True)
+        with pytest.raises(ValidationError, match="required"):
+            field.check_value(None)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(SchemaError, match="unknown field kind"):
+            Field("x", "complex")
+
+    def test_bbox_arity(self):
+        field = Field("bbox", "bbox")
+        field.check_value((1, 2, 3, 4))
+        with pytest.raises(ValidationError, match="4-tuple"):
+            field.check_value((1, 2, 3))
+
+    def test_validate_patch_pixels(self):
+        schema = frame_schema()
+        schema.validate_patch(make_patch())
+        bad = Patch.from_frame("v", 0, np.zeros((2, 2, 3, 1), np.uint8))
+        with pytest.raises(ValidationError):
+            schema.validate_patch(bad)
+
+    def test_validate_resolution(self):
+        schema = frame_schema(resolution=(16, 16))
+        with pytest.raises(ValidationError, match="resolution"):
+            schema.validate_patch(make_patch())
+
+    def test_feature_schema(self):
+        schema = PatchSchema(data_kind="features", dim=4)
+        good = Patch(ImgRef("s", 0), np.zeros(4))
+        schema.validate_patch(good)
+        with pytest.raises(ValidationError, match="dim"):
+            schema.validate_patch(Patch(ImgRef("s", 0), np.zeros(5)))
+
+    def test_filter_constant_validation(self):
+        schema = frame_schema().with_field(
+            Field("label", "str", domain=frozenset({"vehicle", "person"}))
+        )
+        validate_filter_constant(schema, "label", "vehicle")
+        with pytest.raises(ValidationError, match="upstream"):
+            validate_filter_constant(schema, "label", "unicorn")
+        # open fields pass anything
+        validate_filter_constant(schema, "note", "whatever")
+
+    def test_schema_evolution(self):
+        schema = frame_schema().with_fields(
+            Field("a", "int"), Field("b", "float")
+        )
+        assert set(schema.fields) >= {"a", "b", "source", "frameno"}
+        features = schema.as_features(8)
+        assert features.data_kind == "features"
+        assert features.dim == 8
+
+
+class TestExpressions:
+    def test_comparisons(self):
+        patch = make_patch(label="car", score=0.7)
+        assert (Attr("label") == "car").evaluate(patch)
+        assert (Attr("label") != "bus").evaluate(patch)
+        assert (Attr("score") > 0.5).evaluate(patch)
+        assert (Attr("score") <= 0.7).evaluate(patch)
+        assert not (Attr("score") < 0.7).evaluate(patch)
+
+    def test_none_attrs_fail_ordering_silently(self):
+        patch = make_patch()
+        assert not (Attr("score") > 0.5).evaluate(patch)
+
+    def test_between_and_isin_contains(self):
+        patch = make_patch(label="car", text="HELLO WORLD")
+        assert Attr("frameno").between(0, 5).evaluate(patch)
+        assert not Attr("frameno").between(4, 5).evaluate(patch)
+        assert Attr("label").isin(["car", "bus"]).evaluate(patch)
+        assert Attr("text").contains("WORLD").evaluate(patch)
+
+    def test_boolean_algebra(self):
+        patch = make_patch(label="car", score=0.7)
+        expr = (Attr("label") == "car") & (Attr("score") > 0.5)
+        assert expr.evaluate(patch)
+        assert not (~expr).evaluate(patch)
+        assert ((Attr("label") == "bus") | (Attr("score") > 0.5)).evaluate(patch)
+
+    def test_conjuncts_flatten(self):
+        expr = (Attr("a") == 1) & (Attr("b") == 2) & (Attr("c") == 3)
+        assert len(expr.conjuncts()) == 3
+
+    def test_predicate_escape_hatch(self):
+        expr = Predicate(lambda patch: patch["frameno"] % 2 == 1, "odd")
+        assert expr.evaluate(make_patch())  # frame 3
+
+    def test_always_true(self):
+        assert AlwaysTrue().evaluate(make_patch())
+
+    def test_extract_bounds_between(self):
+        lo, hi, residual = extract_bounds(Attr("frameno").between(5, 9), "frameno")
+        assert (lo, hi, residual) == (5, 9, None)
+
+    def test_extract_bounds_mixed(self):
+        expr = (Attr("frameno") >= 5) & (Attr("label") == "car") & (
+            Attr("frameno") <= 9
+        )
+        lo, hi, residual = extract_bounds(expr, "frameno")
+        assert (lo, hi) == (5, 9)
+        assert residual is not None
+        assert residual.evaluate(make_patch(label="car"))
+
+    def test_extract_bounds_equality(self):
+        lo, hi, residual = extract_bounds(Attr("frameno") == 7, "frameno")
+        assert (lo, hi, residual) == (7, 7, None)
+
+    def test_extract_bounds_strict_keeps_residual(self):
+        lo, hi, residual = extract_bounds(Attr("frameno") < 9, "frameno")
+        assert hi == 9
+        assert residual is not None  # the strict check survives
+
+    def test_extract_bounds_none(self):
+        assert extract_bounds(None, "frameno") == (None, None, None)
+
+    def test_invalid_op(self):
+        from repro.core.expressions import Comparison
+
+        with pytest.raises(QueryError, match="unknown comparison"):
+            Comparison("a", "~=", 1)
+
+    @given(st.integers(-50, 50), st.integers(-50, 50), st.integers(-50, 50))
+    @settings(max_examples=60)
+    def test_between_matches_bounds_semantics(self, lo, hi, value):
+        patch = Patch.from_frame("v", 0, np.zeros((2, 2, 3), np.uint8))
+        patch.metadata["x"] = value
+        expr = Attr("x").between(min(lo, hi), max(lo, hi))
+        assert expr.evaluate(patch) == (min(lo, hi) <= value <= max(lo, hi))

@@ -1,0 +1,150 @@
+"""Tests for the three synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import FootballDataset, PCDataset, TrafficCamDataset
+from repro.datasets.words import WORDS, sample_sentence
+from repro.errors import DatasetError
+
+
+class TestTrafficCam:
+    def test_deterministic(self):
+        a = TrafficCamDataset(scale=0.002, seed=3)
+        b = TrafficCamDataset(scale=0.002, seed=3)
+        np.testing.assert_array_equal(a.frame(5), b.frame(5))
+
+    def test_seed_changes_content(self):
+        a = TrafficCamDataset(scale=0.002, seed=3)
+        b = TrafficCamDataset(scale=0.002, seed=4)
+        assert not np.array_equal(a.frame(5), b.frame(5))
+
+    def test_scale_controls_frames(self):
+        small = TrafficCamDataset(scale=0.001)
+        large = TrafficCamDataset(scale=0.004)
+        assert large.n_frames > small.n_frames
+
+    def test_ground_truth_consistent_with_ids(self):
+        dataset = TrafficCamDataset(scale=0.002, seed=3)
+        for box in dataset.ground_truth(dataset.n_frames // 2):
+            prefix = "veh-" if box.category == "vehicle" else "ped-"
+            assert box.object_id.startswith(prefix)
+            assert box.depth > 0
+
+    def test_vehicle_frames_subset(self):
+        dataset = TrafficCamDataset(scale=0.002, seed=3)
+        frames = dataset.frames_with_vehicles()
+        assert frames <= set(range(dataset.n_frames))
+        assert frames  # traffic video has traffic
+
+    def test_distinct_pedestrians_nonempty(self):
+        dataset = TrafficCamDataset(scale=0.002, seed=3)
+        peds = dataset.distinct_pedestrians()
+        assert peds
+        assert all(p.startswith("ped-") for p in peds)
+
+    def test_identity_colors_distinct(self):
+        dataset = TrafficCamDataset(scale=0.004, seed=3)
+        colors = [obj.color for obj in dataset.scene.objects]
+        # golden-angle spacing: no two identities share a colour
+        assert len(set(colors)) == len(colors)
+
+    def test_frame_bounds_checked(self):
+        dataset = TrafficCamDataset(scale=0.001)
+        with pytest.raises(DatasetError, match="out of range"):
+            dataset.frame(10**6)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(DatasetError):
+            TrafficCamDataset(scale=0.0)
+        with pytest.raises(DatasetError):
+            TrafficCamDataset(scale=1.5)
+
+
+class TestPC:
+    def test_counts_and_kinds(self):
+        dataset = PCDataset(scale=0.05, seed=1)
+        kinds = {img.kind for img in dataset}
+        assert kinds <= {"photo", "screenshot", "document"}
+        assert len(dataset) >= 12
+
+    def test_duplicates_reference_existing(self):
+        dataset = PCDataset(scale=0.1, seed=1)
+        ids = {img.image_id for img in dataset}
+        for pair in dataset.duplicate_pairs():
+            assert pair <= ids
+
+    def test_duplicates_are_near_identical(self):
+        dataset = PCDataset(scale=0.1, seed=1)
+        for img in dataset:
+            if img.duplicate_of:
+                source = dataset.by_id(img.duplicate_of)
+                assert img.pixels.shape == source.pixels.shape
+                diff = np.abs(
+                    img.pixels.astype(int) - source.pixels.astype(int)
+                ).mean()
+                # the 1-px translate shifts every glyph edge, so the mean
+                # difference is edge-density-dependent; bound it loosely
+                assert diff < 25.0
+
+    def test_words_ground_truth(self):
+        dataset = PCDataset(scale=0.1, seed=1)
+        words = dataset.present_words()
+        assert words <= set(WORDS) | {""}
+        some_word = sorted(w for w in words if w)[0]
+        hits = dataset.images_with_word(some_word)
+        assert hits
+        for image_id in hits:
+            assert some_word in dataset.by_id(image_id).words
+
+    def test_by_id_missing(self):
+        dataset = PCDataset(scale=0.05, seed=1)
+        with pytest.raises(DatasetError, match="no image"):
+            dataset.by_id("pc-9999")
+
+    def test_deterministic(self):
+        a = PCDataset(scale=0.05, seed=9)
+        b = PCDataset(scale=0.05, seed=9)
+        np.testing.assert_array_equal(a.images[3].pixels, b.images[3].pixels)
+
+
+class TestFootball:
+    def test_clip_structure(self):
+        dataset = FootballDataset(scale=0.004, n_clips=3, seed=2)
+        assert dataset.n_clips == 3
+        assert dataset.total_frames == sum(c.n_frames for c in dataset.clips)
+
+    def test_tracked_player_in_every_clip(self):
+        dataset = FootballDataset(scale=0.004, n_clips=3, seed=2)
+        for clip in dataset.clips:
+            assert dataset.tracked_number in clip.player_numbers
+            assert clip.tracked_trajectory()
+
+    def test_numbers_unique_within_clip(self):
+        dataset = FootballDataset(scale=0.004, n_clips=2, seed=2)
+        for clip in dataset.clips:
+            assert len(set(clip.player_numbers)) == len(clip.player_numbers)
+
+    def test_clip_bounds(self):
+        dataset = FootballDataset(scale=0.004, n_clips=2, seed=2)
+        with pytest.raises(DatasetError, match="out of range"):
+            dataset.clip(5)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(DatasetError):
+            FootballDataset(scale=0, n_clips=2)
+        with pytest.raises(DatasetError):
+            FootballDataset(scale=0.01, n_clips=0)
+
+
+class TestWords:
+    def test_sentence_uses_stock(self):
+        rng = np.random.default_rng(0)
+        sentence = sample_sentence(rng, 4)
+        assert all(word in WORDS for word in sentence.split(" "))
+
+    def test_all_words_uppercase_renderable(self):
+        from repro.vision.glyphs import ALPHABET
+
+        for word in WORDS:
+            assert all(char in ALPHABET for char in word)

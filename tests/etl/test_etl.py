@@ -1,0 +1,216 @@
+"""Tests for patch generators, transformers, and typed pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.core.patch import Patch
+from repro.core.schema import frame_schema
+from repro.errors import ETLError, SchemaError
+from repro.etl import (
+    CropTransformer,
+    DepthTransformer,
+    EmbeddingTransformer,
+    GradientTransformer,
+    HistogramTransformer,
+    ObjectDetectorGenerator,
+    OCRGenerator,
+    Pipeline,
+    TileGenerator,
+    WholeImageGenerator,
+)
+from repro.vision import (
+    Camera,
+    DetectorNoise,
+    MonocularDepth,
+    Renderer,
+    Scene,
+    SceneObject,
+    SyntheticSSD,
+    TemplateOCR,
+    TinyEmbedder,
+)
+from repro.vision.glyphs import stamp_text
+from repro.vision.scene import linear_states
+
+NO_NOISE = DetectorNoise(p_mislabel=0.0, p_miss=0.0, p_false_positive=0.0)
+
+
+def traffic_frame_patch():
+    scene = Scene(240, 140, 1)
+    vehicle = SceneObject("veh", "vehicle", (210, 40, 40))
+    vehicle.states = linear_states(
+        scene.camera, 240, range(1), depth0=10, depth1=10,
+        lateral0=-2, lateral1=-2, real_width=4.0, real_height=1.6,
+    )
+    scene.add(vehicle)
+    person = SceneObject("ped", "person", (40, 70, 210))
+    person.states = linear_states(
+        scene.camera, 240, range(1), depth0=14, depth1=14,
+        lateral0=3, lateral1=3, real_width=0.6, real_height=1.8,
+    )
+    scene.add(person)
+    frame = Renderer(scene, seed=5).render(0)
+    return Patch.from_frame("cam", 0, frame), scene
+
+
+class TestGenerators:
+    def test_object_detector_generator(self):
+        patch, scene = traffic_frame_patch()
+        generator = ObjectDetectorGenerator(SyntheticSSD(noise=NO_NOISE))
+        detections = generator.generate(patch)
+        assert len(detections) == 2
+        labels = {d["label"] for d in detections}
+        assert labels == {"vehicle", "person"}
+        for det in detections:
+            assert det.bbox is not None
+            assert det.lineage[-1][0] == "detect"
+            assert det.data.shape[0] == det.bbox[3] - det.bbox[1]
+
+    def test_detector_schema_declares_domain(self):
+        generator = ObjectDetectorGenerator(SyntheticSSD())
+        schema = generator.output_schema(frame_schema())
+        assert schema.fields["label"].domain == frozenset({"vehicle", "person"})
+
+    def test_detector_min_score(self):
+        patch, _ = traffic_frame_patch()
+        strict = ObjectDetectorGenerator(SyntheticSSD(noise=NO_NOISE), min_score=2.0)
+        assert strict.generate(patch) == []
+
+    def test_ocr_generator(self):
+        canvas = np.full((30, 90, 3), 235, dtype=np.uint8)
+        stamp_text(canvas, "HELLO", 4, 8, scale=2, color=(20, 20, 20))
+        patch = Patch.from_frame("doc", 0, canvas)
+        results = OCRGenerator(TemplateOCR()).generate(patch)
+        assert len(results) == 1
+        assert results[0]["text"] == "HELLO"
+        assert results[0]["tokens"] == ("HELLO",)
+
+    def test_ocr_drops_blank_by_default(self):
+        blank = Patch.from_frame("doc", 0, np.full((20, 20, 3), 128, np.uint8))
+        assert OCRGenerator(TemplateOCR()).generate(blank) == []
+        kept = OCRGenerator(TemplateOCR(), keep_empty=True).generate(blank)
+        assert len(kept) == 1 and kept[0]["text"] == ""
+
+    def test_whole_image_generator(self):
+        patch, _ = traffic_frame_patch()
+        out = WholeImageGenerator().generate(patch)
+        assert len(out) == 1
+        assert out[0].data.shape == patch.data.shape
+
+    def test_tile_generator(self):
+        patch, _ = traffic_frame_patch()
+        tiles = TileGenerator(2, 3).generate(patch)
+        assert len(tiles) == 6
+        assert all(tile.bbox is not None for tile in tiles)
+        total_area = sum(
+            (t.bbox[2] - t.bbox[0]) * (t.bbox[3] - t.bbox[1]) for t in tiles
+        )
+        assert total_area == 240 * 140
+
+    def test_tile_generator_validates(self):
+        with pytest.raises(ETLError):
+            TileGenerator(0, 2)
+
+
+class TestTransformers:
+    def test_histogram_transformer(self):
+        patch, _ = traffic_frame_patch()
+        out = HistogramTransformer(bins=4).transform(patch)
+        assert out["hist"].shape == (64,)
+        assert out.lineage[-1][0] == "color-histogram"
+
+    def test_histogram_replace_data(self):
+        patch, _ = traffic_frame_patch()
+        transformer = HistogramTransformer(bins=4, replace_data=True)
+        out = transformer.transform(patch)
+        assert out.data.shape == (64,)
+        schema = transformer.output_schema(frame_schema())
+        assert schema.data_kind == "features"
+
+    def test_embedding_transformer(self):
+        patch, _ = traffic_frame_patch()
+        out = EmbeddingTransformer(TinyEmbedder(dim=16)).transform(patch)
+        assert out["emb"].shape == (16,)
+
+    def test_gradient_transformer(self):
+        patch, _ = traffic_frame_patch()
+        out = GradientTransformer(grid=2, orientations=8).transform(patch)
+        assert out["hog"].shape == (32,)
+
+    def test_depth_transformer_needs_bbox_schema(self):
+        camera = Camera(horizon_y=35, focal=168, cam_height=5)
+        transformer = DepthTransformer(MonocularDepth(camera))
+        with pytest.raises(ETLError, match="bbox"):
+            transformer.output_schema(frame_schema())
+
+    def test_depth_transformer_estimates(self):
+        patch, scene = traffic_frame_patch()
+        detector = ObjectDetectorGenerator(SyntheticSSD(noise=NO_NOISE))
+        transformer = DepthTransformer(MonocularDepth(scene.camera, noise_sigma=0.0))
+        for det in detector.generate(patch):
+            out = transformer.transform(det)
+            truth = next(
+                box.depth
+                for box in scene.ground_truth(0)
+                if box.category == out["label"]
+            )
+            assert out["depth"] == pytest.approx(truth, rel=0.3)
+
+    def test_crop_transformer(self):
+        patch, _ = traffic_frame_patch()
+        out = CropTransformer(top=0.25, bottom=0.75).transform(patch)
+        assert out.data.shape[0] == 70
+        with pytest.raises(ETLError):
+            CropTransformer(top=0.8, bottom=0.2)
+
+
+class TestPipeline:
+    def test_valid_composition(self):
+        pipeline = Pipeline(
+            [
+                ObjectDetectorGenerator(SyntheticSSD(noise=NO_NOISE)),
+                HistogramTransformer(bins=4),
+            ]
+        )
+        assert "hist" in pipeline.output_schema.fields
+        assert "label" in pipeline.output_schema.fields
+
+    def test_invalid_composition_caught_at_build(self):
+        with pytest.raises(SchemaError, match="stage 1"):
+            Pipeline(
+                [
+                    HistogramTransformer(bins=4, replace_data=True),
+                    ObjectDetectorGenerator(SyntheticSSD()),  # needs pixels
+                ]
+            )
+
+    def test_run_streams_and_times(self):
+        patch, _ = traffic_frame_patch()
+        pipeline = Pipeline(
+            [
+                ObjectDetectorGenerator(SyntheticSSD(noise=NO_NOISE)),
+                HistogramTransformer(bins=4),
+            ]
+        )
+        out = pipeline.run_to_list([patch])
+        assert len(out) == 2
+        assert pipeline.last_run_seconds is not None
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ETLError, match="at least one"):
+            Pipeline([])
+
+    def test_non_stage_rejected(self):
+        with pytest.raises(ETLError, match="neither"):
+            Pipeline([lambda patch: patch])
+
+    def test_depth_after_detector_composes(self):
+        patch, scene = traffic_frame_patch()
+        pipeline = Pipeline(
+            [
+                ObjectDetectorGenerator(SyntheticSSD(noise=NO_NOISE)),
+                DepthTransformer(MonocularDepth(scene.camera)),
+            ]
+        )
+        out = pipeline.run_to_list([patch])
+        assert all("depth" in p.metadata for p in out)

@@ -1,0 +1,78 @@
+"""Property tests: batch Ball-tree probing is equivalent to single probes.
+
+The batch probe (`query_radius_batch`) is the hot path of every similarity
+join, so its equivalence with the straightforward per-query walk — and
+with brute force — is checked across random sizes, dimensions, and radii.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexError_
+from repro.indexes import BallTree
+
+
+class TestBatchEquivalence:
+    @given(
+        st.integers(min_value=1, max_value=300),
+        st.integers(min_value=1, max_value=24),
+        st.integers(min_value=1, max_value=40),
+        st.floats(min_value=0.0, max_value=4.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batch_equals_single(self, n, dim, n_queries, radius):
+        rng = np.random.default_rng(n * 7 + dim * 13 + n_queries)
+        points = rng.normal(size=(n, dim))
+        tree = BallTree(points, leaf_size=7)
+        queries = rng.normal(size=(n_queries, dim))
+        batch = tree.query_radius_batch(queries, radius)
+        for query, hits in zip(queries, batch):
+            assert sorted(map(int, hits)) == sorted(
+                map(int, tree.query_radius(query, radius))
+            )
+
+    @given(
+        st.integers(min_value=2, max_value=150),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_batch_equals_brute_force(self, n, dim):
+        rng = np.random.default_rng(n * 31 + dim)
+        points = rng.normal(size=(n, dim))
+        queries = rng.normal(size=(8, dim))
+        radius = 1.2
+        tree = BallTree(points, leaf_size=5)
+        batch = tree.query_radius_batch(queries, radius)
+        dists = np.sqrt(
+            ((queries[:, None, :] - points[None, :, :]) ** 2).sum(axis=2)
+        )
+        for row, hits in enumerate(batch):
+            expected = set(np.flatnonzero(dists[row] <= radius).tolist())
+            assert set(map(int, hits)) == expected
+
+    def test_batch_preserves_custom_ids(self):
+        points = np.array([[0.0, 0.0], [5.0, 5.0]])
+        tree = BallTree(points, ids=["near", "far"])
+        (hits,) = tree.query_radius_batch(np.array([[0.1, 0.0]]), 1.0)
+        assert hits == ["near"]
+
+    def test_batch_shape_validation(self):
+        tree = BallTree(np.zeros((4, 3)))
+        with pytest.raises(IndexError_, match="queries"):
+            tree.query_radius_batch(np.zeros((2, 5)), 1.0)
+        with pytest.raises(IndexError_, match="non-negative"):
+            tree.query_radius_batch(np.zeros((2, 3)), -0.5)
+
+    def test_empty_query_batch(self):
+        tree = BallTree(np.zeros((4, 3)))
+        assert tree.query_radius_batch(np.zeros((0, 3)), 1.0) == []
+
+    def test_self_probe_returns_every_point(self):
+        rng = np.random.default_rng(3)
+        points = rng.normal(size=(60, 6))
+        tree = BallTree(points, leaf_size=4)
+        batch = tree.query_radius_batch(points, 0.0)
+        for row, hits in enumerate(batch):
+            assert row in {int(h) for h in hits}

@@ -1,0 +1,229 @@
+"""Tests for device cost models, compute kernels, and featurizers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DeviceError, ETLError
+from repro.vision.backends import kernels
+from repro.vision.backends.device import DEVICE_SPECS, get_device
+from repro.vision.features import (
+    color_histogram,
+    gradient_histogram,
+    histogram_distance,
+    marginal_histogram,
+)
+
+
+class TestDeviceModel:
+    def test_get_device_names(self):
+        for name in ("cpu", "avx", "gpu"):
+            assert get_device(name).name == name
+
+    def test_unknown_device(self):
+        with pytest.raises(DeviceError, match="unknown device"):
+            get_device("tpu")
+
+    def test_clock_accumulates(self):
+        device = get_device("cpu")
+        device.execute(lambda: 1, flops=1.5e9)
+        assert device.clock.elapsed == pytest.approx(1.0)
+        device.execute(lambda: 1, flops=1.5e9)
+        assert device.clock.elapsed == pytest.approx(2.0)
+
+    def test_clock_reset(self):
+        device = get_device("avx")
+        device.execute(lambda: 1, flops=24e9)
+        assert device.clock.reset() == pytest.approx(1.0)
+        assert device.clock.elapsed == 0.0
+
+    def test_avx_faster_than_cpu(self):
+        flops = 1e9
+        assert get_device("avx").cost(flops) < get_device("cpu").cost(flops)
+
+    def test_gpu_wins_big_kernels_loses_small(self):
+        gpu, avx = get_device("gpu"), get_device("avx")
+        big = dict(flops=50e9, bytes_in=10_000_000, kernels=1)
+        small = dict(flops=1e6, bytes_in=1_000, kernels=50)
+        assert gpu.cost(**big) < avx.cost(**big)
+        assert gpu.cost(**small) > avx.cost(**small)
+
+    def test_transfer_only_charged_on_gpu(self):
+        flops = 1e9
+        avx_base = get_device("avx").cost(flops)
+        avx_heavy = get_device("avx").cost(flops, bytes_in=10**9)
+        assert avx_base == avx_heavy
+        gpu_base = get_device("gpu").cost(flops)
+        gpu_heavy = get_device("gpu").cost(flops, bytes_in=10**9)
+        assert gpu_heavy > gpu_base
+
+    def test_session_overhead(self):
+        device = get_device("gpu")
+        device.open_session()
+        assert device.clock.elapsed == DEVICE_SPECS["gpu"].session_overhead_seconds
+
+    def test_negative_charge_rejected(self):
+        device = get_device("cpu")
+        with pytest.raises(DeviceError):
+            device.clock.charge(-1.0)
+
+    def test_execute_returns_result(self):
+        assert get_device("avx").execute(lambda: 42, flops=1) == 42
+
+
+class TestKernels:
+    def test_matmul_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(7, 5)), rng.normal(size=(5, 3))
+        np.testing.assert_allclose(kernels.matmul(get_device("avx"), a, b), a @ b)
+
+    def test_matmul_shape_check(self):
+        with pytest.raises(DeviceError, match="mismatch"):
+            kernels.matmul(get_device("avx"), np.zeros((2, 3)), np.zeros((4, 2)))
+
+    def test_conv2d_matches_reference(self):
+        rng = np.random.default_rng(1)
+        images = rng.normal(size=(2, 9, 8, 3))
+        weights = rng.normal(size=(3, 3, 3, 4))
+        fast = kernels.conv2d(get_device("avx"), images, weights, stride=2)
+        slow = kernels.conv2d_reference(images, weights, stride=2)
+        np.testing.assert_allclose(fast, slow, atol=1e-10)
+
+    def test_conv2d_channel_mismatch(self):
+        with pytest.raises(DeviceError, match="channel"):
+            kernels.conv2d(
+                get_device("avx"), np.zeros((1, 8, 8, 3)), np.zeros((3, 3, 4, 2))
+            )
+
+    def test_conv2d_kernel_too_large(self):
+        with pytest.raises(DeviceError, match="larger"):
+            kernels.conv2d(
+                get_device("avx"), np.zeros((1, 2, 2, 1)), np.zeros((3, 3, 1, 1))
+            )
+
+    def test_pairwise_matches_reference(self):
+        rng = np.random.default_rng(2)
+        left, right = rng.normal(size=(6, 4)), rng.normal(size=(5, 4))
+        fast = kernels.pairwise_sq_dists(get_device("avx"), left, right)
+        slow = kernels.pairwise_sq_dists_reference(left, right)
+        np.testing.assert_allclose(fast, slow, atol=1e-10)
+
+    def test_pairwise_never_negative(self):
+        x = np.ones((3, 2))
+        dists = kernels.pairwise_sq_dists(get_device("avx"), x, x)
+        assert (dists >= 0).all()
+
+    def test_pairwise_kernel_batching_charges_more_on_gpu(self):
+        rng = np.random.default_rng(3)
+        left, right = rng.normal(size=(256, 8)), rng.normal(size=(64, 8))
+        one_launch = get_device("gpu")
+        kernels.pairwise_sq_dists(one_launch, left, right)
+        many_launches = get_device("gpu")
+        kernels.pairwise_sq_dists(many_launches, left, right, rows_per_kernel=1)
+        assert many_launches.clock.elapsed > one_launch.clock.elapsed
+
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        np.testing.assert_array_equal(
+            kernels.relu(get_device("avx"), x), [0.0, 0.0, 2.0]
+        )
+
+    def test_avg_pool_to(self):
+        maps = np.arange(16, dtype=np.float64).reshape(1, 4, 4, 1)
+        pooled = kernels.avg_pool_to(get_device("avx"), maps, 2, 2)
+        np.testing.assert_allclose(pooled[0, :, :, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool_upscale_rejected(self):
+        with pytest.raises(DeviceError, match="pool"):
+            kernels.avg_pool_to(get_device("avx"), np.zeros((1, 2, 2, 1)), 4, 4)
+
+    def test_resize_mean_shapes(self):
+        image = np.random.default_rng(4).normal(size=(15, 9, 3))
+        assert kernels.resize_mean(image, 7, 5).shape == (7, 5, 3)
+        gray = np.random.default_rng(4).normal(size=(15, 9))
+        assert kernels.resize_mean(gray, 4, 4).shape == (4, 4)
+
+    def test_resize_mean_preserves_mean(self):
+        image = np.full((16, 16), 7.0)
+        np.testing.assert_allclose(kernels.resize_mean(image, 4, 4), 7.0)
+
+
+class TestFeatures:
+    def test_color_histogram_shape_and_norm(self):
+        patch = np.random.default_rng(0).integers(0, 255, (20, 20, 3), np.uint8)
+        hist = color_histogram(patch, bins=4)
+        assert hist.shape == (64,)
+        assert np.sum(hist**2) == pytest.approx(1.0)
+
+    def test_marginal_histogram_shape(self):
+        patch = np.random.default_rng(0).integers(0, 255, (20, 20, 3), np.uint8)
+        assert marginal_histogram(patch, bins=8).shape == (24,)
+
+    def test_identical_patches_zero_distance(self):
+        patch = np.random.default_rng(1).integers(0, 255, (16, 16, 3), np.uint8)
+        assert histogram_distance(
+            color_histogram(patch), color_histogram(patch)
+        ) == pytest.approx(0.0)
+
+    def test_different_colors_far(self):
+        red = np.zeros((8, 8, 3), np.uint8)
+        red[:, :, 0] = 250
+        blue = np.zeros((8, 8, 3), np.uint8)
+        blue[:, :, 2] = 250
+        assert histogram_distance(color_histogram(red), color_histogram(blue)) > 1.0
+
+    def test_histogram_scale_invariance(self):
+        # same colour distribution at different sizes -> same histogram
+        patch = np.zeros((8, 8, 3), np.uint8)
+        patch[:4] = (200, 30, 30)
+        patch[4:] = (30, 30, 200)
+        big = np.kron(patch, np.ones((4, 4, 1))).astype(np.uint8)
+        np.testing.assert_allclose(
+            color_histogram(patch), color_histogram(big), atol=1e-12
+        )
+
+    def test_rejects_bad_bins(self):
+        patch = np.zeros((4, 4, 3), np.uint8)
+        with pytest.raises(ETLError):
+            color_histogram(patch, bins=1)
+        with pytest.raises(ETLError):
+            marginal_histogram(patch, bins=100)
+
+    def test_rejects_empty_patch(self):
+        with pytest.raises(ETLError):
+            color_histogram(np.zeros((0, 4, 3), np.uint8))
+
+    def test_grayscale_promoted(self):
+        gray = np.full((8, 8), 100, np.uint8)
+        assert color_histogram(gray).shape == (64,)
+
+    def test_gradient_histogram_shape_and_norm(self):
+        patch = np.random.default_rng(2).integers(0, 255, (24, 24, 3), np.uint8)
+        descriptor = gradient_histogram(patch, grid=2, orientations=8)
+        assert descriptor.shape == (32,)
+        assert np.linalg.norm(descriptor) == pytest.approx(1.0)
+
+    def test_gradient_flat_patch_zero(self):
+        flat = np.full((16, 16), 80, np.uint8)
+        descriptor = gradient_histogram(flat)
+        assert np.linalg.norm(descriptor) == 0.0
+
+    def test_gradient_distinguishes_orientation(self):
+        yy, xx = np.mgrid[0:16, 0:16]
+        horizontal = (xx * 16).astype(np.uint8)
+        vertical = (yy * 16).astype(np.uint8)
+        dist = np.linalg.norm(
+            gradient_histogram(horizontal) - gradient_histogram(vertical)
+        )
+        assert dist > 0.5
+
+    def test_gradient_rejects_tiny(self):
+        with pytest.raises(ETLError, match="smaller"):
+            gradient_histogram(np.zeros((1, 1), np.uint8), grid=2)
+
+    @given(st.integers(2, 8))
+    @settings(max_examples=10, deadline=None)
+    def test_histogram_dims_scale_with_bins(self, bins):
+        patch = np.zeros((6, 6, 3), np.uint8)
+        assert color_histogram(patch, bins=bins).shape == (bins**3,)

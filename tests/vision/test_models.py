@@ -1,0 +1,275 @@
+"""Tests for SyntheticSSD, TemplateOCR, MonocularDepth, and TinyEmbedder."""
+
+import numpy as np
+import pytest
+
+from repro.vision import (
+    Camera,
+    Detection,
+    DetectorNoise,
+    MonocularDepth,
+    Renderer,
+    Scene,
+    SceneObject,
+    SyntheticSSD,
+    TemplateOCR,
+    TinyEmbedder,
+    get_device,
+    iou,
+)
+from repro.vision.glyphs import stamp_text
+from repro.vision.scene import linear_states
+
+
+def traffic_scene(n_frames=4, width=320, height=180, n_vehicles=2, n_persons=2):
+    scene = Scene(width=width, height=height, n_frames=n_frames)
+    cam = scene.camera
+    hues = [(210, 40, 40), (40, 80, 210), (230, 160, 30), (40, 180, 70)]
+    for i in range(n_vehicles):
+        vehicle = SceneObject(f"veh-{i}", "vehicle", hues[i % 4])
+        vehicle.states = linear_states(
+            cam, width, range(n_frames),
+            depth0=9 + 3 * i, depth1=8 + 3 * i,
+            lateral0=-5 + 3 * i, lateral1=-4.5 + 3 * i,
+            real_width=4.2, real_height=1.6,
+        )
+        scene.add(vehicle)
+    for i in range(n_persons):
+        person = SceneObject(f"ped-{i}", "person", hues[(i + 2) % 4])
+        person.states = linear_states(
+            cam, width, range(n_frames),
+            depth0=14 + 4 * i, depth1=13 + 4 * i,
+            lateral0=4 - 2 * i, lateral1=4.4 - 2 * i,
+            real_width=0.55, real_height=1.75,
+        )
+        scene.add(person)
+    return scene
+
+
+NO_NOISE = DetectorNoise(p_mislabel=0.0, p_miss=0.0, p_false_positive=0.0)
+
+
+class TestDetectionType:
+    def test_geometry_helpers(self):
+        det = Detection(bbox=(10, 20, 30, 60), label="person", score=0.9)
+        assert det.width() == 20
+        assert det.height() == 40
+        assert det.area() == 800
+
+    def test_crop(self):
+        image = np.arange(100, dtype=np.uint8).reshape(10, 10, 1).repeat(3, axis=2)
+        det = Detection(bbox=(2, 3, 5, 7), label="vehicle", score=1.0)
+        assert det.crop(image).shape == (4, 3, 3)
+
+    def test_iou(self):
+        a = (0, 0, 10, 10)
+        assert iou(a, a) == 1.0
+        assert iou(a, (10, 10, 20, 20)) == 0.0
+        assert iou(a, (5, 0, 15, 10)) == pytest.approx(1 / 3)
+
+
+class TestSyntheticSSD:
+    def test_detects_all_objects_noise_free(self):
+        scene = traffic_scene()
+        frame = Renderer(scene, seed=2).render(1)
+        detections = SyntheticSSD(noise=NO_NOISE).process(frame)
+        truth = scene.ground_truth(1)
+        assert len(detections) == len(truth)
+        for gt in truth:
+            best = max(iou(gt.bbox, det.bbox) for det in detections)
+            assert best > 0.7
+
+    def test_labels_match_categories(self):
+        scene = traffic_scene()
+        frame = Renderer(scene, seed=2).render(0)
+        detections = SyntheticSSD(noise=NO_NOISE).process(frame)
+        truth = {gt.bbox: gt.category for gt in scene.ground_truth(0)}
+        matched = 0
+        for det in detections:
+            for gt_box, category in truth.items():
+                if iou(det.bbox, gt_box) > 0.7:
+                    assert det.label == category
+                    matched += 1
+        assert matched == len(truth)
+
+    def test_empty_scene_no_detections(self):
+        scene = Scene(160, 120, 1)
+        frame = Renderer(scene, seed=2).render(0)
+        assert SyntheticSSD(noise=NO_NOISE).process(frame) == []
+
+    def test_deterministic_with_noise(self):
+        scene = traffic_scene()
+        frame = Renderer(scene, seed=2).render(0)
+        ssd = SyntheticSSD(noise=DetectorNoise(seed=5))
+        assert ssd.process(frame) == ssd.process(frame)
+
+    def test_mislabeling_rate_nonzero(self):
+        # with an aggressive mislabel rate, some labels flip vs the clean run
+        scene = traffic_scene(n_frames=12, n_vehicles=3, n_persons=3)
+        renderer = Renderer(scene, seed=2)
+        clean = SyntheticSSD(noise=NO_NOISE)
+        noisy = SyntheticSSD(noise=DetectorNoise(p_mislabel=0.5, seed=11))
+        flips = 0
+        for idx in range(scene.n_frames):
+            frame = renderer.render(idx)
+            clean_dets = {d.bbox: d.label for d in clean.process(frame)}
+            for det in noisy.process(frame):
+                if det.bbox in clean_dets and det.label != clean_dets[det.bbox]:
+                    flips += 1
+        assert flips > 0
+
+    def test_misses_tiny_objects(self):
+        # an object far away projects below min_area and is organically missed
+        scene = Scene(320, 180, 1)
+        tiny = SceneObject("far-ped", "person", (200, 30, 30))
+        tiny.states = linear_states(
+            scene.camera, 320, range(1),
+            depth0=200, depth1=200, lateral0=0, lateral1=0,
+            real_width=0.55, real_height=1.75,
+        )
+        scene.add(tiny)
+        frame = Renderer(scene, seed=2).render(0)
+        assert SyntheticSSD(noise=NO_NOISE).process(frame) == []
+
+    def test_charges_device(self):
+        device = get_device("gpu")
+        scene = traffic_scene()
+        frame = Renderer(scene, seed=2).render(0)
+        SyntheticSSD(device=device, noise=NO_NOISE).process(frame)
+        assert device.clock.elapsed > 0
+
+
+class TestTemplateOCR:
+    def make_text_patch(self, text, scale=2, fg=(20, 20, 20), bg=230):
+        width = (len(text) * 6 + 4) * scale + 8
+        canvas = np.full((7 * scale + 12, width, 3), bg, dtype=np.uint8)
+        stamp_text(canvas, text, 4, 6, scale=scale, color=fg)
+        return canvas
+
+    @pytest.mark.parametrize("text", ["HELLO", "42", "PLAY 7", "X9"])
+    def test_reads_clean_text(self, text):
+        result = TemplateOCR().process(self.make_text_patch(text))
+        assert result.text == text
+
+    def test_reads_light_on_dark(self):
+        patch = self.make_text_patch("88", fg=(240, 240, 240), bg=30)
+        assert TemplateOCR().process(patch).text == "88"
+
+    def test_blank_patch_empty(self):
+        patch = np.full((20, 40, 3), 128, dtype=np.uint8)
+        result = TemplateOCR().process(patch)
+        assert result.text == ""
+        assert result.confidence == 0.0
+
+    def test_multiline(self):
+        canvas = np.full((46, 120, 3), 235, dtype=np.uint8)
+        stamp_text(canvas, "AB", 4, 4, scale=2, color=(20, 20, 20))
+        stamp_text(canvas, "CD", 4, 26, scale=2, color=(20, 20, 20))
+        result = TemplateOCR().process(canvas)
+        assert result.text == "AB\nCD"
+        assert result.n_lines == 2
+
+    def test_tokens(self):
+        result = TemplateOCR().process(self.make_text_patch("TO BE"))
+        assert result.tokens() == ["TO", "BE"]
+
+    def test_degrades_with_heavy_compression(self):
+        from repro.storage.codecs import decode_image, encode_image
+
+        patch = self.make_text_patch("HELLO 42", scale=1)
+        ocr = TemplateOCR()
+        crushed = decode_image(encode_image(patch, 5), 5)
+        clean_conf = ocr.process(patch).confidence
+        crushed_result = ocr.process(crushed)
+        assert (
+            crushed_result.text != "HELLO 42"
+            or crushed_result.confidence < clean_conf
+        )
+
+    def test_confidence_in_unit_interval(self):
+        result = TemplateOCR().process(self.make_text_patch("ABC"))
+        assert 0.0 < result.confidence <= 1.0
+
+
+class TestMonocularDepth:
+    def test_estimates_close_to_truth(self):
+        scene = traffic_scene()
+        model = MonocularDepth(scene.camera, noise_sigma=0.0)
+        for gt in scene.ground_truth(0):
+            estimate = model.estimate(gt.bbox)
+            assert estimate == pytest.approx(gt.depth, rel=0.25)
+
+    def test_ordering_preserved(self):
+        # the property q6 actually needs: farther pedestrian = larger estimate
+        scene = traffic_scene(n_persons=2, n_vehicles=0)
+        model = MonocularDepth(scene.camera, noise_sigma=0.03)
+        truth = sorted(scene.ground_truth(0), key=lambda g: g.depth)
+        estimates = [model.estimate(g.bbox) for g in truth]
+        assert estimates == sorted(estimates)
+
+    def test_deterministic(self):
+        cam = Camera(horizon_y=45, focal=216, cam_height=5)
+        model = MonocularDepth(cam, seed=3)
+        assert model.estimate((10, 60, 20, 90)) == model.estimate((10, 60, 20, 90))
+
+    def test_patch_only_path(self):
+        cam = Camera(horizon_y=45, focal=216, cam_height=5)
+        model = MonocularDepth(cam, noise_sigma=0.0)
+        patch = np.zeros((36, 12, 3), dtype=np.uint8)
+        # scale cue: depth = focal * 1.7 / 36
+        assert model.process(patch) == pytest.approx(216 * 1.7 / 36, rel=1e-6)
+
+
+class TestTinyEmbedder:
+    def test_unit_norm(self):
+        embedder = TinyEmbedder(dim=32)
+        patch = np.random.default_rng(0).integers(0, 255, (40, 30, 3), dtype=np.uint8)
+        vec = embedder.process(patch)
+        assert vec.shape == (32,)
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_deterministic_given_seed(self):
+        patch = np.random.default_rng(1).integers(0, 255, (24, 24, 3), dtype=np.uint8)
+        a = TinyEmbedder(dim=16, seed=9).process(patch)
+        b = TinyEmbedder(dim=16, seed=9).process(patch)
+        np.testing.assert_array_equal(a, b)
+
+    def test_near_duplicates_closer_than_distinct(self):
+        rng = np.random.default_rng(2)
+        base = rng.integers(0, 255, (40, 40, 3)).astype(np.uint8)
+        near = np.clip(
+            base.astype(int) + rng.integers(-6, 6, base.shape), 0, 255
+        ).astype(np.uint8)
+        other = rng.integers(0, 255, (40, 40, 3)).astype(np.uint8)
+        embedder = TinyEmbedder(dim=32)
+        e_base, e_near, e_other = (
+            embedder.process(base), embedder.process(near), embedder.process(other),
+        )
+        assert np.linalg.norm(e_base - e_near) < np.linalg.norm(e_base - e_other)
+
+    def test_batch_matches_single(self):
+        rng = np.random.default_rng(3)
+        patches = [rng.integers(0, 255, (20, 25, 3)).astype(np.uint8) for _ in range(4)]
+        embedder = TinyEmbedder(dim=16)
+        batch = embedder.embed_batch(patches)
+        for idx, patch in enumerate(patches):
+            np.testing.assert_allclose(batch[idx], embedder.process(patch))
+
+    def test_empty_batch(self):
+        assert TinyEmbedder(dim=8).embed_batch([]).shape == (0, 8)
+
+    def test_grayscale_and_tiny_patches(self):
+        embedder = TinyEmbedder(dim=8)
+        assert embedder.process(np.zeros((5, 5), dtype=np.uint8)).shape == (8,)
+        assert embedder.process(np.zeros((1, 1, 3), dtype=np.uint8)).shape == (8,)
+
+    def test_gpu_batch_cheaper_per_item_than_per_patch(self):
+        rng = np.random.default_rng(4)
+        patches = [rng.integers(0, 255, (20, 20, 3)).astype(np.uint8) for _ in range(16)]
+        batched_device = get_device("gpu")
+        TinyEmbedder(device=batched_device, dim=16).embed_batch(patches)
+        serial_device = get_device("gpu")
+        embedder = TinyEmbedder(device=serial_device, dim=16)
+        for patch in patches:
+            embedder.process(patch)
+        assert batched_device.clock.elapsed < serial_device.clock.elapsed

@@ -1,0 +1,179 @@
+"""Tests for the scene model, camera geometry, glyphs, and renderer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DatasetError, DeepLensError
+from repro.vision import Camera, Renderer, Scene, SceneObject
+from repro.vision.glyphs import ALPHABET, glyph_bitmap, stamp_text, text_bitmap
+from repro.vision.scene import ObjectState, linear_states
+
+
+def simple_scene(n_frames=3, width=160, height=120):
+    scene = Scene(width=width, height=height, n_frames=n_frames)
+    vehicle = SceneObject("veh-1", "vehicle", (210, 40, 40))
+    vehicle.states = linear_states(
+        scene.camera, width, range(n_frames),
+        depth0=10, depth1=9, lateral0=-2, lateral1=-1,
+        real_width=4.0, real_height=1.6,
+    )
+    scene.add(vehicle)
+    return scene
+
+
+class TestCamera:
+    def test_projection_shrinks_with_depth(self):
+        cam = Camera(horizon_y=30, focal=150, cam_height=5)
+        _, _, w_near, h_near = cam.place(10, 0, 4, 1.6, 320)
+        _, _, w_far, h_far = cam.place(30, 0, 4, 1.6, 320)
+        assert w_far < w_near
+        assert h_far < h_near
+
+    def test_foot_line_inverts_projection(self):
+        cam = Camera(horizon_y=30, focal=150, cam_height=5)
+        for depth in (5.0, 12.0, 40.0):
+            _, cy, _, h = cam.place(depth, 0, 0.5, 1.7, 320)
+            y_bottom = cy + h / 2
+            assert cam.depth_from_foot(y_bottom) == pytest.approx(depth)
+
+    def test_rejects_nonpositive_depth(self):
+        cam = Camera(horizon_y=30, focal=150, cam_height=5)
+        with pytest.raises(DatasetError, match="positive"):
+            cam.place(0, 0, 1, 1, 320)
+
+    def test_rejects_above_horizon_foot(self):
+        cam = Camera(horizon_y=30, focal=150, cam_height=5)
+        with pytest.raises(DatasetError, match="horizon"):
+            cam.depth_from_foot(20)
+
+    @given(st.floats(min_value=2.0, max_value=80.0))
+    @settings(max_examples=50)
+    def test_roundtrip_depth_any(self, depth):
+        cam = Camera(horizon_y=45, focal=216, cam_height=5)
+        _, cy, _, h = cam.place(depth, 0, 0.5, 1.7, 320)
+        assert cam.depth_from_foot(cy + h / 2) == pytest.approx(depth, rel=1e-9)
+
+
+class TestScene:
+    def test_painter_order_far_first(self):
+        scene = Scene(160, 120, 1)
+        near = SceneObject("a", "vehicle", (200, 0, 0))
+        near.states = {0: ObjectState(0, 50, 60, 20, 10, depth=5.0)}
+        far = SceneObject("b", "vehicle", (0, 0, 200))
+        far.states = {0: ObjectState(0, 50, 60, 20, 10, depth=50.0)}
+        scene.add(near)
+        scene.add(far)
+        order = [obj.object_id for obj, _ in scene.objects_at(0)]
+        assert order == ["b", "a"]
+
+    def test_ground_truth_clips_to_frame(self):
+        scene = Scene(100, 100, 1)
+        obj = SceneObject("edge", "person", (0, 200, 0))
+        obj.states = {0: ObjectState(0, 2, 50, 20, 30, depth=10.0)}
+        scene.add(obj)
+        (box,) = scene.ground_truth(0)
+        assert box.bbox[0] == 0
+        assert box.bbox[2] > 0
+
+    def test_offscreen_object_excluded(self):
+        scene = Scene(100, 100, 1)
+        obj = SceneObject("gone", "person", (0, 200, 0))
+        obj.states = {0: ObjectState(0, -50, 50, 20, 30, depth=10.0)}
+        scene.add(obj)
+        assert scene.ground_truth(0) == []
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(DatasetError):
+            Scene(0, 100, 10)
+
+    def test_all_ground_truth_covers_frames(self):
+        scene = simple_scene(n_frames=4)
+        frames = {box.frame for box in scene.all_ground_truth()}
+        assert frames == {0, 1, 2, 3}
+
+
+class TestGlyphs:
+    def test_bitmap_shape(self):
+        assert glyph_bitmap("A").shape == (7, 5)
+
+    def test_distinct_glyphs(self):
+        assert not np.array_equal(glyph_bitmap("0"), glyph_bitmap("8"))
+
+    def test_unknown_char_raises(self):
+        with pytest.raises(DeepLensError, match="glyph font"):
+            glyph_bitmap("@")
+
+    def test_lowercase_maps_to_upper(self):
+        np.testing.assert_array_equal(glyph_bitmap("a"), glyph_bitmap("A"))
+
+    def test_text_bitmap_width(self):
+        assert text_bitmap("AB").shape == (7, 11)  # 5 + 1 + 5
+        assert text_bitmap("").shape == (7, 0)
+
+    def test_stamp_clips_at_edges(self):
+        canvas = np.zeros((10, 10, 3), dtype=np.float64)
+        box = stamp_text(canvas, "88", x=7, y=8, color=(255, 255, 255))
+        assert box[2] <= 10 and box[3] <= 10
+        assert canvas.max() == 255
+
+    def test_stamp_fully_outside_is_noop(self):
+        canvas = np.zeros((10, 10, 3), dtype=np.float64)
+        stamp_text(canvas, "8", x=50, y=50)
+        assert canvas.max() == 0
+
+    def test_alphabet_all_renderable(self):
+        for char in ALPHABET:
+            assert glyph_bitmap(char).shape == (7, 5)
+
+
+class TestRenderer:
+    def test_deterministic(self):
+        scene = simple_scene()
+        a = Renderer(scene, seed=3).render(1)
+        b = Renderer(scene, seed=3).render(1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_static_background_between_frames(self):
+        # frames differ only where objects moved: top-left corner is empty
+        scene = simple_scene()
+        renderer = Renderer(scene, seed=3)
+        f0, f1 = renderer.render(0), renderer.render(1)
+        np.testing.assert_array_equal(f0[:20, :20], f1[:20, :20])
+
+    def test_object_pixels_saturated(self):
+        scene = simple_scene()
+        frame = Renderer(scene, seed=3).render(0).astype(np.int16)
+        (gt,) = scene.ground_truth(0)
+        x1, y1, x2, y2 = gt.bbox
+        body = frame[(y1 + y2) // 2, (x1 + x2) // 2]
+        assert body.max() - body.min() > 60
+
+    def test_background_unsaturated(self):
+        scene = Scene(160, 120, 1)
+        frame = Renderer(scene, seed=3).render(0).astype(np.int16)
+        saturation = frame.max(axis=2) - frame.min(axis=2)
+        assert saturation.mean() < 25
+
+    def test_render_all_yields_n_frames(self):
+        scene = simple_scene(n_frames=5)
+        frames = list(Renderer(scene).render_all())
+        assert len(frames) == 5
+
+    def test_temporal_noise_changes_frames(self):
+        scene = Scene(64, 48, 2)
+        renderer = Renderer(scene, seed=3, temporal_noise=2.0)
+        assert not np.array_equal(renderer.render(0), renderer.render(1))
+
+    def test_occlusion_near_wins(self):
+        scene = Scene(100, 100, 1)
+        far = SceneObject("far", "vehicle", (0, 0, 220))
+        far.states = {0: ObjectState(0, 50, 52, 40, 20, depth=30.0)}
+        near = SceneObject("near", "vehicle", (220, 0, 0))
+        near.states = {0: ObjectState(0, 50, 52, 40, 20, depth=5.0)}
+        scene.add(far)
+        scene.add(near)
+        frame = Renderer(scene, seed=0).render(0)
+        center = frame[52, 50]
+        assert center[0] > center[2]  # red (near) on top
