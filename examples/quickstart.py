@@ -1,4 +1,4 @@
-"""Quickstart: ingest a video, run visual ETL, query with indexes.
+"""Quickstart: ingest a video, run visual ETL, query with the pipeline API.
 
 The minimal end-to-end DeepLens workflow on synthetic CCTV footage:
 
@@ -6,8 +6,11 @@ The minimal end-to-end DeepLens workflow on synthetic CCTV footage:
    with coarse temporal push-down);
 2. run an ETL pipeline (object detector -> colour-histogram featurizer);
 3. materialize the detections and build a hash index on the label;
-4. query: how many frames contain a vehicle? (the paper's q2)
-5. backtrace one detection to its base frame through lineage.
+4. query with the fluent pipeline API — a brightness UDF map, a label
+   filter the rewriter pushes *below* the UDF, ordering, limit, and
+   projection — and read the optimizer's explanation;
+5. aggregate: how many frames contain a vehicle? (the paper's q2)
+6. backtrace one detection to its base frame through lineage.
 
 Run: ``python examples/quickstart.py``
 """
@@ -19,6 +22,11 @@ from repro.core import Attr, DeepLens
 from repro.datasets import TrafficCamDataset
 from repro.etl import HistogramTransformer, ObjectDetectorGenerator, Pipeline
 from repro.vision import SyntheticSSD
+
+
+def add_brightness(patch):
+    """A tiny query-time UDF: annotate each detection with its mean level."""
+    return patch.derive(patch.data, "brightness", brightness=float(patch.data.mean()))
 
 
 def main() -> None:
@@ -53,20 +61,50 @@ def main() -> None:
         db.create_index("detections", "label", "hash")
         db.create_index("detections", "frameno", "btree")
 
-        query = db.scan("detections").filter(Attr("label") == "vehicle")
+        # a declarative pipeline: the label filter is written *after* the
+        # UDF map, but it does not read the UDF's output, so the rewriter
+        # pushes it below the map — the (cheap) index lookup prunes rows
+        # before the (expensive) inference runs, and cache=True memoizes
+        # UDF results by patch lineage for any later query
+        query = (
+            db.scan("detections")
+            .map(
+                add_brightness,
+                name="brightness",
+                provides={"brightness"},
+                one_to_one=True,
+                cache=True,
+            )
+            .filter(Attr("label") == "vehicle")
+            .order_by("brightness", reverse=True)
+            .limit(5)
+            .select("label", "frameno", "brightness")
+        )
         print("\nplan chosen by the optimizer:")
         print(query.explain())
 
         with Timer() as query_timer:
-            n_frames = query.distinct_count(lambda patch: patch["frameno"])
+            brightest = query.patches()
         print(
-            f"\nq2 answer: {n_frames} frames contain a vehicle "
-            f"({query_timer.seconds * 1000:.1f} ms query time)"
+            f"\nbrightest vehicle detections "
+            f"({query_timer.seconds * 1000:.1f} ms, batched execution):"
+        )
+        for patch in brightest:
+            print(
+                f"  frame {patch['frameno']:>4}  brightness "
+                f"{patch['brightness']:.1f}"
+            )
+
+        # q2 via the aggregate terminal: frames containing a vehicle
+        vehicles = db.scan("detections").filter(Attr("label") == "vehicle")
+        n_frames = vehicles.aggregate(
+            "distinct_count", key=lambda patch: patch["frameno"]
         )
         truth = len(dataset.frames_with_vehicles())
+        print(f"\nq2 answer: {n_frames} frames contain a vehicle")
         print(f"ground truth: {truth} frames")
 
-        sample = query.first()
+        sample = vehicles.first()
         source, frame = db.lineage.backtrace(sample)
         siblings = db.lineage.patches_from_base(source, frame)
         print(

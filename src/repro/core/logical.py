@@ -1,0 +1,265 @@
+"""Logical query plan IR.
+
+The fluent :class:`~repro.core.session.QueryBuilder` API builds a tree of
+these nodes instead of physical operators. Between the builder and the
+physical plan sit two passes:
+
+* the **rewriter** (:mod:`repro.core.optimizer.rewriter`) applies
+  rule-based logical rewrites — filter-conjunct splitting, predicate
+  push-down below UDF maps, limit push-down, UDF memoization — the
+  DeepLens Section 5 story of reordering inference and filters;
+* **lowering** (:mod:`repro.core.optimizer.lowering`) turns the rewritten
+  tree into physical operators, delegating access-path and join-strategy
+  selection to the cost-based :class:`~repro.core.optimizer.Optimizer`.
+
+Nodes are immutable; rewrites produce new trees via :meth:`with_children`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.expressions import (
+    AlwaysTrue,
+    And,
+    Between,
+    Comparison,
+    Expr,
+    Not,
+    Or,
+    Predicate,
+)
+from repro.core.patch import Patch
+from repro.errors import QueryError
+
+
+def expr_attrs(expr: Expr) -> frozenset[str] | None:
+    """The set of metadata attributes an expression reads.
+
+    Returns ``None`` when the set is unknowable (an opaque
+    :class:`Predicate` appears anywhere in the tree) — callers must then
+    treat the expression as touching *everything*, which blocks push-down.
+    """
+    if isinstance(expr, (Comparison, Between)):
+        return frozenset({expr.attr})
+    if isinstance(expr, AlwaysTrue):
+        return frozenset()
+    if isinstance(expr, (And, Or)):
+        out: frozenset[str] = frozenset()
+        for child in expr.children:
+            child_attrs = expr_attrs(child)
+            if child_attrs is None:
+                return None
+            out |= child_attrs
+        return out
+    if isinstance(expr, Not):
+        return expr_attrs(expr.child)
+    if isinstance(expr, Predicate):
+        return None
+    return None
+
+
+@dataclass(frozen=True, eq=False)
+class LogicalPlan:
+    """Base class for logical plan nodes."""
+
+    def children(self) -> tuple["LogicalPlan", ...]:
+        return tuple(
+            value
+            for f in fields(self)
+            if isinstance(value := getattr(self, f.name), LogicalPlan)
+        )
+
+    def with_children(self, *new_children: "LogicalPlan") -> "LogicalPlan":
+        """Copy of this node with its child slots replaced, in field order."""
+        updates: dict[str, LogicalPlan] = {}
+        remaining = list(new_children)
+        for f in fields(self):
+            if isinstance(getattr(self, f.name), LogicalPlan):
+                if not remaining:
+                    raise QueryError(
+                        f"{type(self).__name__}.with_children: too few children"
+                    )
+                updates[f.name] = remaining.pop(0)
+        if remaining:
+            raise QueryError(
+                f"{type(self).__name__}.with_children: too many children"
+            )
+        return replace(self, **updates)
+
+    def label(self) -> str:
+        return type(self).__name__
+
+    def describe(self, indent: int = 0) -> str:
+        """Indented tree rendering, root first."""
+        lines = ["  " * indent + self.label()]
+        for child in self.children():
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True, eq=False)
+class Scan(LogicalPlan):
+    """Leaf: read a materialized collection."""
+
+    collection: str
+    load_data: bool = True
+
+    def label(self) -> str:
+        return f"Scan({self.collection})"
+
+
+@dataclass(frozen=True, eq=False)
+class Filter(LogicalPlan):
+    """Keep rows whose ``on``-th patch satisfies ``expr``.
+
+    ``on`` only matters above a join (rows are pairs there); it is 0 —
+    the left patch — unless the caller says otherwise.
+    """
+
+    child: LogicalPlan
+    expr: Expr
+    on: int = 0
+
+    def label(self) -> str:
+        side = f"[on={self.on}]" if self.on else ""
+        return f"Filter{side}{self.expr!r}"
+
+
+@dataclass(frozen=True, eq=False)
+class Map(LogicalPlan):
+    """Apply a patch -> patch(es) UDF.
+
+    ``provides`` declares the UDF's metadata contract: it writes exactly
+    these attributes and passes every other attribute through unchanged
+    (which :meth:`Patch.derive` does naturally) — the promise predicate
+    push-down relies on, since a pushed filter reads pre-UDF attributes
+    on post-UDF rows. A UDF that builds fresh patches or drops
+    attributes must not declare ``provides``. ``None`` (the default)
+    means *undeclared*: the UDF may write or drop anything, so no filter
+    is pushed below it; an explicit empty set asserts the UDF writes
+    nothing and preserves everything. ``batch_fn`` is an optional
+    vectorized implementation taking a list of patches and returning one
+    result per input. ``one_to_one`` promises the UDF emits exactly one
+    patch per input (enables limit push-down); ``cache`` memoizes
+    results keyed by patch lineage id (EVA-style inference caching).
+    """
+
+    child: LogicalPlan
+    fn: Callable[[Patch], Patch | list[Patch] | None]
+    name: str = "udf"
+    provides: frozenset[str] | None = None
+    batch_fn: Callable[[list[Patch]], list[Patch | list[Patch] | None]] | None = None
+    one_to_one: bool = False
+    cache: bool = False
+
+    def label(self) -> str:
+        extras = []
+        if self.cache:
+            extras.append("cached")
+        if self.provides is not None:
+            extras.append(f"provides={sorted(self.provides)}")
+        suffix = f" [{', '.join(extras)}]" if extras else ""
+        return f"Map({self.name}){suffix}"
+
+
+@dataclass(frozen=True, eq=False)
+class Project(LogicalPlan):
+    """Keep only the listed metadata attributes (and drop pixel data
+    unless ``keep_data``)."""
+
+    child: LogicalPlan
+    attrs: tuple[str, ...]
+    keep_data: bool = False
+
+    def label(self) -> str:
+        return f"Project({', '.join(self.attrs)})"
+
+
+@dataclass(frozen=True, eq=False)
+class Limit(LogicalPlan):
+    """Emit at most ``n`` rows."""
+
+    child: LogicalPlan
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise QueryError(f"limit must be non-negative, got {self.n}")
+
+    def label(self) -> str:
+        return f"Limit({self.n})"
+
+
+@dataclass(frozen=True, eq=False)
+class OrderBy(LogicalPlan):
+    """Sort rows by a metadata attribute (pipeline breaker)."""
+
+    child: LogicalPlan
+    attr: str
+    reverse: bool = False
+
+    def label(self) -> str:
+        direction = " desc" if self.reverse else ""
+        return f"OrderBy({self.attr}{direction})"
+
+
+@dataclass(frozen=True, eq=False)
+class SimilarityJoin(LogicalPlan):
+    """Pairs of (left, right) patches within ``threshold`` in feature space."""
+
+    left: LogicalPlan
+    right: LogicalPlan
+    threshold: float
+    features: Callable[[Patch], np.ndarray] | None = None
+    dim: int | None = None
+    exclude_self: bool = False
+
+    def label(self) -> str:
+        return f"SimilarityJoin(threshold={self.threshold})"
+
+
+#: supported aggregate kinds -> required arguments
+AGGREGATE_KINDS = ("count", "distinct_count", "group")
+
+
+@dataclass(frozen=True, eq=False)
+class Aggregate(LogicalPlan):
+    """Terminal reduction over the child's rows.
+
+    ``kind`` is one of :data:`AGGREGATE_KINDS`; ``key`` maps the row's
+    first patch to a grouping/dedup key; ``reducer`` folds each group's
+    row list (group kind only).
+    """
+
+    child: LogicalPlan
+    kind: str
+    key: Callable[[Patch], Any] | None = None
+    reducer: Callable[[list], Any] = len
+
+    def __post_init__(self) -> None:
+        if self.kind not in AGGREGATE_KINDS:
+            raise QueryError(
+                f"unknown aggregate kind {self.kind!r}; "
+                f"expected one of {AGGREGATE_KINDS}"
+            )
+        if self.kind in ("distinct_count", "group") and self.key is None:
+            raise QueryError(f"aggregate kind {self.kind!r} needs a key function")
+        # reject arguments the kind would silently ignore — a key on
+        # 'count' almost certainly meant 'distinct_count' or 'group'
+        if self.kind == "count" and self.key is not None:
+            raise QueryError(
+                "aggregate kind 'count' takes no key; use 'distinct_count' "
+                "or 'group'"
+            )
+        if self.kind != "group" and self.reducer is not len:
+            raise QueryError(
+                f"aggregate kind {self.kind!r} takes no reducer; only "
+                f"'group' reduces"
+            )
+
+    def label(self) -> str:
+        return f"Aggregate({self.kind})"

@@ -7,12 +7,19 @@ from repro.core.operators.aggregates import (
     UnionFind,
     cluster_pairs,
 )
-from repro.core.operators.base import Operator, as_rows
+from repro.core.operators.base import (
+    DEFAULT_BATCH_SIZE,
+    Batch,
+    Operator,
+    as_rows,
+    slice_batches,
+)
 from repro.core.operators.joins import (
     BallTreeSimilarityJoin,
     IndexEqJoin,
     NestedLoopJoin,
     RTreeOverlapJoin,
+    SwapSides,
 )
 from repro.core.operators.scans import (
     CollectionScan,
@@ -22,12 +29,15 @@ from repro.core.operators.scans import (
     Limit,
     MapPatches,
     OrderBy,
+    Project,
     Select,
 )
 
 __all__ = [
     "BallTreeSimilarityJoin",
+    "Batch",
     "CollectionScan",
+    "DEFAULT_BATCH_SIZE",
     "Distinct",
     "DistinctCount",
     "GroupBy",
@@ -40,9 +50,12 @@ __all__ = [
     "NestedLoopJoin",
     "Operator",
     "OrderBy",
+    "Project",
     "RTreeOverlapJoin",
     "Select",
+    "SwapSides",
     "UnionFind",
     "as_rows",
     "cluster_pairs",
+    "slice_batches",
 ]

@@ -16,6 +16,21 @@ from typing import Iterable, Iterator
 from repro.core.patch import Patch, Row
 from repro.errors import QueryError
 
+#: A batch flowing between operators under the batched protocol.
+Batch = list[Row]
+
+#: rows per batch when callers don't say otherwise
+DEFAULT_BATCH_SIZE = 256
+
+
+def slice_batches(rows, size: int):
+    """Yield fixed-size slices of an in-memory sequence (the last may be
+    short) — the one place the re-chunking policy lives."""
+    if size < 1:
+        raise QueryError(f"batch size must be positive, got {size}")
+    for start in range(0, len(rows), size):
+        yield rows[start : start + size]
+
 
 class Operator(ABC):
     """One dataflow operator producing rows of patches."""
@@ -23,9 +38,41 @@ class Operator(ABC):
     #: number of patches per output row
     arity: int = 1
 
+    #: True for operators that must consume their entire input before
+    #: emitting anything (sorts); early-exit stages above them (limits)
+    #: use this to decide whether shrinking the batch size helps
+    pipeline_breaker: bool = False
+
     @abstractmethod
     def __iter__(self) -> Iterator[Row]:
         """Yield output rows."""
+
+    # -- batched protocol -------------------------------------------------
+
+    def iter_batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+        """Yield output rows in ``list[Row]`` chunks of at most ``size``.
+
+        ``size`` is the caller's execution granularity — a vectorized
+        UDF's batch contract, for instance — and flows through the whole
+        pipeline unchanged: no stage hands its child a larger size, so a
+        caller-chosen bound (GPU memory, model batch limit) holds
+        everywhere below the root.
+
+        The default implementation chunks :meth:`__iter__`; operators on
+        the hot path (scans, selects, maps) override it to move whole
+        batches through the pipeline — fewer generator hops per row, and
+        vectorized UDFs get their inputs pre-gathered.
+        """
+        if size < 1:
+            raise QueryError(f"batch size must be positive, got {size}")
+        batch: Batch = []
+        for row in self:
+            batch.append(row)
+            if len(batch) >= size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
 
     # -- terminal convenience methods ------------------------------------
 

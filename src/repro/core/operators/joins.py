@@ -216,6 +216,24 @@ class BallTreeSimilarityJoin(Operator):
                 yield (left_patch, right_patch)
 
 
+class SwapSides(Operator):
+    """Reverse the two patches of arity-2 rows.
+
+    Lets the planner build the Ball-tree on whichever join side is
+    cheaper while callers still receive (left, right) in query order.
+    """
+
+    def __init__(self, child: Operator) -> None:
+        if child.arity != 2:
+            raise QueryError("SwapSides expects arity-2 rows")
+        self.child = child
+        self.arity = 2
+
+    def __iter__(self) -> Iterator[Row]:
+        for a, b in self.child:
+            yield (b, a)
+
+
 def _same_patch(a: Patch, b: Patch) -> bool:
     if a.patch_id is not None and b.patch_id is not None:
         return a.patch_id == b.patch_id

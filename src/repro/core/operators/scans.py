@@ -12,10 +12,18 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator
 
+import numpy as np
+
 from repro.core.catalog import MaterializedCollection
 from repro.core.expressions import Expr
-from repro.core.operators.base import Operator, as_rows
-from repro.core.patch import Patch, Row
+from repro.core.operators.base import (
+    DEFAULT_BATCH_SIZE,
+    Batch,
+    Operator,
+    as_rows,
+    slice_batches,
+)
+from repro.core.patch import FRAME_KEY, LINEAGE_KEY, SOURCE_KEY, Patch, Row
 from repro.errors import QueryError
 
 
@@ -34,6 +42,15 @@ class IteratorScan(Operator):
             )
         self._consumed = True
         return as_rows(iter(self._patches))
+
+    def iter_batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+        if isinstance(self._patches, (list, tuple)):
+            # slice directly instead of re-chunking a row iterator
+            self._consumed = True
+            for chunk in slice_batches(self._patches, size):
+                yield [(patch,) for patch in chunk]
+            return
+        yield from super().iter_batches(size)
 
 
 class CollectionScan(Operator):
@@ -117,11 +134,29 @@ class Select(Operator):
             if self.expr.evaluate(row[self.on]):
                 yield row
 
+    def iter_batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+        evaluate, on = self.expr.evaluate, self.on
+        # re-accumulate survivors to full batches: a selective filter
+        # feeding ragged chunks into a vectorized UDF would dilute the
+        # batching win the filter push-down exists to deliver
+        pending: Batch = []
+        for batch in self.child.iter_batches(size):
+            pending.extend(row for row in batch if evaluate(row[on]))
+            while len(pending) >= size:
+                yield pending[:size]
+                pending = pending[size:]
+        if pending:
+            yield pending
+
 
 class MapPatches(Operator):
     """Apply a patch -> patch(es) function (a generator/transformer stage).
 
     ``fn`` may return one patch, a list of patches, or None (drop).
+    ``batch_fn``, when given, is a vectorized implementation used by the
+    batched protocol: it takes a list of patches and must return one
+    result (patch / list / None) per input — the hook batched model
+    inference plugs into.
     """
 
     def __init__(
@@ -130,23 +165,49 @@ class MapPatches(Operator):
         fn: Callable[[Patch], Patch | list[Patch] | None],
         *,
         on: int = 0,
+        batch_fn: Callable[[list[Patch]], list[Patch | list[Patch] | None]]
+        | None = None,
     ) -> None:
         if child.arity != 1:
             raise QueryError("MapPatches operates on arity-1 rows")
         self.child = child
         self.fn = fn
         self.on = on
+        self.batch_fn = batch_fn
+
+    @staticmethod
+    def _result_rows(result: Patch | list[Patch] | None) -> list[Row]:
+        """Normalize one UDF result into output rows (None drops)."""
+        if result is None:
+            return []
+        if isinstance(result, Patch):
+            return [(result,)]
+        return [(patch,) for patch in result]
 
     def __iter__(self) -> Iterator[Row]:
         for row in self.child:
-            result = self.fn(row[self.on])
-            if result is None:
-                continue
-            if isinstance(result, Patch):
-                yield (result,)
+            yield from self._result_rows(self.fn(row[self.on]))
+
+    def iter_batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+        on = self.on
+        for batch in self.child.iter_batches(size):
+            inputs = [row[on] for row in batch]
+            if self.batch_fn is not None:
+                results = self.batch_fn(inputs)
+                if len(results) != len(inputs):
+                    raise QueryError(
+                        f"batch_fn returned {len(results)} results for "
+                        f"{len(inputs)} patches"
+                    )
             else:
-                for patch in result:
-                    yield (patch,)
+                fn = self.fn
+                results = [fn(patch) for patch in inputs]
+            out: Batch = []
+            for result in results:
+                out.extend(self._result_rows(result))
+            # expanding UDFs can overshoot the batch bound: re-chunk so
+            # downstream stages still see at most ``size`` rows per batch
+            yield from slice_batches(out, size)
 
 
 class Limit(Operator):
@@ -169,9 +230,38 @@ class Limit(Operator):
             if remaining == 0:
                 return
 
+    def iter_batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+        remaining = self.n
+        if remaining == 0:
+            return
+        # shrinking the child's batch to n bounds how far a lazy chain
+        # computes past the limit — but when a pipeline breaker (which
+        # consumes everything regardless) sits anywhere below, it would
+        # only starve upstream vectorized stages of full batches, so
+        # leave ``size`` alone. Never *inflate*: ``size`` is the
+        # caller's contract.
+        child_size = size if _breaker_below(self.child) else min(size, remaining)
+        for batch in self.child.iter_batches(child_size):
+            if len(batch) >= remaining:
+                yield batch[:remaining]
+                return
+            yield batch
+            remaining -= len(batch)
+
+
+def _breaker_below(operator: Operator | None) -> bool:
+    """True when a pipeline breaker sits anywhere down the child chain."""
+    while operator is not None:
+        if operator.pipeline_breaker:
+            return True
+        operator = getattr(operator, "child", None)
+    return False
+
 
 class OrderBy(Operator):
     """Sort rows by a key over the first patch (pipeline breaker)."""
+
+    pipeline_breaker = True
 
     def __init__(
         self, child: Operator, key: Callable[[Patch], object], *, reverse: bool = False
@@ -185,3 +275,54 @@ class OrderBy(Operator):
         rows = list(self.child)
         rows.sort(key=lambda row: self.key(row[0]), reverse=self.reverse)
         return iter(rows)
+
+    def iter_batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+        rows: list[Row] = [
+            row for batch in self.child.iter_batches(size) for row in batch
+        ]
+        rows.sort(key=lambda row: self.key(row[0]), reverse=self.reverse)
+        yield from slice_batches(rows, size)
+
+
+class Project(Operator):
+    """Project each patch down to the listed metadata attributes.
+
+    Internal keys (lineage, source, frameno) survive so backtracing and
+    downstream temporal logic keep working; the pixel/feature payload is
+    dropped unless ``keep_data`` — the classic "stop carrying the image
+    once only metadata is needed" optimization.
+    """
+
+    #: metadata keys a projection never removes
+    ALWAYS_KEPT = (LINEAGE_KEY, SOURCE_KEY, FRAME_KEY)
+
+    def __init__(
+        self, child: Operator, attrs: Iterable[str], *, keep_data: bool = False
+    ) -> None:
+        if child.arity != 1:
+            raise QueryError("Project operates on arity-1 rows")
+        self.child = child
+        self.attrs = tuple(attrs)
+        self.keep_data = keep_data
+        self._keep = set(self.attrs) | set(self.ALWAYS_KEPT)
+
+    def _project(self, patch: Patch) -> Patch:
+        keep = self._keep
+        metadata = {
+            key: value for key, value in patch.metadata.items() if key in keep
+        }
+        return Patch(
+            img_ref=patch.img_ref,  # frozen, shareable as-is
+            data=patch.data if self.keep_data else np.empty(0, dtype=np.uint8),
+            metadata=metadata,
+            patch_id=patch.patch_id,
+        )
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self.child:
+            yield (self._project(row[0]),)
+
+    def iter_batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+        project = self._project
+        for batch in self.child.iter_batches(size):
+            yield [(project(row[0]),) for row in batch]

@@ -7,12 +7,18 @@ from repro.core.optimizer.advisor import (
     WorkloadProfile,
 )
 from repro.core.optimizer.cost import CostModel
+from repro.core.optimizer.lowering import (
+    AggregateExecution,
+    UDFCache,
+    plan_pipeline,
+)
 from repro.core.optimizer.optimizer import (
     Explanation,
     Optimizer,
     PlanAccuracy,
     PlanChoice,
 )
+from repro.core.optimizer.rewriter import AppliedRewrite, rewrite
 from repro.core.optimizer.synthesis import (
     ComponentSpec,
     PipelineSynthesizer,
@@ -20,6 +26,8 @@ from repro.core.optimizer.synthesis import (
 )
 
 __all__ = [
+    "AggregateExecution",
+    "AppliedRewrite",
     "ComponentSpec",
     "CostModel",
     "Explanation",
@@ -31,5 +39,8 @@ __all__ = [
     "StorageAdvisor",
     "StorageRecommendation",
     "SynthesisResult",
+    "UDFCache",
     "WorkloadProfile",
+    "plan_pipeline",
+    "rewrite",
 ]

@@ -1,0 +1,489 @@
+"""Lowering: logical plan -> physical operators.
+
+:func:`plan_pipeline` is the planner entry point the
+:class:`~repro.core.session.QueryBuilder` uses — it rewrites the logical
+tree (:mod:`repro.core.optimizer.rewriter`), lowers every node to the
+physical operators of :mod:`repro.core.operators`, and merges the
+cost-based decisions made along the way (access-path selection for each
+scan+filter group, join-strategy selection for similarity joins) into one
+:class:`~repro.core.optimizer.Explanation` that also carries the applied
+logical rewrites.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core import logical
+from repro.core.expressions import And, Comparison, Expr
+from repro.core.operators import (
+    DEFAULT_BATCH_SIZE,
+    BallTreeSimilarityJoin,
+    DistinctCount,
+    GroupBy,
+    Limit,
+    MapPatches,
+    NestedLoopJoin,
+    Operator,
+    OrderBy,
+    Project,
+    Select,
+    SwapSides,
+)
+from repro.core.optimizer.optimizer import (
+    EQ_SELECTIVITY,
+    Explanation,
+    Optimizer,
+    PlanChoice,
+    RANGE_SELECTIVITY,
+)
+from repro.core.optimizer.rewriter import rewrite
+from repro.core.patch import LINEAGE_KEY, Patch
+from repro.errors import QueryError
+
+#: feature dimensionality assumed for join costing when the caller gives
+#: no ``dim`` (vectors are opaque callables until execution)
+DEFAULT_JOIN_DIM = 8
+
+
+class UDFCache:
+    """Memoized UDF results keyed by patch lineage id.
+
+    Two patches with the same lineage chain are the same logical patch
+    (same base image, same derivation), so a deterministic UDF's output
+    can be reused across queries — the paper's "materialize intermediate
+    inference" / EVA's inference-result caching, scoped to a session.
+
+    Keys include the UDF function object, so hits require the *same*
+    function across queries — hoist UDFs to module/session level rather
+    than recreating lambdas per query. The store is bounded
+    (``max_entries``, FIFO eviction), so per-query lambdas degrade to
+    wasted space at worst, never unbounded growth.
+    """
+
+    def __init__(self, max_entries: int = 100_000) -> None:
+        if max_entries < 1:
+            raise QueryError(
+                f"max_entries must be positive, got {max_entries}"
+            )
+        self._store: dict[Any, Any] = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def _put(self, key: Any, value: Any) -> None:
+        if key not in self._store and len(self._store) >= self.max_entries:
+            # FIFO eviction: dicts preserve insertion order
+            self._store.pop(next(iter(self._store)))
+        self._store[key] = value
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    @staticmethod
+    def _key(name: str, fn: Callable, patch: Patch) -> tuple:
+        # fn itself participates in the key (functions hash by identity,
+        # and living in the key keeps them alive) so two different UDFs
+        # sharing a name — e.g. both left at the default — never collide.
+        # The data shape distinguishes the same logical patch with its
+        # payload present vs projected away (select() / load_data=False),
+        # and the metadata fingerprint distinguishes patches whose
+        # lineage chains coincide but whose attributes differ — derive()
+        # records op/params, not metadata_updates, so lineage alone is
+        # not a sound memo key.
+        return (
+            name,
+            fn,
+            patch.patch_id,
+            patch.lineage,
+            patch.data.shape,
+            _meta_fingerprint(patch.metadata),
+        )
+
+    @staticmethod
+    def _isolate(value: Any) -> Any:
+        """Deep-copy the mutable parts of cached patches (metadata —
+        including nested arrays/lists — data array, patch_id slot) so
+        neither the cache nor callers can corrupt the other —
+        materialize() assigns patch_id in place, and callers may
+        post-process data arrays or metadata values in place."""
+        if isinstance(value, Patch):
+            return Patch(
+                img_ref=value.img_ref,
+                data=value.data.copy(),
+                metadata=copy.deepcopy(value.metadata),
+                patch_id=value.patch_id,
+            )
+        if isinstance(value, list):
+            return [UDFCache._isolate(item) for item in value]
+        return value
+
+    def wrap(
+        self, name: str, fn: Callable[[Patch], Any]
+    ) -> Callable[[Patch], Any]:
+        def cached(patch: Patch) -> Any:
+            try:
+                key = self._key(name, fn, patch)
+                value = self._store[key]
+            except KeyError:
+                pass
+            except TypeError:  # unhashable lineage/metadata: skip caching
+                return fn(patch)
+            else:
+                self.hits += 1
+                return self._isolate(value)
+            self.misses += 1
+            value = fn(patch)
+            self._put(key, self._isolate(value))
+            return value
+
+        return cached
+
+    def wrap_batch(
+        self,
+        name: str,
+        batch_fn: Callable[[list[Patch]], list],
+        *,
+        identity: Callable | None = None,
+    ) -> Callable[[list[Patch]], list]:
+        """Batched variant: only cache misses reach the vectorized UDF.
+
+        ``identity`` (defaulting to ``batch_fn``) is the function used in
+        cache keys; passing the map's scalar fn lets the row and batch
+        paths of one UDF share entries.
+        """
+        ident = identity if identity is not None else batch_fn
+
+        def cached(patches: list[Patch]) -> list:
+            results: list = [None] * len(patches)
+            keys: list = [None] * len(patches)
+            missing: list[int] = []
+            for position, patch in enumerate(patches):
+                try:
+                    keys[position] = self._key(name, ident, patch)
+                    results[position] = self._isolate(
+                        self._store[keys[position]]
+                    )
+                    self.hits += 1
+                except (KeyError, TypeError):
+                    missing.append(position)
+            if missing:
+                self.misses += len(missing)
+                fresh = batch_fn([patches[i] for i in missing])
+                if len(fresh) != len(missing):
+                    raise QueryError(
+                        f"batch_fn returned {len(fresh)} results for "
+                        f"{len(missing)} patches"
+                    )
+                for position, value in zip(missing, fresh):
+                    results[position] = value
+                    if keys[position] is None:  # key construction failed
+                        continue
+                    try:
+                        self._put(keys[position], self._isolate(value))
+                    except TypeError:  # key built but unhashable
+                        pass
+            return results
+
+        return cached
+
+
+@dataclass
+class AggregateExecution:
+    """A lowered aggregate: the child operator plus the reduction to run."""
+
+    operator: Operator
+    kind: str
+    key: Callable[[Patch], Any] | None
+    reducer: Callable[[list], Any]
+
+    def execute(self, *, batch_size: int | None = DEFAULT_BATCH_SIZE) -> Any:
+        """Run the reduction; batched like every other terminal
+        (``batch_size=None`` forces the row-at-a-time path)."""
+        if batch_size is None:
+            rows = self.operator
+        else:
+            rows = (
+                row
+                for batch in self.operator.iter_batches(batch_size)
+                for row in batch
+            )
+        # DistinctCount/GroupBy only iterate their child, so a flattened
+        # row stream reuses their semantics on the batched path too
+        if self.kind == "count":
+            return sum(1 for _ in rows)
+        if self.kind == "distinct_count":
+            return DistinctCount(rows, self.key).execute()
+        return GroupBy(rows, self.key, self.reducer).execute()
+
+
+def plan_pipeline(
+    optimizer: Optimizer,
+    plan: logical.LogicalPlan,
+    *,
+    udf_cache: UDFCache | None = None,
+) -> tuple[Operator | AggregateExecution, Explanation]:
+    """Rewrite + lower a logical plan; returns the physical root and the
+    merged explanation (logical rewrites + every physical candidate)."""
+    rewritten, applied = rewrite(plan)
+    lowering = _Lowering(optimizer, udf_cache)
+    root = lowering.lower(rewritten)
+    explanation = _merge_decisions(lowering.decisions)
+    explanation.rewrites = [str(entry) for entry in applied] + lowering.notes
+    explanation.logical_plan = rewritten.describe()
+    return root, explanation
+
+
+def _merge_decisions(decisions: list[Explanation]) -> Explanation:
+    if not decisions:  # degenerate plan with no cost decision (unreached
+        # by QueryBuilder, which always roots at a Scan)
+        trivial = PlanChoice("pipeline", 0.0)
+        return Explanation(chosen=trivial, candidates=[trivial])
+    # the last decision is the outermost (joins above scans): lead with
+    # it, pool all candidates, and keep the per-decision structure so a
+    # winner inside one decision isn't mistaken for a loser of another
+    primary = decisions[-1]
+    candidates = [choice for expl in decisions for choice in expl.candidates]
+    return Explanation(
+        chosen=primary.chosen,
+        candidates=candidates,
+        sections=list(decisions) if len(decisions) > 1 else [],
+    )
+
+
+class _Lowering:
+    def __init__(self, optimizer: Optimizer, udf_cache: UDFCache | None) -> None:
+        self.optimizer = optimizer
+        self.udf_cache = udf_cache
+        self.decisions: list[Explanation] = []
+        #: extra explain-trace lines (one per memoized map; each map node
+        #: lowers exactly once, so no dedup is needed)
+        self.notes: list[str] = []
+
+    # -- node dispatch --------------------------------------------------
+
+    def lower(self, node: logical.LogicalPlan) -> Operator | AggregateExecution:
+        if isinstance(node, logical.Aggregate):
+            child = self._lower_rows(node.child)
+            return AggregateExecution(child, node.kind, node.key, node.reducer)
+        return self._lower_rows(node)
+
+    def _lower_rows(self, node: logical.LogicalPlan) -> Operator:
+        if isinstance(node, (logical.Filter, logical.Scan)):
+            return self._lower_scan_group(node)
+        if isinstance(node, logical.Map):
+            return self._lower_map(node)
+        if isinstance(node, logical.Project):
+            return Project(
+                self._lower_rows(node.child), node.attrs, keep_data=node.keep_data
+            )
+        if isinstance(node, logical.Limit):
+            return Limit(self._lower_rows(node.child), node.n)
+        if isinstance(node, logical.OrderBy):
+            return OrderBy(
+                self._lower_rows(node.child),
+                key=_attr_key(node.attr),
+                reverse=node.reverse,
+            )
+        if isinstance(node, logical.SimilarityJoin):
+            return self._lower_similarity_join(node)
+        raise QueryError(f"cannot lower logical node {node.label()}")
+
+    # -- scans and filters ----------------------------------------------
+
+    def _lower_scan_group(self, node: logical.LogicalPlan) -> Operator:
+        """A maximal Filter* -> Scan chain becomes one access-path
+        decision; filters over anything else lower to plain Selects."""
+        filters: list[logical.Filter] = []
+        current = node
+        while isinstance(current, logical.Filter):
+            filters.append(current)
+            current = current.child
+        if isinstance(current, logical.Scan):
+            for f in filters:
+                if f.on != 0:
+                    raise QueryError(
+                        f"filter on patch {f.on} but rows over "
+                        f"{current.collection!r} have a single patch"
+                    )
+            combined = _combine_exprs([f.expr for f in filters])
+            operator, explanation = self.optimizer.plan_filter(
+                current.collection, combined, load_data=current.load_data
+            )
+            self.decisions.append(explanation)
+            return operator
+        operator = self._lower_rows(current)
+        for f in reversed(filters):  # innermost logical filter first
+            if f.on >= operator.arity:
+                raise QueryError(
+                    f"filter on patch {f.on} but rows have arity "
+                    f"{operator.arity}"
+                )
+            operator = Select(operator, f.expr, on=f.on)
+        return operator
+
+    # -- maps ------------------------------------------------------------
+
+    def _lower_map(self, node: logical.Map) -> Operator:
+        child = self._lower_rows(node.child)
+        fn, batch_fn = node.fn, node.batch_fn
+        if node.cache:
+            if self.udf_cache is None:
+                raise QueryError(
+                    f"map {node.name!r} asks for caching but the planner "
+                    f"has no UDF cache"
+                )
+            if batch_fn is not None:
+                batch_fn = self.udf_cache.wrap_batch(
+                    node.name, batch_fn, identity=fn
+                )
+            fn = self.udf_cache.wrap(node.name, fn)
+            self.notes.append(
+                f"memoize-udf: map {node.name!r} memoized by patch lineage id"
+            )
+        return MapPatches(child, fn, batch_fn=batch_fn)
+
+    # -- joins -----------------------------------------------------------
+
+    def _lower_similarity_join(self, node: logical.SimilarityJoin) -> Operator:
+        left_op = self._lower_rows(node.left)
+        right_op = self._lower_rows(node.right)
+        n_left = max(self._estimate_rows(node.left), 1)
+        n_right = max(self._estimate_rows(node.right), 1)
+        dim = node.dim or DEFAULT_JOIN_DIM
+        explanation = self.optimizer.plan_similarity_join(n_left, n_right, dim)
+        self.decisions.append(explanation)
+        features = node.features or _default_features
+        kind = explanation.chosen.kind
+        if kind == "nested-loop":
+            return NestedLoopJoin(
+                left_op,
+                right_op,
+                _distance_theta(features, node.threshold),
+                exclude_self=node.exclude_self,
+            )
+        if kind == "balltree-index-left":
+            # build on the left, probe with the right, then restore the
+            # caller's (left, right) output order
+            return SwapSides(
+                BallTreeSimilarityJoin(
+                    right_op,
+                    left_op,
+                    threshold=node.threshold,
+                    features=features,
+                    exclude_self=node.exclude_self,
+                )
+            )
+        return BallTreeSimilarityJoin(
+            left_op,
+            right_op,
+            threshold=node.threshold,
+            features=features,
+            exclude_self=node.exclude_self,
+        )
+
+    # -- cardinality guesses ---------------------------------------------
+
+    def _estimate_rows(self, node: logical.LogicalPlan) -> int:
+        if isinstance(node, logical.Scan):
+            try:
+                return len(self.optimizer.catalog.collection(node.collection))
+            except QueryError:
+                return 1
+        if isinstance(node, logical.Filter):
+            expr = node.expr
+            if isinstance(expr, Comparison) and expr.op == "==":
+                selectivity = EQ_SELECTIVITY
+            else:  # ranges, connectives, opaque predicates
+                selectivity = RANGE_SELECTIVITY
+            return int(self._estimate_rows(node.child) * selectivity)
+        if isinstance(node, logical.Limit):
+            return min(node.n, self._estimate_rows(node.child))
+        children = node.children()
+        if not children:
+            return 1
+        return self._estimate_rows(children[0])
+
+
+def _combine_exprs(exprs: list[Expr]) -> Expr | None:
+    if not exprs:
+        return None
+    if len(exprs) == 1:
+        return exprs[0]
+    # exprs were collected outermost-first; restore query order
+    ordered = list(reversed(exprs))
+    return And(*ordered)
+
+
+def _meta_fingerprint(metadata: dict) -> tuple:
+    """A hashable digest of a patch's metadata for cache keying.
+
+    Unhashable oddball values raise TypeError here, which the cache's
+    existing handler turns into "skip caching for this patch".
+    """
+    return tuple(
+        sorted(
+            (key, _value_fingerprint(value))
+            for key, value in metadata.items()
+            if key != LINEAGE_KEY  # the lineage chain is keyed separately
+        )
+    )
+
+
+def _value_fingerprint(value: Any) -> Any:
+    if isinstance(value, np.ndarray):
+        return ("ndarray", value.shape, value.dtype.str, hash(value.tobytes()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_value_fingerprint(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(
+            sorted((key, _value_fingerprint(item)) for key, item in value.items())
+        )
+    return value
+
+
+def _default_features(patch: Patch) -> np.ndarray:
+    data = patch.data
+    if data.size == 0:
+        # otherwise every 0-dim pair is at distance 0 and the join
+        # silently degenerates to a cross product
+        raise QueryError(
+            f"similarity join default features need patch data, but patch "
+            f"{patch.patch_id} has none (was it projected away by a "
+            f"select()? pass features=... or keep_data=True)"
+        )
+    return data
+
+
+def _attr_key(attr: str) -> Callable[[Patch], Any]:
+    missing = object()
+
+    def key(patch: Patch) -> Any:
+        value = patch.metadata.get(attr, missing)
+        if value is missing:
+            raise QueryError(
+                f"order_by attribute {attr!r} missing on patch "
+                f"{patch.patch_id}"
+            )
+        return value
+
+    return key
+
+
+def _distance_theta(
+    features: Callable[[Patch], np.ndarray], threshold: float
+) -> Callable[[Patch, Patch], bool]:
+    def theta(a: Patch, b: Patch) -> bool:
+        va = np.asarray(features(a), dtype=np.float64).ravel()
+        vb = np.asarray(features(b), dtype=np.float64).ravel()
+        return float(np.linalg.norm(va - vb)) <= threshold
+
+    return theta

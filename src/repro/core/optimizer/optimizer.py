@@ -58,13 +58,40 @@ class PlanAccuracy:
 
 @dataclass
 class Explanation:
-    """The optimizer's reasoning: every candidate and the winner."""
+    """The optimizer's reasoning: every candidate and the winner.
+
+    For pipeline queries planned through the logical IR, ``rewrites``
+    lists the applied logical rewrites (one line each), ``logical_plan``
+    holds the rewritten tree rendering, and ``sections`` keeps each
+    cost decision (one per scan group / join) intact so readers can see
+    which candidate won *within* each decision — the flat ``candidates``
+    list pools them all. All three stay empty for direct physical
+    planning calls.
+    """
 
     chosen: PlanChoice
     candidates: list[PlanChoice]
+    rewrites: list[str] = field(default_factory=list)
+    logical_plan: str | None = None
+    sections: list["Explanation"] = field(default_factory=list)
 
     def __str__(self) -> str:
-        lines = [f"chosen: {self.chosen}"]
+        lines = []
+        if self.logical_plan:
+            lines.append("logical plan:")
+            lines.extend(f"  {line}" for line in self.logical_plan.splitlines())
+        if self.rewrites:
+            lines.append("applied rewrites:")
+            lines.extend(f"  {rewrite}" for rewrite in self.rewrites)
+        if self.sections:
+            for number, section in enumerate(self.sections, 1):
+                lines.append(f"decision {number}: chosen: {section.chosen}")
+                lines.extend(
+                    f"  considered: {candidate}"
+                    for candidate in section.candidates
+                )
+            return "\n".join(lines)
+        lines.append(f"chosen: {self.chosen}")
         lines.extend(f"  considered: {candidate}" for candidate in self.candidates)
         return "\n".join(lines)
 
@@ -84,20 +111,28 @@ class Optimizer:
     # -- access-path selection ----------------------------------------------
 
     def plan_filter(
-        self, collection_name: str, expr: Expr | None
+        self, collection_name: str, expr: Expr | None, *, load_data: bool = True
     ) -> tuple[Operator, Explanation]:
-        """Best access path for ``SELECT * FROM collection WHERE expr``."""
+        """Best access path for ``SELECT * FROM collection WHERE expr``.
+
+        ``load_data=False`` plans a metadata-only scan: the pixel/feature
+        payload is never deserialized — the fast path for queries that
+        only touch metadata.
+        """
         collection = self.catalog.collection(collection_name)
         n = max(len(collection), 1)
         candidates: list[tuple[PlanChoice, Operator]] = []
 
-        full = Select(CollectionScan(collection), expr) if expr else CollectionScan(collection)
+        scan = CollectionScan(collection, load_data=load_data)
+        full = Select(scan, expr) if expr else scan
         candidates.append(
             (PlanChoice("full-scan", self.cost.full_scan(n)), full)
         )
 
         if expr is not None:
-            candidates.extend(self._index_candidates(collection_name, expr, n))
+            candidates.extend(
+                self._index_candidates(collection_name, expr, n, load_data)
+            )
 
         candidates.sort(key=lambda pair: pair[0].cost_seconds)
         chosen_choice, chosen_op = candidates[0]
@@ -106,7 +141,7 @@ class Optimizer:
         )
 
     def _index_candidates(
-        self, collection_name: str, expr: Expr, n: int
+        self, collection_name: str, expr: Expr, n: int, load_data: bool = True
     ) -> list[tuple[PlanChoice, Operator]]:
         collection = self.catalog.collection(collection_name)
         conjuncts = expr.conjuncts()
@@ -119,7 +154,8 @@ class Optimizer:
                     if not self.catalog.has_index(collection_name, conjunct.attr, kind):
                         continue
                     scan: Operator = IndexLookupScan(
-                        collection, conjunct.attr, conjunct.value, kind
+                        collection, conjunct.attr, conjunct.value, kind,
+                        load_data=load_data,
                     )
                     if residual is not None:
                         scan = Select(scan, residual)
@@ -139,7 +175,7 @@ class Optimizer:
                 collection_name, _attr_of(conjunct), "btree"
             ):
                 attr = _attr_of(conjunct)
-                scan = IndexRangeScan(collection, attr, lo, hi)
+                scan = IndexRangeScan(collection, attr, lo, hi, load_data=load_data)
                 combined = _combine(bound_residual, residual)
                 if combined is not None:
                     scan = Select(scan, combined)

@@ -1,0 +1,164 @@
+"""Rule-based logical plan rewriter.
+
+Each rule is a local transformation on one node (and its immediate
+children); :func:`rewrite` applies the rule set bottom-up until fixpoint
+and returns both the rewritten tree and a trace of every applied rewrite,
+which :meth:`QueryBuilder.explain` surfaces next to the physical plan
+candidates.
+
+The rule menu (the logical half of DeepLens Section 5 / EVA's optimizer):
+
+* ``split-filter-conjuncts`` — an AND-of-conjuncts filter becomes a chain
+  of single-conjunct filters so each conjunct can move independently;
+* ``pushdown-filter-below-map`` — a filter whose attributes are disjoint
+  from a map UDF's declared outputs commutes below the map, so the (cheap)
+  predicate prunes rows before the (expensive) inference runs;
+* ``pushdown-limit`` — limits slide below projections and one-to-one maps,
+  and adjacent limits collapse to the tighter bound.
+
+(``cache=True`` maps are memoized at lowering time, where each map node
+is visited exactly once; lowering records that in the explain trace.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.expressions import And
+from repro.core.logical import (
+    Filter,
+    Limit,
+    LogicalPlan,
+    Map,
+    Project,
+    expr_attrs,
+)
+
+#: safety bound on rewrite passes (each pass walks the whole tree)
+MAX_PASSES = 32
+
+
+@dataclass(frozen=True)
+class AppliedRewrite:
+    """One rewrite the planner performed, for explain() output."""
+
+    rule: str
+    description: str
+
+    def __str__(self) -> str:
+        return f"{self.rule}: {self.description}"
+
+
+def rewrite(plan: LogicalPlan) -> tuple[LogicalPlan, list[AppliedRewrite]]:
+    """Apply the rule set to fixpoint; returns (new plan, trace)."""
+    trace: list[AppliedRewrite] = []
+    for _ in range(MAX_PASSES):
+        plan, changed = _rewrite_once(plan, trace)
+        if not changed:
+            break
+    return plan, trace
+
+
+def _rewrite_once(
+    plan: LogicalPlan, trace: list[AppliedRewrite]
+) -> tuple[LogicalPlan, bool]:
+    """One bottom-up pass; returns (possibly new node, anything changed)."""
+    changed = False
+    new_children = []
+    for child in plan.children():
+        new_child, child_changed = _rewrite_once(child, trace)
+        new_children.append(new_child)
+        changed = changed or child_changed
+    if changed:
+        plan = plan.with_children(*new_children)
+    for rule in (_split_filter, _pushdown_filter, _pushdown_limit, _merge_limits):
+        rewritten = rule(plan, trace)
+        if rewritten is not None:
+            return rewritten, True
+    return plan, changed
+
+
+def _split_filter(
+    plan: LogicalPlan, trace: list[AppliedRewrite]
+) -> LogicalPlan | None:
+    if not (isinstance(plan, Filter) and isinstance(plan.expr, And)):
+        return None
+    conjuncts = plan.expr.conjuncts()
+    node = plan.child
+    # stack so the first conjunct ends up evaluated first (innermost)
+    for conjunct in conjuncts:
+        node = Filter(node, conjunct, on=plan.on)
+    trace.append(
+        AppliedRewrite(
+            "split-filter-conjuncts",
+            f"split {plan.expr!r} into {len(conjuncts)} single-conjunct filters",
+        )
+    )
+    return node
+
+
+def _pushdown_filter(
+    plan: LogicalPlan, trace: list[AppliedRewrite]
+) -> LogicalPlan | None:
+    if not (
+        isinstance(plan, Filter) and plan.on == 0 and isinstance(plan.child, Map)
+    ):
+        return None
+    map_node = plan.child
+    attrs = expr_attrs(plan.expr)
+    if attrs is None or map_node.provides is None or attrs & map_node.provides:
+        # opaque predicate, a UDF with undeclared outputs, or a
+        # predicate reading the UDF's outputs: pushing down would be
+        # unsound, keep the filter above the map
+        return None
+    trace.append(
+        AppliedRewrite(
+            "pushdown-filter-below-map",
+            f"pushed {plan.expr!r} below map {map_node.name!r} "
+            f"(predicate does not read its outputs)",
+        )
+    )
+    return replace(map_node, child=Filter(map_node.child, plan.expr))
+
+
+def _pushdown_limit(
+    plan: LogicalPlan, trace: list[AppliedRewrite]
+) -> LogicalPlan | None:
+    if not isinstance(plan, Limit):
+        return None
+    child = plan.child
+    if isinstance(child, Project):
+        inner: LogicalPlan = Limit(child.child, plan.n)
+        trace.append(
+            AppliedRewrite(
+                "pushdown-limit", f"pushed limit {plan.n} below projection"
+            )
+        )
+        return replace(child, child=inner)
+    if isinstance(child, Map) and child.one_to_one:
+        inner = Limit(child.child, plan.n)
+        trace.append(
+            AppliedRewrite(
+                "pushdown-limit",
+                f"pushed limit {plan.n} below one-to-one map {child.name!r}",
+            )
+        )
+        return replace(child, child=inner)
+    return None
+
+
+def _merge_limits(
+    plan: LogicalPlan, trace: list[AppliedRewrite]
+) -> LogicalPlan | None:
+    if not (isinstance(plan, Limit) and isinstance(plan.child, Limit)):
+        return None
+    tighter = min(plan.n, plan.child.n)
+    trace.append(
+        AppliedRewrite(
+            "merge-limits",
+            f"collapsed limits {plan.n} and {plan.child.n} to {tighter}",
+        )
+    )
+    return Limit(plan.child.child, tighter)
+
+

@@ -5,31 +5,50 @@ the patch catalog, lineage, indexes — and exposes the workflow of Figure 1:
 
     ingest (storage layer) -> load -> ETL -> materialize -> query
 
-Example::
+Queries are fluent pipelines planned through the logical IR
+(:mod:`repro.core.logical`): filters, UDF maps, projections, limits,
+ordering, similarity joins, and aggregates compose freely, the rewriter
+reorders predicates around inference, and execution moves batches of rows
+through the physical operators. Example::
 
     with DeepLens(workdir) as db:
         db.ingest_video("cam0", dataset.frames(), layout="segmented")
         detections = pipeline.run(db.load("cam0"))
         db.materialize(detections, "detections")
         db.create_index("detections", "label", "hash")
-        n_vehicles = (
-            db.scan("detections").filter(Attr("label") == "vehicle").count()
+        busiest = (
+            db.scan("detections")
+            .map(score_udf, name="score", provides={"score"}, cache=True)
+            .filter(Attr("label") == "vehicle")   # pushed below the UDF
+            .order_by("score", reverse=True)
+            .limit(10)
+            .select("label", "frameno", "score")
+            .patches()
         )
+        print(db.scan("detections").explain())   # rewrites + plan choices
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 import numpy as np
 
+from repro.core import logical
 from repro.core.catalog import Catalog, MaterializedCollection
 from repro.core.expressions import Expr
 from repro.core.lineage import LineageStore
-from repro.core.operators import Operator
-from repro.core.optimizer import CostModel, Explanation, Optimizer
-from repro.core.patch import Patch
+from repro.core.operators import DEFAULT_BATCH_SIZE, Operator
+from repro.core.optimizer import (
+    AggregateExecution,
+    CostModel,
+    Explanation,
+    Optimizer,
+    UDFCache,
+    plan_pipeline,
+)
+from repro.core.patch import Patch, Row
 from repro.core.schema import PatchSchema
 from repro.errors import QueryError, StorageError
 from repro.storage.formats import VideoStore, load_patches, open_store
@@ -43,6 +62,8 @@ class DeepLens:
         os.makedirs(self.workdir, exist_ok=True)
         self.catalog = Catalog(os.path.join(self.workdir, "catalog"))
         self.optimizer = Optimizer(self.catalog, CostModel())
+        #: session-scoped memo for cache=True query UDFs
+        self.udf_cache = UDFCache()
         self._videos: dict[str, VideoStore] = {}
         self._video_dir = os.path.join(self.workdir, "videos")
         meta = self.catalog.pager.get_meta()
@@ -141,34 +162,145 @@ class DeepLens:
 
     # -- querying -----------------------------------------------------------
 
-    def scan(self, collection_name: str) -> "QueryBuilder":
-        """Start a query over a materialized collection."""
-        return QueryBuilder(self, collection_name)
+    def scan(self, collection_name: str, *, load_data: bool = True) -> "QueryBuilder":
+        """Start a query over a materialized collection.
+
+        ``load_data=False`` scans metadata only (patches come back with
+        empty ``data``) — the fast path for label/frameno-style queries.
+        """
+        return QueryBuilder(
+            self,
+            collection_name,
+            logical.Scan(collection_name, load_data=load_data),
+        )
 
 
 class QueryBuilder:
-    """Fluent select-project query over one collection, optimizer-planned."""
+    """Fluent query pipeline over one collection, optimizer-planned.
 
-    def __init__(self, session: DeepLens, collection_name: str) -> None:
+    Each call appends a node to a logical plan; terminals hand the plan
+    to the planner (rewrite -> lower -> physical operators) and execute
+    it batched. The builder is immutable-ish: every call returns a new
+    builder, so partial pipelines can be shared and extended safely.
+    """
+
+    def __init__(
+        self,
+        session: DeepLens,
+        collection_name: str,
+        plan: logical.LogicalPlan | None = None,
+    ) -> None:
         self.session = session
         self.collection_name = collection_name
-        self._filter: Expr | None = None
+        self._plan = plan if plan is not None else logical.Scan(collection_name)
 
-    def filter(self, expr: Expr) -> "QueryBuilder":
-        if self._filter is None:
-            self._filter = expr
-        else:
-            self._filter = self._filter & expr
-        return self
+    def _extend(self, plan: logical.LogicalPlan) -> "QueryBuilder":
+        return QueryBuilder(self.session, self.collection_name, plan)
+
+    # -- pipeline stages --------------------------------------------------
+
+    def filter(self, expr: Expr, *, on: int = 0) -> "QueryBuilder":
+        """Keep rows whose patch satisfies ``expr``; chained calls AND.
+
+        After a join, rows are (left, right) pairs and the predicate is
+        evaluated on one side only: ``on=0`` (the left patch, default) or
+        ``on=1`` (the right). Filter both sides with two calls.
+        """
+        return self._extend(logical.Filter(self._plan, expr, on=on))
+
+    def map(
+        self,
+        fn: Callable[[Patch], Patch | list[Patch] | None],
+        *,
+        name: str = "udf",
+        provides: Iterable[str] | None = None,
+        batch_fn: Callable[[list[Patch]], list] | None = None,
+        one_to_one: bool = False,
+        cache: bool = False,
+    ) -> "QueryBuilder":
+        """Apply a UDF (one patch -> patch / list / None).
+
+        ``provides`` declares the UDF's metadata contract — it writes
+        exactly these attributes and passes all others through unchanged
+        (as ``patch.derive(...)`` does) — so the rewriter knows which
+        later filters commute below it. Only declare it when that holds;
+        a UDF that builds fresh patches or drops attributes must leave
+        it ``None`` (undeclared), which keeps every later filter above
+        the map. ``batch_fn`` gives batched execution a vectorized
+        implementation; ``cache=True`` memoizes results by patch lineage
+        id in the session's :class:`UDFCache`.
+        """
+        return self._extend(
+            logical.Map(
+                self._plan,
+                fn,
+                name=name,
+                provides=None if provides is None else frozenset(provides),
+                batch_fn=batch_fn,
+                one_to_one=one_to_one,
+                cache=cache,
+            )
+        )
+
+    def select(self, *attrs: str, keep_data: bool = False) -> "QueryBuilder":
+        """Project each patch down to the listed metadata attributes."""
+        if not attrs:
+            raise QueryError("select() needs at least one attribute")
+        return self._extend(logical.Project(self._plan, attrs, keep_data=keep_data))
+
+    def limit(self, n: int) -> "QueryBuilder":
+        """Emit at most ``n`` rows."""
+        return self._extend(logical.Limit(self._plan, n))
+
+    def order_by(self, attr: str, *, reverse: bool = False) -> "QueryBuilder":
+        """Sort by a metadata attribute; missing attributes raise at
+        execution time."""
+        return self._extend(logical.OrderBy(self._plan, attr, reverse=reverse))
+
+    def similarity_join(
+        self,
+        other: "QueryBuilder | str",
+        *,
+        threshold: float,
+        features: Callable[[Patch], np.ndarray] | None = None,
+        dim: int | None = None,
+        exclude_self: bool = False,
+    ) -> "QueryBuilder":
+        """Join with ``other`` on feature distance <= ``threshold``.
+
+        The optimizer picks nested-loop vs Ball-tree (and the build side)
+        from the cost model; rows become (left, right) patch pairs, so
+        use :meth:`rows` / :meth:`count` rather than :meth:`patches`.
+        """
+        if isinstance(other, str):
+            other = self.session.scan(other)
+        return self._extend(
+            logical.SimilarityJoin(
+                self._plan,
+                other._plan,
+                threshold=threshold,
+                features=features,
+                dim=dim,
+                exclude_self=exclude_self,
+            )
+        )
 
     # -- planning -----------------------------------------------------------
 
     def plan(self) -> tuple[Operator, Explanation]:
-        return self.session.optimizer.plan_filter(self.collection_name, self._filter)
+        operator, explanation = plan_pipeline(
+            self.session.optimizer, self._plan, udf_cache=self.session.udf_cache
+        )
+        assert isinstance(operator, Operator)  # Aggregate only via aggregate()
+        return operator, explanation
 
     def explain(self) -> Explanation:
         _, explanation = self.plan()
         return explanation
+
+    def logical_plan(self) -> logical.LogicalPlan:
+        """The (un-rewritten) logical plan built so far."""
+        return self._plan
 
     # -- terminals ------------------------------------------------------
 
@@ -176,20 +308,66 @@ class QueryBuilder:
         operator, _ = self.plan()
         return operator
 
-    def patches(self) -> list[Patch]:
-        return self.operator().patches()
+    def patches(self, *, batch_size: int | None = DEFAULT_BATCH_SIZE) -> list[Patch]:
+        """Collect single-patch rows; batched execution by default
+        (``batch_size=None`` forces the row-at-a-time path)."""
+        operator = self.operator()
+        if operator.arity != 1:
+            raise QueryError(
+                f"patches() needs arity-1 rows; this operator yields "
+                f"{operator.arity}-tuples — use rows()"
+            )
+        if batch_size is None:
+            return operator.patches()
+        return [
+            row[0]
+            for batch in operator.iter_batches(batch_size)
+            for row in batch
+        ]
 
-    def count(self) -> int:
-        return self.operator().count()
+    def rows(self, *, batch_size: int | None = DEFAULT_BATCH_SIZE) -> list[Row]:
+        """Collect rows of any arity (pairs after a similarity join)."""
+        operator = self.operator()
+        if batch_size is None:
+            return operator.collect()
+        return [row for batch in operator.iter_batches(batch_size) for row in batch]
+
+    def count(self, *, batch_size: int | None = DEFAULT_BATCH_SIZE) -> int:
+        operator = self.operator()
+        if batch_size is None:
+            return operator.count()
+        return sum(len(batch) for batch in operator.iter_batches(batch_size))
+
+    def aggregate(
+        self,
+        kind: str,
+        *,
+        key: Callable[[Patch], Any] | None = None,
+        reducer: Callable[[list], Any] = len,
+    ) -> Any:
+        """Run a terminal aggregate over the pipeline.
+
+        ``kind``: ``count``, ``distinct_count`` (needs ``key``), or
+        ``group`` (needs ``key``; ``reducer`` folds each group's rows).
+        """
+        plan = logical.Aggregate(self._plan, kind, key=key, reducer=reducer)
+        execution, _ = plan_pipeline(
+            self.session.optimizer, plan, udf_cache=self.session.udf_cache
+        )
+        assert isinstance(execution, AggregateExecution)
+        return execution.execute()
 
     def distinct_count(self, key: Callable[[Patch], object]) -> int:
-        seen = set()
-        for (patch,) in self.operator():
-            seen.add(key(patch))
-        return len(seen)
+        return self.aggregate("distinct_count", key=key)
 
     def first(self) -> Patch:
-        for (patch,) in self.operator():
+        operator = self.operator()
+        if operator.arity != 1:
+            raise QueryError(
+                f"first() needs arity-1 rows; this operator yields "
+                f"{operator.arity}-tuples — use rows()"
+            )
+        for (patch,) in operator:
             return patch
         raise QueryError(
             f"query over {self.collection_name!r} returned no patches"

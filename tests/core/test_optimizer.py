@@ -117,6 +117,72 @@ class TestOptimizerPlans:
             assert late.cost_seconds > push.cost_seconds
 
 
+class TestOptimizerEdgeCases:
+    def test_attr_of_non_comparison_conjuncts(self):
+        from repro.core.expressions import Attr, Between, Predicate
+        from repro.core.optimizer.optimizer import _attr_of
+
+        assert _attr_of(Attr("label") == "x") == "label"
+        # Between carries an attr attribute, so it is introspectable
+        assert _attr_of(Between("frameno", 1, 5)) == "frameno"
+        # connectives and opaque predicates expose nothing
+        assert _attr_of((Attr("a") == 1) | (Attr("b") == 2)) == ""
+        assert _attr_of(~(Attr("a") == 1)) == ""
+        assert _attr_of(Predicate(lambda p: True)) == ""
+
+    def test_or_and_not_fall_back_to_full_scan(self, tmp_path):
+        from repro.core.expressions import Attr
+
+        with Catalog(tmp_path) as catalog:
+            populate(catalog, n=200)
+            catalog.create_index("c", "label", "hash")
+            catalog.create_index("c", "frameno", "btree")
+            optimizer = Optimizer(catalog)
+            disjunction = (Attr("label") == "person") | (Attr("frameno") < 5)
+            operator, explanation = optimizer.plan_filter("c", disjunction)
+            assert explanation.chosen.kind == "full-scan"
+            assert len(explanation.candidates) == 1  # no index candidate at all
+            assert len(list(operator)) == 102  # 100 persons + frames 1, 3 extra
+
+            negation = ~(Attr("label") == "person")
+            _, explanation = optimizer.plan_filter("c", negation)
+            assert explanation.chosen.kind == "full-scan"
+
+    def test_index_candidate_with_multi_conjunct_residual(self, tmp_path):
+        from repro.core.expressions import Attr
+
+        with Catalog(tmp_path) as catalog:
+            populate(catalog, n=200)
+            catalog.create_index("c", "label", "hash")
+            optimizer = Optimizer(catalog)
+            expr = (
+                (Attr("label") == "person")
+                & (Attr("frameno") >= 10)
+                & (Attr("frameno") < 30)
+            )
+            operator, explanation = optimizer.plan_filter("c", expr)
+            assert explanation.chosen.kind == "hash-lookup"
+            # residual (two frameno conjuncts) still applied on top
+            frames = [p["frameno"] for (p,) in operator]
+            assert frames and all(10 <= f < 30 for f in frames)
+            assert all(f % 2 == 0 for f in frames)  # persons are even frames
+
+    def test_similarity_join_tie_breaking_with_prebuilt_side(self, tmp_path):
+        with Catalog(tmp_path) as catalog:
+            optimizer = Optimizer(catalog)
+            for side in ("left", "right"):
+                explanation = optimizer.plan_similarity_join(
+                    20_000, 20_000, 8, prebuilt_side=side
+                )
+                # with equal cardinalities, the sunk build cost breaks the tie
+                assert explanation.chosen.params["build_side"] == side
+                by_kind = {c.kind: c for c in explanation.candidates}
+                prebuilt = by_kind[f"balltree-index-{side}"]
+                other = "left" if side == "right" else "right"
+                fresh = by_kind[f"balltree-index-{other}"]
+                assert prebuilt.cost_seconds < fresh.cost_seconds
+
+
 class TestStorageAdvisor:
     def test_selective_workload_prefers_pushdown_layout(self):
         advisor = StorageAdvisor()

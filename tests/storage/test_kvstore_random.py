@@ -1,0 +1,243 @@
+"""Seeded randomized round-trip tests for the kvstore and serialization.
+
+The example-based tests in ``test_kvstore.py`` / ``test_serialization.py``
+pin individual behaviors; these drive long random interleavings of
+operations against oracles — a B+ tree against a plain dict, the record
+codec against arbitrary nested patch payloads — so structural bugs
+(split/delete interactions, leaf-chain walks, escape-sequence handling)
+surface under workloads no example would think to write.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.patch import ImgRef, Patch
+from repro.storage.kvstore import BPlusTree, Pager
+from repro.storage.kvstore import serialization as ser
+
+
+@pytest.fixture
+def pager(tmp_path):
+    with Pager(tmp_path / "random.db") as pg:
+        yield pg
+
+
+def random_key(rng: random.Random):
+    kind = rng.randrange(4)
+    if kind == 0:
+        return rng.randrange(-500, 500)
+    if kind == 1:
+        return round(rng.uniform(-100, 100), 3)
+    if kind == 2:
+        return "k" + str(rng.randrange(200))
+    return ("cam" + str(rng.randrange(4)), rng.randrange(100))
+
+
+class TestBPlusTreeRandomized:
+    """Random insert/delete/range interleavings vs a dict-of-lists oracle."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_multimap_interleavings(self, pager, seed):
+        rng = random.Random(seed)
+        tree = BPlusTree(pager, f"rand{seed}", order=8)
+        oracle: dict = {}
+        for step in range(600):
+            action = rng.random()
+            if action < 0.55:  # insert
+                key = random_key(rng)
+                value = rng.randbytes(rng.randrange(1, 20))
+                tree.insert(key, value)
+                oracle.setdefault(self._okey(key), []).append(value)
+            elif action < 0.7 and oracle:  # delete whole key
+                key = rng.choice(list(oracle))
+                removed = tree.delete(self._unokey(key))
+                assert removed == len(oracle.pop(key))
+            elif action < 0.8 and oracle:  # delete one specific value
+                key = rng.choice(list(oracle))
+                values = oracle[key]
+                value = rng.choice(values)
+                removed = tree.delete(self._unokey(key), value)
+                expected = values.count(value)
+                assert removed == expected
+                oracle[key] = [v for v in values if v != value]
+                if not oracle[key]:
+                    del oracle[key]
+            else:  # point lookup of a (maybe absent) key
+                key = random_key(rng)
+                got = tree.get(key)
+                assert sorted(got) == sorted(oracle.get(self._okey(key), []))
+        assert len(tree) == sum(len(v) for v in oracle.values())
+        self._check_full_scan(tree, oracle)
+        self._check_ranges(tree, oracle, rng)
+
+    @pytest.mark.parametrize("seed", [7, 8])
+    def test_unique_mode_with_reopen(self, tmp_path, seed):
+        rng = random.Random(seed)
+        oracle: dict = {}
+        with Pager(tmp_path / "uniq.db") as pg:
+            tree = BPlusTree(pg, "uniq", order=8, unique=True)
+            for _ in range(300):
+                key = rng.randrange(120)
+                value = rng.randbytes(8)
+                if key in oracle and rng.random() < 0.3:
+                    tree.delete(key)
+                    del oracle[key]
+                else:
+                    tree.insert(key, value, replace=True)
+                    oracle[key] = value
+            pg.sync()
+        with Pager(tmp_path / "uniq.db") as pg:
+            tree = BPlusTree(pg, "uniq", order=8, unique=True)
+            assert len(tree) == len(oracle)
+            for key, value in oracle.items():
+                assert tree.get_one(key) == value
+
+    @staticmethod
+    def _okey(key):
+        """Oracle key: encoded bytes, the tree's own equality domain
+        (2 and 2.0 are the same key under the numeric encoding)."""
+        return ser.encode_key(key)
+
+    @staticmethod
+    def _unokey(key_bytes):
+        return ser.decode_key(key_bytes)
+
+    def _check_full_scan(self, tree, oracle):
+        got = [(ser.encode_key(k), v) for k, v in tree.items()]
+        want = sorted(
+            (key, value) for key, values in oracle.items() for value in values
+        )
+        assert sorted(got) == want
+        # keys come back in encoded order
+        assert [k for k, _ in got] == sorted(k for k, _ in got)
+
+    def _check_ranges(self, tree, oracle, rng):
+        # integer sub-ranges exercise the linked-leaf walk with bounds
+        int_keys = sorted(
+            ser.decode_key(k) for k in oracle if isinstance(ser.decode_key(k), int)
+        )
+        if not int_keys:
+            return
+        for _ in range(10):
+            lo, hi = sorted((rng.choice(int_keys), rng.choice(int_keys)))
+            got = [k for k, _ in tree.range(lo, hi) if isinstance(k, (int, float))]
+            want = sorted(
+                k
+                for k in (ser.decode_key(okey) for okey in oracle)
+                if isinstance(k, (int, float)) and lo <= k <= hi
+            )
+            count = sum(
+                len(oracle[ser.encode_key(k)]) for k in want
+            )
+            assert len(got) == count
+
+
+def random_value(rng: random.Random, depth: int = 0):
+    """An arbitrary serializable patch-attribute payload."""
+    leaf_kinds = ["none", "bool", "int", "float", "str", "bytes", "array"]
+    kinds = leaf_kinds + (["list", "tuple", "dict"] if depth < 3 else [])
+    kind = rng.choice(kinds)
+    if kind == "none":
+        return None
+    if kind == "bool":
+        return rng.random() < 0.5
+    if kind == "int":
+        return rng.randrange(-(2**70), 2**70)
+    if kind == "float":
+        return rng.uniform(-1e9, 1e9)
+    if kind == "str":
+        return "".join(rng.choice("abc\x00éλ🎥 ") for _ in range(rng.randrange(8)))
+    if kind == "bytes":
+        return rng.randbytes(rng.randrange(12))
+    if kind == "array":
+        dtype = rng.choice([np.uint8, np.int32, np.float64])
+        shape = tuple(rng.randrange(1, 4) for _ in range(rng.randrange(1, 3)))
+        return (np.arange(int(np.prod(shape)) * 10) % 251).astype(dtype)[
+            : int(np.prod(shape))
+        ].reshape(shape)
+    if kind == "list":
+        return [random_value(rng, depth + 1) for _ in range(rng.randrange(4))]
+    if kind == "tuple":
+        return tuple(random_value(rng, depth + 1) for _ in range(rng.randrange(4)))
+    return {
+        "f" + str(i): random_value(rng, depth + 1) for i in range(rng.randrange(4))
+    }
+
+
+def values_equal(a, b) -> bool:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.dtype == b.dtype
+            and a.shape == b.shape
+            and bool(np.array_equal(a, b))
+        )
+    if isinstance(a, (list, tuple)):
+        return (
+            type(a) is type(b)
+            and len(a) == len(b)
+            and all(values_equal(x, y) for x, y in zip(a, b))
+        )
+    if isinstance(a, dict):
+        return (
+            isinstance(b, dict)
+            and a.keys() == b.keys()
+            and all(values_equal(a[k], b[k]) for k in a)
+        )
+    return type(a) is type(b) and a == b
+
+
+class TestSerializationRandomized:
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_value_round_trips(self, seed):
+        rng = random.Random(seed)
+        for _ in range(150):
+            value = random_value(rng)
+            assert values_equal(ser.loads(ser.dumps(value)), value)
+
+    @pytest.mark.parametrize("seed", [21, 22])
+    def test_patch_record_round_trips(self, seed):
+        rng = random.Random(seed)
+        for i in range(40):
+            metadata = {
+                "f" + str(j): random_value(rng) for j in range(rng.randrange(6))
+            }
+            patch = Patch(
+                img_ref=ImgRef("video:rand", i, None),
+                data=np.arange(rng.randrange(1, 64), dtype=np.float32),
+                metadata=metadata,
+            )
+            back = Patch.from_record(patch.to_record(), patch_id=i)
+            assert back.img_ref == patch.img_ref
+            assert np.array_equal(back.data, patch.data)
+            for key, value in metadata.items():
+                assert values_equal(back.metadata[key], value), key
+
+    @pytest.mark.parametrize("seed", [31, 32])
+    def test_key_encoding_preserves_order(self, seed):
+        rng = random.Random(seed)
+        groups = {
+            "num": [rng.uniform(-1e6, 1e6) for _ in range(40)]
+            + [rng.randrange(-(2**53), 2**53) for _ in range(40)],
+            "str": [
+                "".join(rng.choice("ab\x00c") for _ in range(rng.randrange(6)))
+                for _ in range(60)
+            ],
+            "tuple": [
+                (rng.randrange(5), rng.randrange(1000)) for _ in range(60)
+            ],
+        }
+        for values in groups.values():
+            for _ in range(200):
+                a, b = rng.choice(values), rng.choice(values)
+                ea, eb = ser.encode_key(a), ser.encode_key(b)
+                if a < b:
+                    assert ea < eb
+                elif a > b:
+                    assert ea > eb
+                else:
+                    assert ea == eb
+                assert ser.decode_key(ea) == a
