@@ -6,11 +6,20 @@ from repro.core.lineage import LineageStore
 from repro.core.patch import ImgRef, Patch, Row
 from repro.core.schema import Field, PatchSchema, frame_schema
 from repro.core.session import DeepLens, QueryBuilder
+from repro.core.statistics import (
+    AttributeStatistics,
+    CollectionStatistics,
+    Estimate,
+    StatisticsProvider,
+)
 
 __all__ = [
     "Attr",
+    "AttributeStatistics",
     "Catalog",
+    "CollectionStatistics",
     "DeepLens",
+    "Estimate",
     "Expr",
     "Field",
     "ImgRef",
@@ -21,5 +30,6 @@ __all__ = [
     "Predicate",
     "QueryBuilder",
     "Row",
+    "StatisticsProvider",
     "frame_schema",
 ]

@@ -15,6 +15,13 @@ directory and exposes:
 Multi-dimensional indexes are rebuilt from the stored patches on reopen
 (they live in memory, like the paper's "on-the-fly" Ball-trees); their
 registration is persisted so reopening is transparent.
+
+The catalog is also the planner's :class:`~repro.core.statistics.
+StatisticsProvider`: every :meth:`MaterializedCollection.add` folds the
+patch into that collection's :class:`~repro.core.statistics.
+CollectionStatistics` (histograms, MCVs, distinct sketches, embedding
+dims), and the snapshots persist through the blob heap so cardinality
+estimates survive sessions.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ import numpy as np
 from repro.core.lineage import LineageStore
 from repro.core.patch import Patch
 from repro.core.schema import PatchSchema
+from repro.core.statistics import CollectionStatistics
 from repro.errors import IndexError_, QueryError, StorageError
 from repro.indexes import BallTree, BTreeIndex, HashIndex, RTree, rect_from_bbox
 from repro.storage.kvstore import BlobHeap, BlobRef, BPlusTree, Pager
@@ -67,6 +75,7 @@ class MaterializedCollection:
             self._ref_map[patch_id] = payload
         self.catalog.lineage.record(patch)
         self.catalog._maintain_indexes(self.name, patch)
+        self.catalog._record_statistics(self.name, patch)
         return patch_id
 
     def get(self, patch_id: int, *, load_data: bool = True) -> Patch:
@@ -131,6 +140,11 @@ class Catalog:
         self._multi_value: set[tuple[str, str, str]] = {
             tuple(entry) for entry in meta.get("catalog:multi_value", [])
         }
+        #: collection name -> in-memory statistics (lazily loaded)
+        self._stats: dict[str, CollectionStatistics] = {}
+        #: collection name -> heap ref of the persisted stats snapshot
+        self._stats_refs: dict[str, list] = dict(meta.get("catalog:stats", {}))
+        self._stats_dirty: set[str] = set()
 
     # -- lifecycle ------------------------------------------------------
 
@@ -151,11 +165,22 @@ class Catalog:
         self.close()
 
     def _save_meta(self) -> None:
+        for name in sorted(self._stats_dirty):
+            stats = self._stats.get(name)
+            if stats is None:
+                continue
+            payload = serialization.dumps(
+                stats.to_value(), compress_arrays=False
+            )
+            ref = self.heap.put(payload, compress=True)
+            self._stats_refs[name] = list(ref.to_tuple())
+        self._stats_dirty.clear()
         meta = self.pager.get_meta()
         meta["catalog:next_id"] = self._next_id
         meta["catalog:collections"] = sorted(self._collections)
         meta["catalog:indexes"] = [list(key) for key in self._registered]
         meta["catalog:multi_value"] = [list(key) for key in sorted(self._multi_value)]
+        meta["catalog:stats"] = dict(self._stats_refs)
         self.pager.set_meta(meta)
 
     def _tree_for(self, name: str) -> BPlusTree:
@@ -187,12 +212,13 @@ class Catalog:
             collection = self._collections[name]
             collection._tree.clear()
             collection._ref_map = None
-            # indexes over the old contents are stale: drop them
+            # indexes and statistics over the old contents are stale
             self._registered = [
                 key for key in self._registered if key[0] != name
             ]
             for key in [k for k in self._indexes if k[0] == name]:
                 del self._indexes[key]
+            self.drop_statistics(name)
         else:
             collection = MaterializedCollection(self, name)
             self._collections[name] = collection
@@ -212,6 +238,60 @@ class Catalog:
 
     def collections(self) -> list[str]:
         return sorted(self._collections)
+
+    # -- cardinality statistics -----------------------------------------
+
+    def statistics_for(
+        self, collection_name: str
+    ) -> CollectionStatistics | None:
+        """Statistics for a collection (the planner's entry point).
+
+        Returns None for collections without statistics (unknown names,
+        or databases materialized before statistics existed) — the
+        optimizer then falls back to its fixed selectivity constants.
+        """
+        stats = self._stats.get(collection_name)
+        if stats is None and collection_name in self._stats_refs:
+            ref = BlobRef.from_tuple(tuple(self._stats_refs[collection_name]))
+            stats = CollectionStatistics.from_value(
+                serialization.loads(self.heap.get(ref))
+            )
+            self._stats[collection_name] = stats
+        return stats
+
+    def rebuild_statistics(self, collection_name: str) -> CollectionStatistics:
+        """Recompute statistics from a full scan (id order — the same
+        order incremental collection saw, so the results are identical
+        unless the statistics were lost or predate this feature)."""
+        collection = self.collection(collection_name)
+        stats = CollectionStatistics()
+        for patch in collection.scan():
+            stats.observe(patch)
+        self._stats[collection_name] = stats
+        self._stats_dirty.add(collection_name)
+        return stats
+
+    def drop_statistics(self, collection_name: str) -> None:
+        """Forget a collection's statistics (planner falls back to
+        constants until they are rebuilt)."""
+        self._stats.pop(collection_name, None)
+        self._stats_refs.pop(collection_name, None)
+        self._stats_dirty.discard(collection_name)
+
+    def _record_statistics(self, collection_name: str, patch: Patch) -> None:
+        stats = self.statistics_for(collection_name)
+        if stats is None:
+            # statistics must start at the collection's very first row:
+            # seeding them mid-collection (after drop_statistics, or on
+            # a database that predates statistics) would present partial
+            # counts as authoritative — stay on fallback until an
+            # explicit rebuild_statistics
+            if len(self._collections[collection_name]) != 1:
+                return
+            stats = CollectionStatistics()
+            self._stats[collection_name] = stats
+        stats.observe(patch)
+        self._stats_dirty.add(collection_name)
 
     # -- indexes ------------------------------------------------------------
 

@@ -8,11 +8,16 @@ from repro.core.optimizer.advisor import (
 )
 from repro.core.optimizer.cost import CostModel
 from repro.core.optimizer.lowering import (
+    DEFAULT_JOIN_DIM,
     AggregateExecution,
     UDFCache,
+    estimate_plan_rows,
     plan_pipeline,
 )
 from repro.core.optimizer.optimizer import (
+    EQ_SELECTIVITY,
+    NEQ_SELECTIVITY,
+    RANGE_SELECTIVITY,
     Explanation,
     Optimizer,
     PlanAccuracy,
@@ -30,17 +35,22 @@ __all__ = [
     "AppliedRewrite",
     "ComponentSpec",
     "CostModel",
+    "DEFAULT_JOIN_DIM",
+    "EQ_SELECTIVITY",
     "Explanation",
     "LayoutCosts",
+    "NEQ_SELECTIVITY",
     "Optimizer",
     "PipelineSynthesizer",
     "PlanAccuracy",
     "PlanChoice",
+    "RANGE_SELECTIVITY",
     "StorageAdvisor",
     "StorageRecommendation",
     "SynthesisResult",
     "UDFCache",
     "WorkloadProfile",
+    "estimate_plan_rows",
     "plan_pipeline",
     "rewrite",
 ]

@@ -20,7 +20,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.core import logical
-from repro.core.expressions import And, Comparison, Expr
+from repro.core.expressions import And, Expr
 from repro.core.operators import (
     DEFAULT_BATCH_SIZE,
     BallTreeSimilarityJoin,
@@ -36,18 +36,18 @@ from repro.core.operators import (
     SwapSides,
 )
 from repro.core.optimizer.optimizer import (
-    EQ_SELECTIVITY,
     Explanation,
     Optimizer,
     PlanChoice,
-    RANGE_SELECTIVITY,
 )
 from repro.core.optimizer.rewriter import rewrite
 from repro.core.patch import LINEAGE_KEY, Patch
+from repro.core.statistics import fallback_estimate
 from repro.errors import QueryError
 
 #: feature dimensionality assumed for join costing when the caller gives
-#: no ``dim`` (vectors are opaque callables until execution)
+#: no ``dim`` and the statistics recorded no embedding dimensionality
+#: (vectors are opaque callables until execution)
 DEFAULT_JOIN_DIM = 8
 
 
@@ -238,6 +238,7 @@ def plan_pipeline(
     root = lowering.lower(rewritten)
     explanation = _merge_decisions(lowering.decisions)
     explanation.rewrites = [str(entry) for entry in applied] + lowering.notes
+    explanation.estimates.extend(lowering.estimates)
     explanation.logical_plan = rewritten.describe()
     return root, explanation
 
@@ -256,6 +257,7 @@ def _merge_decisions(decisions: list[Explanation]) -> Explanation:
         chosen=primary.chosen,
         candidates=candidates,
         sections=list(decisions) if len(decisions) > 1 else [],
+        estimates=[line for expl in decisions for line in expl.estimates],
     )
 
 
@@ -267,6 +269,9 @@ class _Lowering:
         #: extra explain-trace lines (one per memoized map; each map node
         #: lowers exactly once, so no dedup is needed)
         self.notes: list[str] = []
+        #: cardinality-estimate lines the lowering itself produced (join
+        #: sizes / dims; scan-group estimates live in their decisions)
+        self.estimates: list[str] = []
 
     # -- node dispatch --------------------------------------------------
 
@@ -356,9 +361,13 @@ class _Lowering:
     def _lower_similarity_join(self, node: logical.SimilarityJoin) -> Operator:
         left_op = self._lower_rows(node.left)
         right_op = self._lower_rows(node.right)
-        n_left = max(self._estimate_rows(node.left), 1)
-        n_right = max(self._estimate_rows(node.right), 1)
-        dim = node.dim or DEFAULT_JOIN_DIM
+        n_left = max(int(self._estimate_rows(node.left)), 1)
+        n_right = max(int(self._estimate_rows(node.right)), 1)
+        dim, dim_source = self._join_dim(node)
+        self.estimates.append(
+            f"similarity-join: left ~ {n_left} rows, right ~ {n_right} "
+            f"rows, dim {dim} ({dim_source})"
+        )
         explanation = self.optimizer.plan_similarity_join(n_left, n_right, dim)
         self.decisions.append(explanation)
         features = node.features or _default_features
@@ -390,27 +399,74 @@ class _Lowering:
             exclude_self=node.exclude_self,
         )
 
-    # -- cardinality guesses ---------------------------------------------
+    # -- cardinality estimation ------------------------------------------
 
-    def _estimate_rows(self, node: logical.LogicalPlan) -> int:
+    def _join_dim(self, node: logical.SimilarityJoin) -> tuple[int, str]:
+        """Feature dimensionality for join costing: the caller's ``dim``,
+        else the statistics' recorded embedding dim (default features
+        ravel ``patch.data``, so the data profile is the right one),
+        else the fixed fallback."""
+        if node.dim:
+            return node.dim, "caller-specified"
+        if node.features is None:
+            for side in (node.left, node.right):
+                collection = _base_collection(side)
+                if collection is None:
+                    continue
+                stats = self.optimizer.collection_statistics(collection)
+                if stats is None:
+                    continue
+                dim = stats.embedding_dim()
+                if dim is not None:
+                    return dim, f"recorded data dim of {collection!r}"
+        return DEFAULT_JOIN_DIM, "fallback-constant"
+
+    def _estimate_rows(self, node: logical.LogicalPlan) -> float:
+        """Estimated output rows of a logical subtree, statistics-driven
+        where the subtree bottoms out at a materialized scan."""
         if isinstance(node, logical.Scan):
             try:
-                return len(self.optimizer.catalog.collection(node.collection))
+                return float(
+                    len(self.optimizer.catalog.collection(node.collection))
+                )
             except QueryError:
-                return 1
+                return 1.0
         if isinstance(node, logical.Filter):
-            expr = node.expr
-            if isinstance(expr, Comparison) and expr.op == "==":
-                selectivity = EQ_SELECTIVITY
-            else:  # ranges, connectives, opaque predicates
-                selectivity = RANGE_SELECTIVITY
-            return int(self._estimate_rows(node.child) * selectivity)
+            collection = _base_collection(node)
+            if collection is not None:
+                estimate = self.optimizer.predicate_estimate(
+                    collection, node.expr
+                )
+            else:
+                estimate = fallback_estimate(node.expr)
+            return self._estimate_rows(node.child) * estimate.selectivity
         if isinstance(node, logical.Limit):
-            return min(node.n, self._estimate_rows(node.child))
+            return min(float(node.n), self._estimate_rows(node.child))
         children = node.children()
         if not children:
-            return 1
+            return 1.0
         return self._estimate_rows(children[0])
+
+
+def estimate_plan_rows(
+    optimizer: Optimizer, node: logical.LogicalPlan
+) -> float:
+    """Estimated output rows of a logical subtree (the lowering's own
+    cardinality model, exposed for tests and benchmarks)."""
+    return _Lowering(optimizer, None)._estimate_rows(node)
+
+
+def _base_collection(node: logical.LogicalPlan) -> str | None:
+    """The materialized collection a subtree's rows originate from
+    (first-child descent to the underlying Scan), or None for plans
+    rooted elsewhere."""
+    current: logical.LogicalPlan | None = node
+    while current is not None:
+        if isinstance(current, logical.Scan):
+            return current.collection
+        children = current.children()
+        current = children[0] if children else None
+    return None
 
 
 def _combine_exprs(exprs: list[Expr]) -> Expr | None:

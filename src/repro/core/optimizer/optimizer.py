@@ -11,6 +11,14 @@ Three decisions, each the subject of one of the paper's experiments:
 * **accuracy-aware push-down** (Table 1): filter placement around a
   matching operator changes recall, so plans carry accuracy estimates and
   the optimizer exposes both orders with their latency/accuracy trade-off.
+
+Cardinalities come from a :class:`~repro.core.statistics.
+StatisticsProvider` (by default the catalog itself): equi-depth
+histograms for ranges, most-common-value counts for equality, distinct
+sketches for the tail. Collections without statistics fall back to the
+fixed ``EQ_SELECTIVITY``/``RANGE_SELECTIVITY`` constants, and every
+estimate records which source backed it so ``explain()`` can show
+est-vs-fallback per decision.
 """
 
 from __future__ import annotations
@@ -27,8 +35,27 @@ from repro.core.operators import (
     Select,
 )
 from repro.core.optimizer.cost import CostModel
+from repro.core.statistics import (
+    EQ_SELECTIVITY,
+    NEQ_SELECTIVITY,
+    RANGE_SELECTIVITY,
+    CollectionStatistics,
+    Estimate,
+    StatisticsProvider,
+    fallback_estimate,
+)
 from repro.errors import OptimizerError
 from repro.vision.backends.device import DEVICE_SPECS
+
+__all__ = [
+    "EQ_SELECTIVITY",
+    "NEQ_SELECTIVITY",
+    "RANGE_SELECTIVITY",
+    "Explanation",
+    "Optimizer",
+    "PlanAccuracy",
+    "PlanChoice",
+]
 
 
 @dataclass(frozen=True)
@@ -42,7 +69,11 @@ class PlanChoice:
 
     def __repr__(self) -> str:
         acc = f", accuracy={self.accuracy}" if self.accuracy else ""
-        return f"PlanChoice({self.kind}, {self.cost_seconds:.4g}s{acc})"
+        est = ""
+        if "est_rows" in self.params:
+            source = self.params.get("stat_source", "?")
+            est = f", ~{self.params['est_rows']:.0f} rows ({source})"
+        return f"PlanChoice({self.kind}, {self.cost_seconds:.4g}s{est}{acc})"
 
 
 @dataclass(frozen=True)
@@ -67,6 +98,10 @@ class Explanation:
     which candidate won *within* each decision — the flat ``candidates``
     list pools them all. All three stay empty for direct physical
     planning calls.
+
+    ``estimates`` lists the cardinality estimates the decisions rested
+    on, one line each, naming the statistic used (histogram / mcv /
+    distinct) or ``fallback-constant`` when no statistics existed.
     """
 
     chosen: PlanChoice
@@ -74,6 +109,7 @@ class Explanation:
     rewrites: list[str] = field(default_factory=list)
     logical_plan: str | None = None
     sections: list["Explanation"] = field(default_factory=list)
+    estimates: list[str] = field(default_factory=list)
 
     def __str__(self) -> str:
         lines = []
@@ -83,6 +119,9 @@ class Explanation:
         if self.rewrites:
             lines.append("applied rewrites:")
             lines.extend(f"  {rewrite}" for rewrite in self.rewrites)
+        if self.estimates:
+            lines.append("cardinality estimates:")
+            lines.extend(f"  {line}" for line in self.estimates)
         if self.sections:
             for number, section in enumerate(self.sections, 1):
                 lines.append(f"decision {number}: chosen: {section.chosen}")
@@ -96,17 +135,55 @@ class Explanation:
         return "\n".join(lines)
 
 
-#: default selectivity guesses when no statistics exist
-EQ_SELECTIVITY = 0.1
-RANGE_SELECTIVITY = 0.3
-
-
 class Optimizer:
-    """Cost-based planner over the catalog's collections and indexes."""
+    """Cost-based planner over the catalog's collections and indexes.
 
-    def __init__(self, catalog: Catalog, cost_model: CostModel | None = None) -> None:
+    ``statistics`` is the :class:`StatisticsProvider` consulted for
+    cardinality estimation; it defaults to the catalog itself, which
+    collects per-attribute statistics at materialization time.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost_model: CostModel | None = None,
+        statistics: StatisticsProvider | None = None,
+    ) -> None:
         self.catalog = catalog
         self.cost = cost_model or CostModel()
+        self.statistics: StatisticsProvider = (
+            statistics if statistics is not None else catalog
+        )
+
+    # -- cardinality estimation ------------------------------------------
+
+    def collection_statistics(
+        self, collection_name: str
+    ) -> CollectionStatistics | None:
+        return self.statistics.statistics_for(collection_name)
+
+    def predicate_estimate(
+        self, collection_name: str, expr: Expr | None
+    ) -> Estimate:
+        """Selectivity of ``expr`` over a collection, with its source.
+
+        Uses the statistics provider's histograms/MCVs when the
+        collection has statistics; otherwise the fixed fallback
+        constants (source ``fallback-constant``).
+        """
+        stats = self.collection_statistics(collection_name)
+        if stats is None or stats.row_count == 0:
+            return fallback_estimate(expr)
+        return stats.estimate_predicate(expr)
+
+    def estimate_filter_rows(
+        self, collection_name: str, expr: Expr | None
+    ) -> tuple[float, str]:
+        """Estimated result rows of filtering a collection, plus the
+        statistic that produced the estimate."""
+        n = len(self.catalog.collection(collection_name))
+        estimate = self.predicate_estimate(collection_name, expr)
+        return estimate.rows(n), estimate.source
 
     # -- access-path selection ----------------------------------------------
 
@@ -123,10 +200,19 @@ class Optimizer:
         n = max(len(collection), 1)
         candidates: list[tuple[PlanChoice, Operator]] = []
 
+        estimate = self.predicate_estimate(collection_name, expr)
+        est_rows = estimate.rows(len(collection))
         scan = CollectionScan(collection, load_data=load_data)
         full = Select(scan, expr) if expr else scan
         candidates.append(
-            (PlanChoice("full-scan", self.cost.full_scan(n)), full)
+            (
+                PlanChoice(
+                    "full-scan",
+                    self.cost.full_scan(n),
+                    {"est_rows": est_rows, "stat_source": estimate.source},
+                ),
+                full,
+            )
         )
 
         if expr is not None:
@@ -136,8 +222,14 @@ class Optimizer:
 
         candidates.sort(key=lambda pair: pair[0].cost_seconds)
         chosen_choice, chosen_op = candidates[0]
+        described = repr(expr) if expr is not None else "scan"
         return chosen_op, Explanation(
-            chosen=chosen_choice, candidates=[choice for choice, _ in candidates]
+            chosen=chosen_choice,
+            candidates=[choice for choice, _ in candidates],
+            estimates=[
+                f"{collection_name!r}: {described} ~ {est_rows:.0f} of "
+                f"{len(collection)} rows ({estimate.source})"
+            ],
         )
 
     def _index_candidates(
@@ -159,13 +251,24 @@ class Optimizer:
                     )
                     if residual is not None:
                         scan = Select(scan, residual)
-                    cost = self.cost.index_point_lookup(n * EQ_SELECTIVITY)
+                    # expected fetches: the index returns exactly the
+                    # rows matching this conjunct
+                    eq_estimate = self.predicate_estimate(
+                        collection_name, conjunct
+                    )
+                    expected = eq_estimate.rows(n)
+                    cost = self.cost.index_point_lookup(expected)
                     out.append(
                         (
                             PlanChoice(
                                 f"{kind}-lookup",
                                 cost,
-                                {"attr": conjunct.attr, "value": conjunct.value},
+                                {
+                                    "attr": conjunct.attr,
+                                    "value": conjunct.value,
+                                    "est_rows": expected,
+                                    "stat_source": eq_estimate.source,
+                                },
                             ),
                             scan,
                         )
@@ -179,10 +282,24 @@ class Optimizer:
                 combined = _combine(bound_residual, residual)
                 if combined is not None:
                     scan = Select(scan, combined)
-                cost = self.cost.index_range_scan(n * RANGE_SELECTIVITY)
+                range_estimate = self.predicate_estimate(
+                    collection_name, conjunct
+                )
+                expected = range_estimate.rows(n)
+                cost = self.cost.index_range_scan(expected)
                 out.append(
                     (
-                        PlanChoice("btree-range", cost, {"attr": attr, "lo": lo, "hi": hi}),
+                        PlanChoice(
+                            "btree-range",
+                            cost,
+                            {
+                                "attr": attr,
+                                "lo": lo,
+                                "hi": hi,
+                                "est_rows": expected,
+                                "stat_source": range_estimate.source,
+                            },
+                        ),
                         scan,
                     )
                 )

@@ -9,7 +9,11 @@ Queries are fluent pipelines planned through the logical IR
 (:mod:`repro.core.logical`): filters, UDF maps, projections, limits,
 ordering, similarity joins, and aggregates compose freely, the rewriter
 reorders predicates around inference, and execution moves batches of rows
-through the physical operators. Example::
+through the physical operators. Access paths and join strategies are
+costed against per-collection statistics (histograms, most-common
+values, distinct sketches, embedding dims) the catalog collects as
+patches materialize — ``explain()`` shows each decision's estimated rows
+and the statistic behind it. Example::
 
     with DeepLens(workdir) as db:
         db.ingest_video("cam0", dataset.frames(), layout="segmented")
@@ -155,6 +159,18 @@ class DeepLens:
         return self.catalog.create_index(
             collection, attr, kind, feature_fn=feature_fn, multi_value=multi_value
         )
+
+    def statistics(self, collection_name: str):
+        """Cardinality statistics collected for a materialized collection
+        (histograms, most-common values, distinct sketches, embedding
+        dims) — what the planner's estimates and ``explain()`` rest on.
+        None for collections materialized before statistics existed."""
+        return self.catalog.statistics_for(collection_name)
+
+    def rebuild_statistics(self, collection_name: str):
+        """Recompute a collection's statistics from a full scan (for
+        databases that predate statistics collection)."""
+        return self.catalog.rebuild_statistics(collection_name)
 
     @property
     def lineage(self) -> LineageStore:

@@ -178,12 +178,25 @@ class TestDeepLensSession:
                 store.get_frame(3)
 
     def test_query_builder_uses_index(self, tmp_path):
+        # the stats-driven planner only picks the lookup when the
+        # predicate is genuinely selective: make "vehicle" rare
+        def rare_vehicles(n=90):
+            for patch in make_patches(n):
+                patch.metadata["label"] = (
+                    "vehicle" if patch.metadata["frameno"] % 30 == 0 else "person"
+                )
+                yield patch
+
         with DeepLens(tmp_path) as db:
-            db.materialize(make_patches(12), "c")
+            db.materialize(rare_vehicles(), "c")
             db.create_index("c", "label", "hash")
             query = db.scan("c").filter(Attr("label") == "vehicle")
-            assert query.explain().chosen.kind == "hash-lookup"
-            assert query.count() == 4
+            explanation = query.explain()
+            assert explanation.chosen.kind == "hash-lookup"
+            # the decision carries the estimate and its statistic
+            assert explanation.chosen.params["stat_source"] == "mcv"
+            assert round(explanation.chosen.params["est_rows"]) == 3
+            assert query.count() == 3
 
     def test_query_builder_range_index(self, tmp_path):
         # at tiny cardinalities a full scan is genuinely cheaper, so use a

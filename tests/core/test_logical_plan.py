@@ -170,13 +170,21 @@ class TestLowering:
         return catalog
 
     def test_scan_filter_group_uses_access_path(self, tmp_path):
-        with self._catalog(tmp_path) as catalog:
+        # cars are 1-in-10 so the recorded statistics make the index
+        # path genuinely cheaper than the full scan
+        rows = patches(100)
+        for patch in rows:
+            patch.metadata["label"] = (
+                "car" if patch.metadata["frameno"] % 10 == 0 else "person"
+            )
+        with Catalog(tmp_path) as catalog:
+            catalog.materialize(iter(rows), "c")
             catalog.create_index("c", "label", "hash")
             optimizer = Optimizer(catalog)
             plan = logical.Filter(logical.Scan("c"), Attr("label") == "car")
             operator, explanation = plan_pipeline(optimizer, plan)
             assert explanation.chosen.kind == "hash-lookup"
-            assert len(operator.patches()) == 20
+            assert len(operator.patches()) == 10
 
     def test_filters_fused_through_map_boundary(self, tmp_path):
         with self._catalog(tmp_path) as catalog:
@@ -262,6 +270,105 @@ class TestLowering:
             assert got == want
             kinds = {choice.kind for choice in explanation.candidates}
             assert "nested-loop" in kinds  # join candidates surfaced
+
+
+class TestStatsDrivenLowering:
+    """Cardinality estimation inside the lowering: recorded join dims,
+    stats-backed row estimates, and the NEQ fallback regression."""
+
+    def _catalog(self, tmp_path, n=40):
+        catalog = Catalog(tmp_path)
+        catalog.materialize(iter(patches(n)), "c")
+        return catalog
+
+    def test_similarity_join_uses_recorded_dim(self, tmp_path):
+        # patches() builds 4x4x3 data: the recorded embedding dim is 48
+        with self._catalog(tmp_path) as catalog:
+            optimizer = Optimizer(catalog)
+            plan = logical.SimilarityJoin(
+                logical.Scan("c"), logical.Scan("c"), threshold=1.0
+            )
+            _, explanation = plan_pipeline(optimizer, plan)
+            assert any(
+                "dim 48" in line and "recorded data dim" in line
+                for line in explanation.estimates
+            )
+            # and the decision matches planning explicitly at dim 48
+            direct = optimizer.plan_similarity_join(40, 40, 48)
+            assert explanation.chosen.kind == direct.chosen.kind
+
+    def test_caller_dim_wins_over_recorded(self, tmp_path):
+        with self._catalog(tmp_path) as catalog:
+            optimizer = Optimizer(catalog)
+            plan = logical.SimilarityJoin(
+                logical.Scan("c"), logical.Scan("c"), threshold=1.0, dim=7
+            )
+            _, explanation = plan_pipeline(optimizer, plan)
+            assert any(
+                "dim 7" in line and "caller-specified" in line
+                for line in explanation.estimates
+            )
+
+    def test_join_without_stats_falls_back_to_default_dim(self, tmp_path):
+        from repro.core.optimizer import DEFAULT_JOIN_DIM
+
+        with self._catalog(tmp_path) as catalog:
+            catalog.drop_statistics("c")
+            optimizer = Optimizer(catalog)
+            plan = logical.SimilarityJoin(
+                logical.Scan("c"), logical.Scan("c"), threshold=1.0
+            )
+            _, explanation = plan_pipeline(optimizer, plan)
+            assert any(
+                f"dim {DEFAULT_JOIN_DIM}" in line and "fallback-constant" in line
+                for line in explanation.estimates
+            )
+
+    def test_estimate_rows_uses_statistics(self, tmp_path):
+        from repro.core.optimizer import estimate_plan_rows
+
+        with self._catalog(tmp_path) as catalog:
+            optimizer = Optimizer(catalog)
+            # patches(): label "car" on even ids — exactly half
+            plan = logical.Filter(logical.Scan("c"), Attr("label") == "car")
+            assert estimate_plan_rows(optimizer, plan) == pytest.approx(20.0)
+            limited = logical.Limit(plan, 5)
+            assert estimate_plan_rows(optimizer, limited) == pytest.approx(5.0)
+
+    def test_neq_estimate_regression(self, tmp_path):
+        """!= must estimate as the EQ complement, not as a range.
+
+        The old lowering lumped every non-== comparison under
+        RANGE_SELECTIVITY (0.3), so `label != 'car'` claimed to drop 70%
+        of rows; with stats it is the measured complement, and without
+        stats it falls back to 1 - EQ_SELECTIVITY.
+        """
+        from repro.core.optimizer import (
+            EQ_SELECTIVITY,
+            NEQ_SELECTIVITY,
+            RANGE_SELECTIVITY,
+            estimate_plan_rows,
+        )
+
+        with self._catalog(tmp_path) as catalog:
+            optimizer = Optimizer(catalog)
+            plan = logical.Filter(logical.Scan("c"), Attr("label") != "car")
+            # with statistics: exactly the non-car half
+            assert estimate_plan_rows(optimizer, plan) == pytest.approx(20.0)
+            # without statistics: the complement constant, NOT the range one
+            catalog.drop_statistics("c")
+            rows = estimate_plan_rows(optimizer, plan)
+            assert rows == pytest.approx(40 * NEQ_SELECTIVITY)
+            assert rows == pytest.approx(40 * (1.0 - EQ_SELECTIVITY))
+            assert rows != pytest.approx(40 * RANGE_SELECTIVITY)
+
+    def test_scan_group_estimates_surface_in_explanation(self, tmp_path):
+        with self._catalog(tmp_path) as catalog:
+            optimizer = Optimizer(catalog)
+            plan = logical.Filter(logical.Scan("c"), Attr("score") <= 9.5)
+            _, explanation = plan_pipeline(optimizer, plan)
+            assert any("histogram" in line for line in explanation.estimates)
+            assert "cardinality estimates:" in str(explanation)
 
 
 class TestBatchedExecution:

@@ -17,11 +17,15 @@ from repro.errors import OptimizerError
 from repro.etl import WholeImageGenerator
 
 
-def populate(catalog, n=30):
+def populate(catalog, n=30, person_every=2):
+    """Materialize n patches; every ``person_every``-th is a person."""
+
     def gen():
         for i in range(n):
             patch = Patch.from_frame("v", i, np.zeros((4, 4, 3), np.uint8))
-            patch.metadata["label"] = "vehicle" if i % 2 else "person"
+            patch.metadata["label"] = (
+                "person" if i % person_every == 0 else "vehicle"
+            )
             yield patch
 
     return catalog.materialize(gen(), "c")
@@ -61,14 +65,16 @@ class TestCostModel:
 class TestOptimizerPlans:
     def test_access_path_selection(self, tmp_path):
         with Catalog(tmp_path) as catalog:
-            populate(catalog)
+            # persons are 1-in-10: selective enough that the recorded
+            # statistics send the planner to the index
+            populate(catalog, n=100, person_every=10)
             catalog.create_index("c", "label", "hash")
             optimizer = Optimizer(catalog)
             from repro.core.expressions import Attr
 
             operator, explanation = optimizer.plan_filter("c", Attr("label") == "person")
             assert explanation.chosen.kind == "hash-lookup"
-            assert len(list(operator)) == 15
+            assert len(list(operator)) == 10
             # explanation keeps the rejected full scan
             kinds = {choice.kind for choice in explanation.candidates}
             assert "full-scan" in kinds
@@ -152,7 +158,7 @@ class TestOptimizerEdgeCases:
         from repro.core.expressions import Attr
 
         with Catalog(tmp_path) as catalog:
-            populate(catalog, n=200)
+            populate(catalog, n=200, person_every=10)
             catalog.create_index("c", "label", "hash")
             optimizer = Optimizer(catalog)
             expr = (
@@ -165,7 +171,7 @@ class TestOptimizerEdgeCases:
             # residual (two frameno conjuncts) still applied on top
             frames = [p["frameno"] for (p,) in operator]
             assert frames and all(10 <= f < 30 for f in frames)
-            assert all(f % 2 == 0 for f in frames)  # persons are even frames
+            assert all(f % 10 == 0 for f in frames)  # persons: every 10th frame
 
     def test_similarity_join_tie_breaking_with_prebuilt_side(self, tmp_path):
         with Catalog(tmp_path) as catalog:
@@ -181,6 +187,92 @@ class TestOptimizerEdgeCases:
                 other = "left" if side == "right" else "right"
                 fresh = by_kind[f"balltree-index-{other}"]
                 assert prebuilt.cost_seconds < fresh.cost_seconds
+
+
+class TestStatisticsDrivenPlanning:
+    """Access-path selection driven by real statistics, not constants."""
+
+    def test_selective_stats_pick_index_uniform_stats_pick_scan(self, tmp_path):
+        from repro.core.expressions import Attr
+
+        with Catalog(tmp_path) as catalog:
+            # same physical design, two collections, opposite data shapes
+            populate(catalog, n=100, person_every=10)  # persons rare
+            catalog.create_index("c", "label", "hash")
+
+            def uniform():
+                for i in range(100):
+                    patch = Patch.from_frame("v", i, np.zeros((4, 4, 3), np.uint8))
+                    patch.metadata["label"] = "person" if i % 2 == 0 else "vehicle"
+                    yield patch
+
+            catalog.materialize(uniform(), "u")
+            catalog.create_index("u", "label", "hash")
+
+            optimizer = Optimizer(catalog)
+            expr = Attr("label") == "person"
+            _, selective = optimizer.plan_filter("c", expr)
+            _, uniform_plan = optimizer.plan_filter("u", expr)
+            assert selective.chosen.kind == "hash-lookup"
+            assert uniform_plan.chosen.kind == "full-scan"
+            # both decisions expose their estimates and sources
+            assert round(selective.chosen.params["est_rows"]) == 10
+            assert selective.chosen.params["stat_source"] == "mcv"
+            assert round(uniform_plan.chosen.params["est_rows"]) == 50
+
+    def test_btree_range_estimate_from_histogram(self, tmp_path):
+        from repro.core.expressions import Attr
+
+        with Catalog(tmp_path) as catalog:
+            populate(catalog, n=200)
+            catalog.create_index("c", "frameno", "btree")
+            optimizer = Optimizer(catalog)
+            _, explanation = optimizer.plan_filter(
+                "c", Attr("frameno").between(10, 29)
+            )
+            assert explanation.chosen.kind == "btree-range"
+            assert explanation.chosen.params["stat_source"] == "histogram"
+            # frames are uniform over 0..199: ~20 rows in [10, 29]
+            assert explanation.chosen.params["est_rows"] == pytest.approx(20, abs=4)
+            assert any("histogram" in line for line in explanation.estimates)
+            assert "histogram" in str(explanation)
+
+    def test_estimate_filter_rows_close_to_actual(self, tmp_path):
+        from repro.core.expressions import Attr
+
+        with Catalog(tmp_path) as catalog:
+            collection = populate(catalog, n=120, person_every=3)
+            optimizer = Optimizer(catalog)
+            expr = Attr("label") == "person"
+            rows, source = optimizer.estimate_filter_rows("c", expr)
+            actual = sum(
+                1 for patch in collection.scan() if expr.evaluate(patch)
+            )
+            assert source == "mcv"
+            assert rows == pytest.approx(actual)
+
+    def test_custom_statistics_provider_threads_through(self, tmp_path):
+        from repro.core.expressions import Attr
+        from repro.core.statistics import CollectionStatistics
+
+        class Canned:
+            def __init__(self, stats):
+                self._stats = stats
+
+            def statistics_for(self, collection_name):
+                return self._stats
+
+        with Catalog(tmp_path) as catalog:
+            collection = populate(catalog, n=50)
+            canned = CollectionStatistics()
+            for patch in collection.scan():
+                canned.observe(patch)
+            optimizer = Optimizer(catalog, statistics=Canned(canned))
+            rows, source = optimizer.estimate_filter_rows(
+                "c", Attr("label") == "person"
+            )
+            assert source == "mcv"
+            assert rows == pytest.approx(25.0)
 
 
 class TestStorageAdvisor:

@@ -179,11 +179,21 @@ class TestSimilarityJoinAndAggregate:
             )
 
     def test_join_explain_keeps_decisions_separate(self, db):
-        db.create_index("c", "label", "hash")
+        # a selective collection so the stats-driven planner picks the
+        # index path for the left side
+        def rare(n=90):
+            for patch in make_patches(n):
+                patch.metadata["label"] = (
+                    "vehicle" if patch.metadata["frameno"] % 30 == 0 else "person"
+                )
+                yield patch
+
+        db.materialize(rare(), "cj")
+        db.create_index("cj", "label", "hash")
         join = (
-            db.scan("c")
+            db.scan("cj")
             .filter(Attr("label") == "vehicle")
-            .similarity_join("c", threshold=0.5, features=lambda p: p["vec"], dim=2)
+            .similarity_join("cj", threshold=0.5, features=lambda p: p["vec"], dim=2)
         )
         explanation = join.explain()
         # one section per cost decision: left access path, right access
