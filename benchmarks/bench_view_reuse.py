@@ -1,0 +1,112 @@
+"""View reuse — materialized derived views vs recomputing UDF pipelines.
+
+The materialization manager's bet: ML UDF inference dominates scans by
+orders of magnitude, so a pipeline whose prefix is persisted as a derived
+view should be served from the view at a fraction of recompute cost —
+across sessions, without the user rewriting the query (the planner's
+view-matching rewrite does it, cost-based).
+
+One workload, measured twice:
+
+* ``recompute`` — scan -> map(feature UDF) -> filter(udf output) with no
+  view registered: every patch runs the UDF;
+* ``view-served`` — the same query after ``materialize_view``: the
+  planner rewrites the prefix to scan the stored view (asserted via
+  ``explain()``), so the UDF never runs.
+
+Scale with ``REPRO_BENCH_VIEW_N`` (default 10_000). The >= 2x assertion
+arms at 5000+ patches; CI smoke sizes only check the wiring.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.core import Attr, DeepLens
+from repro.core.patch import Patch
+
+N_PATCHES = int(os.environ.get("REPRO_BENCH_VIEW_N", "10000"))
+REPEATS = 3
+
+
+def build_patches(n: int):
+    rng = np.random.default_rng(11)
+    frames = rng.integers(0, 255, (n, 8, 8, 3), dtype=np.uint8)
+    for i in range(n):
+        patch = Patch.from_frame("cam0", i, frames[i])
+        patch.metadata["label"] = "vehicle" if i % 2 == 0 else "person"
+        yield patch
+
+
+def spectral_score(patch: Patch) -> Patch:
+    """A deliberately inference-priced UDF: spectral energy of the patch
+    via an SVD — the stand-in for a model forward pass."""
+    vector = patch.data.astype(np.float64).ravel()[:64]
+    gram = np.outer(vector, vector)
+    singular = np.linalg.svd(gram, compute_uv=False)
+    return patch.derive(
+        patch.data, "spectral", score=float(singular[:8].sum())
+    )
+
+
+def _best_of(fn, repeats: int = REPEATS) -> tuple[float, int]:
+    best, rows = float("inf"), 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        rows = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, rows
+
+
+def test_view_reuse(tmp_path):
+    with DeepLens(tmp_path / "db") as db:
+        db.materialize(build_patches(N_PATCHES), "patches")
+        query = (
+            db.scan("patches")
+            .map(spectral_score, name="spectral", provides={"score"})
+            .filter(Attr("score") > 0.0)  # reads the UDF output: not pushable
+        )
+
+        recompute_seconds, recompute_rows = _best_of(lambda: len(query.patches()))
+
+        db.materialize_view(
+            "spectral_view",
+            db.scan("patches").map(
+                spectral_score, name="spectral", provides={"score"}
+            ),
+        )
+        explanation = query.explain()
+        assert any(
+            "view-match: rewrote" in line for line in explanation.rewrites
+        ), f"planner did not reuse the view:\n{explanation}"
+
+        view_seconds, view_rows = _best_of(lambda: len(query.patches()))
+        assert view_rows == recompute_rows == N_PATCHES
+
+    speedup = recompute_seconds / view_seconds
+    lines = [
+        f"pipeline: scan -> map(spectral UDF) -> filter(score), "
+        f"{N_PATCHES} patches",
+        "",
+        "| execution | seconds | rows/s | speedup |",
+        "|---|---|---|---|",
+        f"| recompute (no view) | {recompute_seconds:.4f} | "
+        f"{recompute_rows / recompute_seconds:,.0f} | 1.0x |",
+        f"| view-served (planner rewrite) | {view_seconds:.4f} | "
+        f"{view_rows / view_seconds:,.0f} | {speedup:.2f}x |",
+    ]
+    write_result(
+        "view_reuse",
+        "View reuse — materialized view vs recomputing the UDF pipeline",
+        lines,
+    )
+    # the materialized view must beat recomputation 2x at full scale;
+    # tiny CI-smoke sizes only have to stay sane
+    if N_PATCHES >= 5000:
+        assert speedup >= 2.0, f"view-served speedup {speedup:.2f}x < 2x"
+    else:
+        assert speedup > 0.5

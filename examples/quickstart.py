@@ -13,7 +13,15 @@ The minimal end-to-end DeepLens workflow on synthetic CCTV footage:
    projection — and read the optimizer's explanation, including the
    statistics-backed row estimates behind each plan choice;
 5. aggregate: how many frames contain a vehicle? (the paper's q2)
-6. backtrace one detection to its base frame through lineage.
+6. backtrace one detection to its base frame through lineage;
+7. persist the UDF pipeline as a **materialized view**: later queries
+   whose prefix recomputes it are rewritten to scan the view instead
+   (cost-based, visible in explain(), and across sessions — the view's
+   plan fingerprint lives in the catalog). Adding patches to the base
+   marks the view *stale* through lineage versioning; ``refresh_view``
+   re-runs only the defining plan. Independently, ``cache=True`` UDF
+   results persist through the catalog, so cached inference survives
+   reopening the database.
 
 Run: ``python examples/quickstart.py``
 """
@@ -131,6 +139,35 @@ def main() -> None:
             f"{source!r} frame {frame}; that frame produced "
             f"{len(siblings)} patches in total"
         )
+
+        # materialize the UDF pipeline as a derived view: the planner now
+        # rewrites any query whose prefix recomputes it into a scan of
+        # the stored view — chosen cost-based against recomputation (the
+        # explain() below shows both costs), and still matched after the
+        # database is closed and reopened
+        scored = db.scan("detections").map(
+            add_brightness,
+            name="brightness",
+            provides={"brightness"},
+            one_to_one=True,
+            cache=True,
+        )
+        db.materialize_view("scored", scored)
+        reuse = scored.filter(Attr("label") == "vehicle")
+        print("\nplan after materialize_view('scored'):")
+        print(reuse.explain())
+
+        # lineage-driven invalidation: mutating the base marks the view
+        # (and the base's statistics) stale; refresh re-runs the
+        # defining plan — served from the persistent UDF cache for
+        # unchanged rows
+        db.collection("detections").add(sample.derive(sample.data, "copy"))
+        print(
+            f"\nafter base add: view stale = {db.view_is_stale('scored')}, "
+            f"statistics stale = {db.statistics('detections').stale}"
+        )
+        db.refresh_view("scored")
+        print(f"after refresh_view: view stale = {db.view_is_stale('scored')}")
 
 
 if __name__ == "__main__":

@@ -3,6 +3,11 @@
 from repro.core.catalog import Catalog, MaterializedCollection
 from repro.core.expressions import Attr, Expr, Predicate
 from repro.core.lineage import LineageStore
+from repro.core.materialization import (
+    MaterializationManager,
+    PersistentUDFCache,
+    ViewDefinition,
+)
 from repro.core.patch import ImgRef, Patch, Row
 from repro.core.schema import Field, PatchSchema, frame_schema
 from repro.core.session import DeepLens, QueryBuilder
@@ -24,12 +29,15 @@ __all__ = [
     "Field",
     "ImgRef",
     "LineageStore",
+    "MaterializationManager",
     "MaterializedCollection",
     "Patch",
     "PatchSchema",
+    "PersistentUDFCache",
     "Predicate",
     "QueryBuilder",
     "Row",
     "StatisticsProvider",
+    "ViewDefinition",
     "frame_schema",
 ]

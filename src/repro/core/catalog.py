@@ -76,6 +76,7 @@ class MaterializedCollection:
         self.catalog.lineage.record(patch)
         self.catalog._maintain_indexes(self.name, patch)
         self.catalog._record_statistics(self.name, patch)
+        self.catalog._bump_version(self.name)
         return patch_id
 
     def get(self, patch_id: int, *, load_data: bool = True) -> Patch:
@@ -145,6 +146,14 @@ class Catalog:
         #: collection name -> heap ref of the persisted stats snapshot
         self._stats_refs: dict[str, list] = dict(meta.get("catalog:stats", {}))
         self._stats_dirty: set[str] = set()
+        #: collection name -> monotone mutation counter (bumped per add);
+        #: the lineage version materialized views record for their bases
+        self._versions: dict[str, int] = dict(meta.get("catalog:versions", {}))
+        #: collection name -> version at the last full materialization /
+        #: statistics rebuild — the baseline the staleness flag measures from
+        self._fresh_versions: dict[str, int] = dict(
+            meta.get("catalog:fresh_versions", {})
+        )
 
     # -- lifecycle ------------------------------------------------------
 
@@ -181,6 +190,8 @@ class Catalog:
         meta["catalog:indexes"] = [list(key) for key in self._registered]
         meta["catalog:multi_value"] = [list(key) for key in sorted(self._multi_value)]
         meta["catalog:stats"] = dict(self._stats_refs)
+        meta["catalog:versions"] = dict(self._versions)
+        meta["catalog:fresh_versions"] = dict(self._fresh_versions)
         self.pager.set_meta(meta)
 
     def _tree_for(self, name: str) -> BPlusTree:
@@ -219,12 +230,19 @@ class Catalog:
             for key in [k for k in self._indexes if k[0] == name]:
                 del self._indexes[key]
             self.drop_statistics(name)
+            # replacing is a mutation even when zero rows follow (an
+            # emptied base must still invalidate dependent views)
+            self._bump_version(name)
         else:
             collection = MaterializedCollection(self, name)
             self._collections[name] = collection
         collection.schema = schema
         for patch in patches:
             collection.add(patch)
+        # the collection is now a complete snapshot: later add()s count as
+        # mutations against this baseline (statistics staleness flag, view
+        # invalidation)
+        self._fresh_versions[name] = self._versions.get(name, 0)
         self._save_meta()
         return collection
 
@@ -238,6 +256,25 @@ class Catalog:
 
     def collections(self) -> list[str]:
         return sorted(self._collections)
+
+    # -- collection versions (lineage-driven invalidation) ----------------
+
+    def collection_version(self, collection_name: str) -> int:
+        """Monotone mutation counter for a collection: bumped on every
+        :meth:`MaterializedCollection.add`. Materialized views record
+        their bases' versions at build time; a mismatch later means the
+        view no longer reflects its base."""
+        return self._versions.get(collection_name, 0)
+
+    def mutations_since_fresh(self, collection_name: str) -> int:
+        """Adds since the collection was last fully materialized or had
+        its statistics rebuilt — the statistics staleness counter."""
+        return self.collection_version(collection_name) - self._fresh_versions.get(
+            collection_name, 0
+        )
+
+    def _bump_version(self, collection_name: str) -> None:
+        self._versions[collection_name] = self._versions.get(collection_name, 0) + 1
 
     # -- cardinality statistics -----------------------------------------
 
@@ -257,6 +294,8 @@ class Catalog:
                 serialization.loads(self.heap.get(ref))
             )
             self._stats[collection_name] = stats
+        if stats is not None:
+            stats.staleness = self.mutations_since_fresh(collection_name)
         return stats
 
     def rebuild_statistics(self, collection_name: str) -> CollectionStatistics:
@@ -269,6 +308,11 @@ class Catalog:
             stats.observe(patch)
         self._stats[collection_name] = stats
         self._stats_dirty.add(collection_name)
+        # a full-scan rebuild re-baselines staleness: the profile now
+        # reflects every row
+        self._fresh_versions[collection_name] = self.collection_version(
+            collection_name
+        )
         return stats
 
     def drop_statistics(self, collection_name: str) -> None:

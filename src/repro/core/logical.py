@@ -17,6 +17,8 @@ Nodes are immutable; rewrites produce new trees via :meth:`with_children`.
 
 from __future__ import annotations
 
+import hashlib
+
 from dataclasses import dataclass, fields, replace
 from typing import Any, Callable
 
@@ -263,3 +265,188 @@ class Aggregate(LogicalPlan):
 
     def label(self) -> str:
         return f"Aggregate({self.kind})"
+
+
+# -- structural fingerprinting ------------------------------------------------
+#
+# Materialized views (:mod:`repro.core.materialization`) persist the
+# fingerprint of their defining plan so the planner can recognize an
+# incoming plan whose prefix recomputes a stored view. Fingerprints are
+# *structural*: two plans match only if they name the same collections,
+# the same predicates (by DSL structure), and the same callables.
+
+
+def callable_identity(fn: Callable) -> str:
+    """A stable identity string for a plan callable (UDF, feature fn).
+
+    Module-level functions identify by ``module.qualname`` plus a digest
+    of their bytecode, constants, and defaults — stable across sessions
+    (the property persistent view fingerprints and the catalog-backed
+    UDF cache rely on) but *changed when the function body changes*, so
+    editing a UDF's source invalidates its persisted results and view
+    matches instead of silently serving stale outputs. Lambdas,
+    closures, and other callables without a stable import path fall
+    back to including ``id(fn)``: still a sound identity *within* the
+    session (the plan registry keeps registered callables alive, so ids
+    cannot be reused by a different function), but never matchable from
+    a later session.
+    """
+    module = getattr(fn, "__module__", None) or "?"
+    qualname = getattr(fn, "__qualname__", None) or type(fn).__name__
+    if callable_is_portable(fn):
+        digest = _callable_code_digest(fn)
+        if digest is not None:
+            return f"{module}.{qualname}@{digest}"
+        return f"{module}.{qualname}"
+    return f"{module}.{qualname}#{id(fn)}"
+
+
+def _callable_code_digest(fn: Callable) -> str | None:
+    """Digest of a function's behaviour-bearing parts (bytecode,
+    constants — recursing into nested code objects, whose repr embeds a
+    memory address — and argument defaults). None for callables without
+    Python code (builtins, C extensions): their qualname must suffice."""
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        code = getattr(getattr(fn, "__func__", None), "__code__", None)
+    if code is None:
+        return None
+    digest = hashlib.blake2b(digest_size=8)
+
+    def feed(c) -> None:
+        digest.update(c.co_code)
+        for const in c.co_consts:
+            if isinstance(const, type(c)):
+                feed(const)
+            else:
+                digest.update(repr(const).encode())
+
+    feed(code)
+    digest.update(repr(getattr(fn, "__defaults__", None)).encode())
+    return digest.hexdigest()
+
+
+def callable_is_portable(fn: Callable) -> bool:
+    """True when ``fn``'s identity survives interpreter restarts (a named
+    function importable from a real module path)."""
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname:
+        return False
+    return "<lambda>" not in qualname and "<locals>" not in qualname
+
+
+def _expr_signature(expr: Expr | None) -> tuple:
+    if expr is None or isinstance(expr, AlwaysTrue):
+        return ("true",)
+    if isinstance(expr, Comparison):
+        return ("cmp", expr.attr, expr.op, repr(expr.value))
+    if isinstance(expr, Between):
+        return ("between", expr.attr, repr(expr.lo), repr(expr.hi))
+    if isinstance(expr, (And, Or)):
+        kind = "and" if isinstance(expr, And) else "or"
+        return (kind, tuple(_expr_signature(child) for child in expr.children))
+    if isinstance(expr, Not):
+        return ("not", _expr_signature(expr.child))
+    if isinstance(expr, Predicate):
+        return ("pred", expr.name, callable_identity(expr.fn))
+    return ("expr", repr(expr))
+
+
+def plan_signature(plan: LogicalPlan) -> tuple:
+    """A canonical nested-tuple rendering of a plan's structure.
+
+    Execution details that cannot change a plan's *output* — a map's
+    ``batch_fn`` (by contract an equivalent vectorization of ``fn``) and
+    its ``cache`` flag — are excluded, so pipelines that differ only in
+    how they execute still share a signature.
+    """
+    if isinstance(plan, Scan):
+        return ("scan", plan.collection, plan.load_data)
+    if isinstance(plan, Filter):
+        return ("filter", plan_signature(plan.child), _expr_signature(plan.expr), plan.on)
+    if isinstance(plan, Map):
+        return (
+            "map",
+            plan_signature(plan.child),
+            plan.name,
+            callable_identity(plan.fn),
+            None if plan.provides is None else tuple(sorted(plan.provides)),
+            plan.one_to_one,
+        )
+    if isinstance(plan, Project):
+        return ("project", plan_signature(plan.child), plan.attrs, plan.keep_data)
+    if isinstance(plan, Limit):
+        return ("limit", plan_signature(plan.child), plan.n)
+    if isinstance(plan, OrderBy):
+        return ("orderby", plan_signature(plan.child), plan.attr, plan.reverse)
+    if isinstance(plan, SimilarityJoin):
+        return (
+            "simjoin",
+            plan_signature(plan.left),
+            plan_signature(plan.right),
+            repr(plan.threshold),
+            None if plan.features is None else callable_identity(plan.features),
+            plan.dim,
+            plan.exclude_self,
+        )
+    if isinstance(plan, Aggregate):
+        return (
+            "aggregate",
+            plan_signature(plan.child),
+            plan.kind,
+            None if plan.key is None else callable_identity(plan.key),
+            callable_identity(plan.reducer),
+        )
+    raise QueryError(f"cannot fingerprint logical node {plan.label()}")
+
+
+def plan_fingerprint(plan: LogicalPlan) -> str:
+    """Hex digest of :func:`plan_signature` — the persistable form."""
+    payload = repr(plan_signature(plan)).encode()
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+
+def plan_is_portable(plan: LogicalPlan) -> bool:
+    """True when every callable in the plan has a session-independent
+    identity, so its fingerprint can match plans built in later sessions."""
+    portable = True
+
+    def visit(node: LogicalPlan) -> None:
+        nonlocal portable
+        for attr in ("fn", "features", "key", "reducer"):
+            value = getattr(node, attr, None)
+            if callable(value) and value is not len and not callable_is_portable(value):
+                portable = False
+        if isinstance(node, Filter):
+            for leaf in _predicate_leaves(node.expr):
+                if not callable_is_portable(leaf.fn):
+                    portable = False
+        for child in node.children():
+            visit(child)
+
+    visit(plan)
+    return portable
+
+
+def _predicate_leaves(expr: Expr) -> list[Predicate]:
+    if isinstance(expr, Predicate):
+        return [expr]
+    if isinstance(expr, (And, Or)):
+        return [leaf for child in expr.children for leaf in _predicate_leaves(child)]
+    if isinstance(expr, Not):
+        return _predicate_leaves(expr.child)
+    return []
+
+
+def scanned_collections(plan: LogicalPlan) -> list[str]:
+    """Every materialized collection a plan reads, in scan order —
+    a view's *lineage*: the bases whose mutations invalidate it."""
+    out: list[str] = []
+    if isinstance(plan, Scan):
+        out.append(plan.collection)
+    for child in plan.children():
+        for name in scanned_collections(child):
+            if name not in out:
+                out.append(name)
+    return out

@@ -1,0 +1,587 @@
+"""Materialization manager: persistent derived views and UDF results.
+
+DeepLens's central optimization is choosing *when to materialize*
+expensive ML UDF outputs (deferred vs. eager materialization, Section 4).
+This module is the eager half, grown into a subsystem:
+
+* **derived views** — any arity-1 query pipeline can be persisted as a
+  named collection (:meth:`MaterializationManager.materialize_view`)
+  through the ordinary catalog/heap path, together with the structural
+  *fingerprint* of its defining logical plan and its *lineage*: the base
+  collections it scans and their mutation versions at build time;
+* **cost-based view reuse** — at plan time the manager is the planner's
+  :class:`~repro.core.optimizer.lowering.ViewMatcher`: a plan prefix
+  whose fingerprint equals a registered view's definition is rewritten
+  to scan the view instead, chosen cost-based against recomputation
+  (UDF inference over the base vs. a scan of the stored rows), with the
+  decision and both costs surfaced in ``explain()``;
+* **lineage-driven invalidation** — every
+  :meth:`~repro.core.catalog.MaterializedCollection.add` bumps the base
+  collection's version; a view whose recorded base versions no longer
+  match is *stale* and the planner recomputes instead (unless the query
+  opts into ``allow_stale``); :meth:`refresh_view` re-runs only the
+  defining plan;
+* **persistent UDF result store** — :class:`PersistentUDFCache` extends
+  the session memo with a catalog-backed tier (lineage-keyed, LRU in
+  memory, spilled through the kvstore heap) so cached inference results
+  survive sessions — the paper's materialized-intermediates story, and
+  what Deep Lake's persisted tensor views / EVA's inference caching do.
+
+Fingerprints are computed over the *rewritten* defining plan
+(:func:`view_fingerprint`), so pipelines that differ only by rewrites
+the optimizer performs anyway (filter splitting/push-down) still match.
+UDF identity inside fingerprints and cache keys uses
+``module.qualname`` for named module-level functions — stable across
+interpreter restarts — while lambdas/closures degrade to session-local
+identity (they still match within the defining session, never after).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core import logical
+from repro.core.catalog import Catalog, MaterializedCollection
+from repro.core.operators import Operator
+from repro.core.optimizer.lowering import (
+    UDFCache,
+    estimate_plan_rows,
+    join_dim,
+    plan_pipeline,
+)
+from repro.core.optimizer.optimizer import Explanation, Optimizer, PlanChoice
+from repro.core.optimizer.rewriter import rewrite
+from repro.core.patch import Patch
+from repro.errors import QueryError, StorageError
+from repro.storage.kvstore import BlobRef
+from repro.storage.kvstore import serialization
+
+#: catalog meta key holding the persisted view registry
+VIEWS_META_KEY = "matview:views"
+
+
+def view_fingerprint(plan: logical.LogicalPlan) -> str:
+    """Fingerprint of a defining plan, taken after rule rewriting.
+
+    Rewriting first makes the fingerprint insensitive to differences the
+    optimizer erases anyway — ``filter(a & b)`` vs ``filter(a).filter(b)``,
+    or a filter written above a UDF map that push-down moves below it.
+    """
+    rewritten, _ = rewrite(plan)
+    return logical.plan_fingerprint(rewritten)
+
+
+@dataclass
+class ViewDefinition:
+    """The persisted record of one materialized view."""
+
+    name: str
+    fingerprint: str
+    plan_text: str
+    #: base collection -> its catalog version when the view was (re)built
+    bases: dict[str, int]
+    row_count: int
+    #: whether every callable in the defining plan has a session-independent
+    #: identity — a non-portable view still matches in its own session but
+    #: can never be matched (or refreshed without its query) after reopen
+    portable: bool
+
+    def to_value(self) -> dict:
+        return {
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "plan_text": self.plan_text,
+            "bases": dict(self.bases),
+            "row_count": self.row_count,
+            "portable": self.portable,
+        }
+
+    @classmethod
+    def from_value(cls, value: dict) -> "ViewDefinition":
+        return cls(
+            name=value["name"],
+            fingerprint=value["fingerprint"],
+            plan_text=value["plan_text"],
+            bases=dict(value["bases"]),
+            row_count=value["row_count"],
+            portable=value["portable"],
+        )
+
+
+class MaterializationManager:
+    """Registry of materialized views plus the planner's view-matching hook.
+
+    One per session, sharing the session's catalog and optimizer. View
+    definitions persist through the catalog's meta page; the defining
+    *plans* (which contain callables) additionally stay live in-process
+    so :meth:`refresh_view` can re-run them — after a reopen, refresh
+    needs the defining query passed back in (verified by fingerprint).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        optimizer: Optimizer,
+        udf_cache: UDFCache | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.optimizer = optimizer
+        self.udf_cache = udf_cache
+        meta = catalog.pager.get_meta()
+        self._defs: dict[str, ViewDefinition] = {
+            name: ViewDefinition.from_value(value)
+            for name, value in meta.get(VIEWS_META_KEY, {}).items()
+        }
+        #: live defining plans (session-scoped; also keeps their callables
+        #: alive so session-local identities cannot be reused)
+        self._plans: dict[str, logical.LogicalPlan] = {}
+
+    # -- registry -------------------------------------------------------
+
+    def views(self) -> list[str]:
+        return sorted(self._defs)
+
+    def view(self, name: str) -> ViewDefinition:
+        try:
+            return self._defs[name]
+        except KeyError:
+            raise QueryError(
+                f"no materialized view {name!r}; have {sorted(self._defs)}"
+            ) from None
+
+    def _persist(self) -> None:
+        meta = self.catalog.pager.get_meta()
+        meta[VIEWS_META_KEY] = {
+            name: definition.to_value()
+            for name, definition in sorted(self._defs.items())
+        }
+        self.catalog.pager.set_meta(meta)
+
+    # -- materialization ------------------------------------------------
+
+    def materialize_view(
+        self,
+        name: str,
+        query: Any,
+        *,
+        replace: bool = False,
+    ) -> MaterializedCollection:
+        """Run ``query`` (a QueryBuilder or logical plan) and persist its
+        result as view ``name`` — a real collection, scannable and
+        indexable like any other, plus a registered definition the
+        planner can rewrite matching queries onto."""
+        plan = self._plan_of(query)
+        if isinstance(plan, logical.Aggregate):
+            raise QueryError(
+                "aggregates produce scalars, not patch collections; "
+                "materialize the pipeline below the aggregate instead"
+            )
+        bases = logical.scanned_collections(plan)
+        if not bases:
+            raise QueryError(
+                f"view {name!r} must scan at least one materialized collection"
+            )
+        if name in bases:
+            raise QueryError(f"view {name!r} cannot be defined over itself")
+        if name in self._defs and not replace:
+            raise StorageError(
+                f"view {name!r} already exists (pass replace=True)"
+            )
+        collection = self.catalog.materialize(
+            self._execute(plan), name, replace=replace
+        )
+        self._register(name, plan, bases, len(collection))
+        return collection
+
+    def refresh_view(self, name: str, query: Any = None) -> MaterializedCollection:
+        """Re-run a stale view's defining plan and swap in the result.
+
+        Only the defining plan re-executes (and its cached UDF results
+        still hit the persistent store for unchanged base rows). After a
+        reopen the defining callables are gone from memory, so pass the
+        defining query back in — it is verified against the stored
+        fingerprint before anything runs.
+        """
+        definition = self.view(name)
+        plan = self._plans.get(name)
+        if query is not None:
+            candidate = self._plan_of(query)
+            if view_fingerprint(candidate) != definition.fingerprint:
+                raise QueryError(
+                    f"query does not match view {name!r}'s stored definition"
+                )
+            plan = candidate
+        if plan is None:
+            raise QueryError(
+                f"view {name!r} was defined in another session; pass its "
+                f"defining query to refresh_view"
+            )
+        bases = logical.scanned_collections(plan)
+        collection = self.catalog.materialize(
+            self._execute(plan), name, replace=True
+        )
+        self._register(name, plan, bases, len(collection))
+        return collection
+
+    def drop_view(self, name: str) -> None:
+        """Unregister a view (the backing collection stays; re-materialize
+        over it with ``replace=True`` to reclaim the name)."""
+        self.view(name)  # raise on unknown names
+        del self._defs[name]
+        self._plans.pop(name, None)
+        self._persist()
+
+    def _register(
+        self,
+        name: str,
+        plan: logical.LogicalPlan,
+        bases: list[str],
+        row_count: int,
+    ) -> None:
+        self._defs[name] = ViewDefinition(
+            name=name,
+            fingerprint=view_fingerprint(plan),
+            plan_text=plan.describe(),
+            bases={
+                base: self.catalog.collection_version(base) for base in bases
+            },
+            row_count=row_count,
+            portable=logical.plan_is_portable(plan),
+        )
+        self._plans[name] = plan
+        self._persist()
+
+    def _execute(self, plan: logical.LogicalPlan) -> list[Patch]:
+        # no view matching while building a view: definitions must always
+        # be computable from their bases alone. Executed *eagerly*: with
+        # replace=True the catalog destroys the previous snapshot before
+        # consuming the input, so a UDF failure mid-plan must surface
+        # here, while the old view rows are still intact.
+        operator, _ = plan_pipeline(
+            self.optimizer, plan, udf_cache=self.udf_cache
+        )
+        if not isinstance(operator, Operator) or operator.arity != 1:
+            raise QueryError(
+                "only arity-1 pipelines can be materialized as views; "
+                "materialize a join's sides separately"
+            )
+        return [row[0] for row in operator]
+
+    @staticmethod
+    def _plan_of(query: Any) -> logical.LogicalPlan:
+        if isinstance(query, logical.LogicalPlan):
+            return query
+        getter = getattr(query, "logical_plan", None)
+        if callable(getter):
+            return getter()
+        raise QueryError(
+            f"expected a QueryBuilder or logical plan, got {type(query).__name__}"
+        )
+
+    # -- staleness ------------------------------------------------------
+
+    def stale_bases(self, name: str) -> list[str]:
+        """Base collections mutated since the view was (re)built."""
+        definition = self.view(name)
+        return sorted(
+            base
+            for base, version in definition.bases.items()
+            if self.catalog.collection_version(base) != version
+        )
+
+    def is_stale(self, name: str) -> bool:
+        return bool(self.stale_bases(name))
+
+    # -- planner hook (ViewMatcher) -------------------------------------
+
+    def apply(
+        self, plan: logical.LogicalPlan, *, allow_stale: bool = False
+    ) -> tuple[logical.LogicalPlan, list[str], list[Explanation]]:
+        """Rewrite plan prefixes that recompute registered views.
+
+        Walks the plan top-down (largest prefix first); a subtree whose
+        fingerprint matches a fresh view's definition is replaced by a
+        scan of the view when the cost model favours it. Returns the
+        possibly-rewritten plan, explain-trace notes, and one decision
+        Explanation per considered match.
+        """
+        notes: list[str] = []
+        decisions: list[Explanation] = []
+        if not self._defs:
+            return plan, notes, decisions
+        by_fingerprint: dict[str, list[ViewDefinition]] = {}
+        base_sets: set[frozenset[str]] = set()
+        for definition in self._defs.values():
+            by_fingerprint.setdefault(definition.fingerprint, []).append(
+                definition
+            )
+            base_sets.add(frozenset(definition.bases))
+        rewritten = self._match(
+            plan, by_fingerprint, base_sets, allow_stale, notes, decisions
+        )
+        return rewritten, notes, decisions
+
+    def _match(
+        self,
+        node: logical.LogicalPlan,
+        by_fingerprint: dict[str, list[ViewDefinition]],
+        base_sets: set[frozenset[str]],
+        allow_stale: bool,
+        notes: list[str],
+        decisions: list[Explanation],
+    ) -> logical.LogicalPlan:
+        # bare scans are never worth substituting (a view of a bare scan
+        # is just a copy of its base), and skipping them keeps the walk
+        # from fingerprinting every leaf
+        if not isinstance(node, logical.Scan):
+            replacement = self._try_rewrite(
+                node, by_fingerprint, base_sets, allow_stale, notes, decisions
+            )
+            if replacement is not None:
+                return replacement
+        children = node.children()
+        if not children:
+            return node
+        new_children = [
+            self._match(
+                child, by_fingerprint, base_sets, allow_stale, notes, decisions
+            )
+            for child in children
+        ]
+        if all(new is old for new, old in zip(new_children, children)):
+            return node
+        return node.with_children(*new_children)
+
+    def _try_rewrite(
+        self,
+        node: logical.LogicalPlan,
+        by_fingerprint: dict[str, list[ViewDefinition]],
+        base_sets: set[frozenset[str]],
+        allow_stale: bool,
+        notes: list[str],
+        decisions: list[Explanation],
+    ) -> logical.LogicalPlan | None:
+        # a fingerprint match implies identical scanned collections, so
+        # subtrees over other bases skip the (rewrite + fingerprint) work
+        if frozenset(logical.scanned_collections(node)) not in base_sets:
+            return None
+        matches = by_fingerprint.get(view_fingerprint(node))
+        if not matches:
+            return None
+        usable: list[tuple[ViewDefinition, list[str]]] = []
+        for definition in matches:
+            if definition.name not in self.catalog.collections():
+                continue  # backing collection dropped out from under us
+            stale = self.stale_bases(definition.name)
+            if stale and not allow_stale:
+                notes.append(
+                    f"view-match: view {definition.name!r} matches this "
+                    f"prefix but is stale (base {', '.join(map(repr, stale))} "
+                    f"changed since the view was built); recomputing"
+                )
+                continue
+            usable.append((definition, stale))
+        if not usable:
+            return None
+        # several registered views can share a definition; the smallest
+        # backing collection is the cheapest to scan
+        definition, stale = min(
+            usable, key=lambda pair: len(self.catalog.collection(pair[0].name))
+        )
+        n_view = len(self.catalog.collection(definition.name))
+        cost = self.optimizer.cost
+        view_choice = PlanChoice(
+            "view-scan",
+            cost.full_scan(n_view),
+            {
+                "view": definition.name,
+                "est_rows": float(n_view),
+                "stat_source": "row-count",
+            },
+        )
+        recompute_choice = PlanChoice(
+            "recompute",
+            self._recompute_cost(node),
+            {
+                "est_rows": estimate_plan_rows(self.optimizer, node),
+                "stat_source": "plan-estimate",
+            },
+        )
+        ranked = sorted(
+            [view_choice, recompute_choice], key=lambda c: c.cost_seconds
+        )
+        decisions.append(
+            Explanation(
+                chosen=ranked[0],
+                candidates=ranked,
+                estimates=[
+                    f"view {definition.name!r}: {n_view} stored rows vs "
+                    f"~{recompute_choice.params['est_rows']:.0f} recomputed"
+                ],
+            )
+        )
+        if ranked[0] is not view_choice:
+            notes.append(
+                f"view-match: view {definition.name!r} matches this prefix "
+                f"but recomputation is cheaper "
+                f"({recompute_choice.cost_seconds:.4g}s vs "
+                f"{view_choice.cost_seconds:.4g}s)"
+            )
+            return None
+        suffix = " (stale tolerated)" if stale else ""
+        notes.append(
+            f"view-match: rewrote pipeline prefix to scan materialized view "
+            f"{definition.name!r} ({view_choice.cost_seconds:.4g}s vs "
+            f"{recompute_choice.cost_seconds:.4g}s recompute){suffix}"
+        )
+        return logical.Scan(definition.name)
+
+    def _recompute_cost(self, node: logical.LogicalPlan) -> float:
+        """Modeled cost of computing a subtree from its bases — what
+        scanning the view instead would save."""
+        cost = self.optimizer.cost
+        if isinstance(node, logical.Scan):
+            try:
+                n = len(self.catalog.collection(node.collection))
+            except QueryError:
+                n = 1
+            return cost.full_scan(n)
+        if isinstance(node, logical.Filter):
+            return self._recompute_cost(node.child) + cost.filter_per_patch * (
+                estimate_plan_rows(self.optimizer, node.child)
+            )
+        if isinstance(node, logical.Map):
+            return self._recompute_cost(node.child) + cost.udf_map(
+                estimate_plan_rows(self.optimizer, node.child)
+            )
+        if isinstance(node, logical.SimilarityJoin):
+            n_left = max(int(estimate_plan_rows(self.optimizer, node.left)), 1)
+            n_right = max(int(estimate_plan_rows(self.optimizer, node.right)), 1)
+            dim, _ = join_dim(self.optimizer, node)
+            join_cost = self.optimizer.plan_similarity_join(
+                n_left, n_right, dim
+            ).chosen.cost_seconds
+            return (
+                self._recompute_cost(node.left)
+                + self._recompute_cost(node.right)
+                + join_cost
+            )
+        if isinstance(node, logical.Limit):
+            # conservative: a pipeline breaker below would compute its
+            # whole input regardless of the limit
+            return self._recompute_cost(node.child)
+        # Project / OrderBy / Aggregate: child cost plus a per-row touch
+        children = node.children()
+        child_cost = sum(self._recompute_cost(child) for child in children)
+        rows = estimate_plan_rows(self.optimizer, node)
+        return child_cost + cost.filter_per_patch * rows
+
+
+class PersistentUDFCache(UDFCache):
+    """The session UDF memo backed by a catalog-persisted second tier.
+
+    In memory it is the plain lineage-keyed LRU of :class:`UDFCache`;
+    every miss with a *portable* key (a named module-level UDF over a
+    materialized patch) additionally consults — and on compute, writes —
+    a kvstore tier: a B+ tree in the catalog's pager mapping a stable
+    key digest to the serialized result in the blob heap. Cached
+    inference therefore survives sessions: reopening the database and
+    re-running the same UDF over the same patches is served from the
+    catalog without invoking the model.
+
+    Lambdas and closures have no session-independent identity, so their
+    results stay memory-only — correctness over reuse.
+    """
+
+    #: name of the backing B+ tree inside the catalog's pager
+    TREE_NAME = "udf:results"
+
+    def __init__(self, catalog: Catalog, max_entries: int = 100_000) -> None:
+        super().__init__(max_entries)
+        self.catalog = catalog
+        self._tree = catalog._tree_for(self.TREE_NAME)
+        #: hits served from the persistent tier (subset of ``hits``)
+        self.disk_hits = 0
+
+    def __len__(self) -> int:
+        """Entries resident in memory (the persistent tier may hold more)."""
+        return len(self._store)
+
+    def persisted_count(self) -> int:
+        return len(self._tree)
+
+    @staticmethod
+    def _digest(key: tuple) -> str | None:
+        """Stable digest of a memo key, or None when the UDF's identity
+        does not survive sessions (lambda/closure)."""
+        name, fn = key[0], key[1]
+        if not logical.callable_is_portable(fn):
+            return None
+        payload = repr((name, logical.callable_identity(fn)) + key[2:])
+        return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
+
+    def _fetch(self, key: Any) -> Any:
+        try:
+            return super()._fetch(key)
+        except KeyError:
+            digest = self._digest(key)
+            if digest is None:
+                raise
+            payloads = self._tree.get(digest)
+            if not payloads:
+                raise
+            value = self._decode(payloads[0])
+            super()._put(key, value)  # promote without re-spilling
+            self.disk_hits += 1
+            return value
+
+    def _put(self, key: Any, value: Any) -> None:
+        super()._put(key, value)
+        digest = self._digest(key)
+        if digest is None or self._tree.contains(digest):
+            return
+        encoded = self._encode(value)
+        if encoded is None:
+            return  # non-patch results stay memory-only
+        ref = self.catalog.heap.put(encoded, compress=True)
+        self._tree.insert(
+            digest,
+            serialization.dumps(list(ref.to_tuple()), compress_arrays=False),
+        )
+
+    @staticmethod
+    def _encode(value: Any) -> bytes | None:
+        if value is None:
+            kind, items = "none", []
+        elif isinstance(value, Patch):
+            kind, items = "patch", [value]
+        elif isinstance(value, list) and all(
+            isinstance(item, Patch) for item in value
+        ):
+            kind, items = "list", list(value)
+        else:
+            return None
+        return serialization.dumps(
+            {
+                "kind": kind,
+                "items": [patch.to_record() for patch in items],
+                "ids": [patch.patch_id for patch in items],
+            },
+            compress_arrays=False,
+        )
+
+    def _decode(self, payload: bytes) -> Any:
+        ref = BlobRef.from_tuple(tuple(serialization.loads(payload)))
+        record = serialization.loads(self.catalog.heap.get(ref))
+        patches = [
+            Patch.from_record(item, patch_id=patch_id)
+            for item, patch_id in zip(record["items"], record["ids"])
+        ]
+        if record["kind"] == "none":
+            return None
+        if record["kind"] == "patch":
+            return patches[0]
+        return patches

@@ -9,9 +9,13 @@ from repro.core.optimizer.advisor import (
 from repro.core.optimizer.cost import CostModel
 from repro.core.optimizer.lowering import (
     DEFAULT_JOIN_DIM,
+    JOIN_PER_DIM_MATCH,
     AggregateExecution,
     UDFCache,
+    ViewMatcher,
+    estimate_join_output,
     estimate_plan_rows,
+    join_dim,
     plan_pipeline,
 )
 from repro.core.optimizer.optimizer import (
@@ -38,6 +42,7 @@ __all__ = [
     "DEFAULT_JOIN_DIM",
     "EQ_SELECTIVITY",
     "Explanation",
+    "JOIN_PER_DIM_MATCH",
     "LayoutCosts",
     "NEQ_SELECTIVITY",
     "Optimizer",
@@ -49,8 +54,11 @@ __all__ = [
     "StorageRecommendation",
     "SynthesisResult",
     "UDFCache",
+    "ViewMatcher",
     "WorkloadProfile",
+    "estimate_join_output",
     "estimate_plan_rows",
+    "join_dim",
     "plan_pipeline",
     "rewrite",
 ]

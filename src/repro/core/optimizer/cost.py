@@ -36,6 +36,9 @@ class CostModel:
     scan_per_patch: float = 4e-5
     #: predicate evaluation per patch
     filter_per_patch: float = 1.5e-6
+    #: one UDF/model invocation per patch (inference dominates scans by
+    #: orders of magnitude — the asymmetry materialized views exploit)
+    udf_per_patch: float = 1.0e-3
     #: one feature-distance comparison of dimension d costs dist_base + d*dist_per_dim
     dist_base: float = 1.2e-6
     dist_per_dim: float = 2.5e-8
@@ -56,6 +59,10 @@ class CostModel:
 
     def full_scan(self, n: int) -> float:
         return n * (self.scan_per_patch + self.filter_per_patch)
+
+    def udf_map(self, n: float) -> float:
+        """Applying a UDF map over ``n`` rows (model inference)."""
+        return n * self.udf_per_patch
 
     def index_point_lookup(self, expected_results: float) -> float:
         return self.index_lookup + expected_results * self.fetch_per_patch

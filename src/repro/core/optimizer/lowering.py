@@ -13,9 +13,10 @@ logical rewrites.
 from __future__ import annotations
 
 import copy
+import hashlib
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -50,6 +51,52 @@ from repro.errors import QueryError
 #: (vectors are opaque callables until execution)
 DEFAULT_JOIN_DIM = 8
 
+#: per-dimension probability that two random feature vectors fall within
+#: the join threshold along that axis — the similarity-join output model:
+#: match probability decays geometrically with dimensionality (the same
+#: concentration-of-measure effect behind the Ball-tree cost model's
+#: alpha), floored at one near-duplicate match per probe
+JOIN_PER_DIM_MATCH = 0.5
+#: dimensions beyond this contribute no further decay (the floor has
+#: long since taken over; avoids pointless underflow)
+JOIN_MATCH_DIM_CAP = 32
+
+
+def estimate_join_output(
+    n_left: float, n_right: float, dim: int, *, exclude_self: bool = False
+) -> float:
+    """Estimated output pairs of a similarity join.
+
+    Each left row matches ``n_right * JOIN_PER_DIM_MATCH ** dim`` right
+    rows under the independence model, floored at one match per probe —
+    similarity joins exist because near-duplicates *do* exist, so a
+    high-dimensional join degrades to ~one partner per row rather than
+    zero. ``exclude_self`` removes the identity pairs a self-join of the
+    same rows would otherwise count.
+    """
+    if n_left <= 0 or n_right <= 0:
+        return 0.0  # the floor must not conjure matches from an empty side
+    per_probe = n_right * JOIN_PER_DIM_MATCH ** min(max(dim, 1), JOIN_MATCH_DIM_CAP)
+    matches = n_left * min(max(per_probe, 1.0), max(n_right, 1.0))
+    if exclude_self:
+        matches = max(matches - min(n_left, n_right), 0.0)
+    return matches
+
+
+@runtime_checkable
+class ViewMatcher(Protocol):
+    """The planner's hook into the materialized-view registry.
+
+    ``apply`` may rewrite plan prefixes into view scans; it returns the
+    (possibly unchanged) plan, explain-trace note lines, and one
+    cost-decision :class:`Explanation` per considered view match.
+    """
+
+    def apply(
+        self, plan: logical.LogicalPlan, *, allow_stale: bool = False
+    ) -> tuple[logical.LogicalPlan, list[str], list[Explanation]]:
+        ...  # pragma: no cover
+
 
 class UDFCache:
     """Memoized UDF results keyed by patch lineage id.
@@ -62,8 +109,13 @@ class UDFCache:
     Keys include the UDF function object, so hits require the *same*
     function across queries — hoist UDFs to module/session level rather
     than recreating lambdas per query. The store is bounded
-    (``max_entries``, FIFO eviction), so per-query lambdas degrade to
+    (``max_entries``, LRU eviction), so per-query lambdas degrade to
     wasted space at worst, never unbounded growth.
+
+    Subclasses may override :meth:`_fetch` / :meth:`_put` to back the
+    in-memory store with a second tier — :class:`~repro.core.
+    materialization.PersistentUDFCache` spills results through the
+    catalog so cached inference survives sessions.
     """
 
     def __init__(self, max_entries: int = 100_000) -> None:
@@ -76,9 +128,19 @@ class UDFCache:
         self.hits = 0
         self.misses = 0
 
+    def _fetch(self, key: Any) -> Any:
+        """Look up one entry; raises KeyError on miss (TypeError for
+        unhashable keys propagates to the caller's skip-caching path —
+        subscript rather than .pop(), which skips hashing on empty dicts)."""
+        value = self._store[key]
+        del self._store[key]
+        self._store[key] = value  # re-insert: most-recently-used last
+        return value
+
     def _put(self, key: Any, value: Any) -> None:
         if key not in self._store and len(self._store) >= self.max_entries:
-            # FIFO eviction: dicts preserve insertion order
+            # LRU eviction: _fetch re-inserts on hit, so insertion order
+            # is recency order and the first entry is the coldest
             self._store.pop(next(iter(self._store)))
         self._store[key] = value
 
@@ -132,7 +194,7 @@ class UDFCache:
         def cached(patch: Patch) -> Any:
             try:
                 key = self._key(name, fn, patch)
-                value = self._store[key]
+                value = self._fetch(key)
             except KeyError:
                 pass
             except TypeError:  # unhashable lineage/metadata: skip caching
@@ -170,7 +232,7 @@ class UDFCache:
                 try:
                     keys[position] = self._key(name, ident, patch)
                     results[position] = self._isolate(
-                        self._store[keys[position]]
+                        self._fetch(keys[position])
                     )
                     self.hits += 1
                 except (KeyError, TypeError):
@@ -230,14 +292,32 @@ def plan_pipeline(
     plan: logical.LogicalPlan,
     *,
     udf_cache: UDFCache | None = None,
+    views: "ViewMatcher | None" = None,
+    allow_stale: bool = False,
 ) -> tuple[Operator | AggregateExecution, Explanation]:
     """Rewrite + lower a logical plan; returns the physical root and the
-    merged explanation (logical rewrites + every physical candidate)."""
+    merged explanation (logical rewrites + every physical candidate).
+
+    ``views`` is an optional :class:`ViewMatcher` (the session's
+    materialization manager): before rule rewriting, any plan prefix
+    that recomputes a registered materialized view is replaced by a scan
+    of the view when the cost model favours it. Stale views (a base
+    collection changed since the view was built) are skipped unless
+    ``allow_stale``.
+    """
+    view_notes: list[str] = []
+    view_decisions: list[Explanation] = []
+    if views is not None:
+        plan, view_notes, view_decisions = views.apply(
+            plan, allow_stale=allow_stale
+        )
     rewritten, applied = rewrite(plan)
     lowering = _Lowering(optimizer, udf_cache)
     root = lowering.lower(rewritten)
-    explanation = _merge_decisions(lowering.decisions)
-    explanation.rewrites = [str(entry) for entry in applied] + lowering.notes
+    explanation = _merge_decisions(view_decisions + lowering.decisions)
+    explanation.rewrites = (
+        view_notes + [str(entry) for entry in applied] + lowering.notes
+    )
     explanation.estimates.extend(lowering.estimates)
     explanation.logical_plan = rewritten.describe()
     return root, explanation
@@ -364,9 +444,12 @@ class _Lowering:
         n_left = max(int(self._estimate_rows(node.left)), 1)
         n_right = max(int(self._estimate_rows(node.right)), 1)
         dim, dim_source = self._join_dim(node)
+        est_pairs = estimate_join_output(
+            n_left, n_right, dim, exclude_self=node.exclude_self
+        )
         self.estimates.append(
             f"similarity-join: left ~ {n_left} rows, right ~ {n_right} "
-            f"rows, dim {dim} ({dim_source})"
+            f"rows, dim {dim} ({dim_source}) -> ~ {est_pairs:.0f} pairs"
         )
         explanation = self.optimizer.plan_similarity_join(n_left, n_right, dim)
         self.decisions.append(explanation)
@@ -402,24 +485,7 @@ class _Lowering:
     # -- cardinality estimation ------------------------------------------
 
     def _join_dim(self, node: logical.SimilarityJoin) -> tuple[int, str]:
-        """Feature dimensionality for join costing: the caller's ``dim``,
-        else the statistics' recorded embedding dim (default features
-        ravel ``patch.data``, so the data profile is the right one),
-        else the fixed fallback."""
-        if node.dim:
-            return node.dim, "caller-specified"
-        if node.features is None:
-            for side in (node.left, node.right):
-                collection = _base_collection(side)
-                if collection is None:
-                    continue
-                stats = self.optimizer.collection_statistics(collection)
-                if stats is None:
-                    continue
-                dim = stats.embedding_dim()
-                if dim is not None:
-                    return dim, f"recorded data dim of {collection!r}"
-        return DEFAULT_JOIN_DIM, "fallback-constant"
+        return join_dim(self.optimizer, node)
 
     def _estimate_rows(self, node: logical.LogicalPlan) -> float:
         """Estimated output rows of a logical subtree, statistics-driven
@@ -442,6 +508,16 @@ class _Lowering:
             return self._estimate_rows(node.child) * estimate.selectivity
         if isinstance(node, logical.Limit):
             return min(float(node.n), self._estimate_rows(node.child))
+        if isinstance(node, logical.SimilarityJoin):
+            # output cardinality from input sizes + recorded feature dim
+            # (the old code returned the left input's estimate, as if a
+            # join never expanded or shrank its input)
+            n_left = self._estimate_rows(node.left)
+            n_right = self._estimate_rows(node.right)
+            dim, _ = self._join_dim(node)
+            return estimate_join_output(
+                n_left, n_right, dim, exclude_self=node.exclude_self
+            )
         children = node.children()
         if not children:
             return 1.0
@@ -454,6 +530,27 @@ def estimate_plan_rows(
     """Estimated output rows of a logical subtree (the lowering's own
     cardinality model, exposed for tests and benchmarks)."""
     return _Lowering(optimizer, None)._estimate_rows(node)
+
+
+def join_dim(optimizer: Optimizer, node: logical.SimilarityJoin) -> tuple[int, str]:
+    """Feature dimensionality for join costing: the caller's ``dim``,
+    else the statistics' recorded embedding dim (default features
+    ravel ``patch.data``, so the data profile is the right one),
+    else the fixed fallback."""
+    if node.dim:
+        return node.dim, "caller-specified"
+    if node.features is None:
+        for side in (node.left, node.right):
+            collection = _base_collection(side)
+            if collection is None:
+                continue
+            stats = optimizer.collection_statistics(collection)
+            if stats is None:
+                continue
+            dim = stats.embedding_dim()
+            if dim is not None:
+                return dim, f"recorded data dim of {collection!r}"
+    return DEFAULT_JOIN_DIM, "fallback-constant"
 
 
 def _base_collection(node: logical.LogicalPlan) -> str | None:
@@ -496,7 +593,10 @@ def _meta_fingerprint(metadata: dict) -> tuple:
 
 def _value_fingerprint(value: Any) -> Any:
     if isinstance(value, np.ndarray):
-        return ("ndarray", value.shape, value.dtype.str, hash(value.tobytes()))
+        # a keyed digest, not hash(): bytes hashing is salted per process,
+        # and these fingerprints key the *persistent* UDF result store
+        digest = hashlib.blake2b(value.tobytes(), digest_size=8).hexdigest()
+        return ("ndarray", value.shape, value.dtype.str, digest)
     if isinstance(value, (list, tuple)):
         return tuple(_value_fingerprint(item) for item in value)
     if isinstance(value, dict):

@@ -30,6 +30,28 @@ and the statistic behind it. Example::
             .patches()
         )
         print(db.scan("detections").explain())   # rewrites + plan choices
+
+**Materialized views and persistent inference.** Expensive UDF pipelines
+need not recompute per session. ``materialize_view`` persists any
+arity-1 pipeline as a named derived view; afterwards every query whose
+prefix recomputes the view's definition is rewritten to scan the view
+instead — cost-based against recomputation, visible in ``explain()`` —
+including in *later sessions* (the view's plan fingerprint persists in
+the catalog). Views are invalidated through lineage: adding patches to a
+base collection marks dependent views stale, stale views are not used
+(pass ``allow_stale()`` to opt in), and ``refresh_view`` re-runs only the
+defining plan. Independently, ``cache=True`` map results now land in a
+catalog-persisted, lineage-keyed UDF result store (LRU-bounded in memory,
+spilled through the kvstore), so cached inference survives reopen for
+named module-level UDFs::
+
+    scored = db.scan("detections").map(score_udf, name="score",
+                                       provides={"score"}, cache=True)
+    db.materialize_view("scored", scored)
+    # this session *and* the next: planned as a scan of "scored"
+    top = scored.order_by("score", reverse=True).limit(10).patches()
+    db.collection("detections").add(new_patch)   # "scored" is now stale
+    db.refresh_view("scored")                    # re-runs the defining plan
 """
 
 from __future__ import annotations
@@ -43,6 +65,11 @@ from repro.core import logical
 from repro.core.catalog import Catalog, MaterializedCollection
 from repro.core.expressions import Expr
 from repro.core.lineage import LineageStore
+from repro.core.materialization import (
+    MaterializationManager,
+    PersistentUDFCache,
+    ViewDefinition,
+)
 from repro.core.operators import DEFAULT_BATCH_SIZE, Operator
 from repro.core.optimizer import (
     AggregateExecution,
@@ -66,8 +93,13 @@ class DeepLens:
         os.makedirs(self.workdir, exist_ok=True)
         self.catalog = Catalog(os.path.join(self.workdir, "catalog"))
         self.optimizer = Optimizer(self.catalog, CostModel())
-        #: session-scoped memo for cache=True query UDFs
-        self.udf_cache = UDFCache()
+        #: lineage-keyed memo for cache=True query UDFs — LRU in memory,
+        #: spilled through the catalog so results survive sessions
+        self.udf_cache: UDFCache = PersistentUDFCache(self.catalog)
+        #: materialized-view registry + the planner's view-matching hook
+        self.materialization = MaterializationManager(
+            self.catalog, self.optimizer, self.udf_cache
+        )
         self._videos: dict[str, VideoStore] = {}
         self._video_dir = os.path.join(self.workdir, "videos")
         meta = self.catalog.pager.get_meta()
@@ -164,8 +196,54 @@ class DeepLens:
         """Cardinality statistics collected for a materialized collection
         (histograms, most-common values, distinct sketches, embedding
         dims) — what the planner's estimates and ``explain()`` rest on.
-        None for collections materialized before statistics existed."""
+        The returned object's ``stale`` flag is True when patches were
+        added after the collection's last full materialization (its
+        ``staleness`` counter says how many) — the same mutation signal
+        that invalidates dependent materialized views. None for
+        collections materialized before statistics existed."""
         return self.catalog.statistics_for(collection_name)
+
+    # -- materialized views ----------------------------------------------
+
+    def materialize_view(
+        self, name: str, query: "QueryBuilder", *, replace: bool = False
+    ) -> MaterializedCollection:
+        """Persist a query pipeline as a named derived view.
+
+        The result is a real collection (scannable, indexable, profiled)
+        plus a registered definition: any later query whose prefix
+        recomputes this pipeline is rewritten to scan the view instead —
+        cost-based against recomputation, across sessions — until a base
+        collection mutates (then the view is stale; see
+        :meth:`refresh_view`).
+        """
+        return self.materialization.materialize_view(
+            name, query, replace=replace
+        )
+
+    def refresh_view(
+        self, name: str, query: "QueryBuilder | None" = None
+    ) -> MaterializedCollection:
+        """Re-run a view's defining plan (after base mutations made it
+        stale). In a fresh session pass the defining query back in; it is
+        verified against the stored fingerprint."""
+        return self.materialization.refresh_view(name, query)
+
+    def drop_view(self, name: str) -> None:
+        """Unregister a materialized view (its backing collection stays)."""
+        self.materialization.drop_view(name)
+
+    def views(self) -> list[str]:
+        """Names of registered materialized views."""
+        return self.materialization.views()
+
+    def view(self, name: str) -> ViewDefinition:
+        """A view's persisted definition (fingerprint, lineage, freshness)."""
+        return self.materialization.view(name)
+
+    def view_is_stale(self, name: str) -> bool:
+        """True when a base collection changed since the view was built."""
+        return self.materialization.is_stale(name)
 
     def rebuild_statistics(self, collection_name: str):
         """Recompute a collection's statistics from a full scan (for
@@ -205,13 +283,29 @@ class QueryBuilder:
         session: DeepLens,
         collection_name: str,
         plan: logical.LogicalPlan | None = None,
+        *,
+        allow_stale: bool = False,
     ) -> None:
         self.session = session
         self.collection_name = collection_name
         self._plan = plan if plan is not None else logical.Scan(collection_name)
+        self._allow_stale = allow_stale
 
     def _extend(self, plan: logical.LogicalPlan) -> "QueryBuilder":
-        return QueryBuilder(self.session, self.collection_name, plan)
+        return QueryBuilder(
+            self.session,
+            self.collection_name,
+            plan,
+            allow_stale=self._allow_stale,
+        )
+
+    def allow_stale(self, allowed: bool = True) -> "QueryBuilder":
+        """Let the planner reuse *stale* materialized views (a base
+        collection changed since the view was built). Default off: stale
+        views are recomputed from their bases instead."""
+        return QueryBuilder(
+            self.session, self.collection_name, self._plan, allow_stale=allowed
+        )
 
     # -- pipeline stages --------------------------------------------------
 
@@ -305,7 +399,11 @@ class QueryBuilder:
 
     def plan(self) -> tuple[Operator, Explanation]:
         operator, explanation = plan_pipeline(
-            self.session.optimizer, self._plan, udf_cache=self.session.udf_cache
+            self.session.optimizer,
+            self._plan,
+            udf_cache=self.session.udf_cache,
+            views=self.session.materialization,
+            allow_stale=self._allow_stale,
         )
         assert isinstance(operator, Operator)  # Aggregate only via aggregate()
         return operator, explanation
@@ -368,7 +466,11 @@ class QueryBuilder:
         """
         plan = logical.Aggregate(self._plan, kind, key=key, reducer=reducer)
         execution, _ = plan_pipeline(
-            self.session.optimizer, plan, udf_cache=self.session.udf_cache
+            self.session.optimizer,
+            plan,
+            udf_cache=self.session.udf_cache,
+            views=self.session.materialization,
+            allow_stale=self._allow_stale,
         )
         assert isinstance(execution, AggregateExecution)
         return execution.execute()

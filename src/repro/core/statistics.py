@@ -442,6 +442,11 @@ class CollectionStatistics:
         # joins over default features actually see
         self.data_count = 0
         self._data_dim_total = 0
+        #: mutations since the collection's last full materialization or
+        #: statistics rebuild — the catalog stamps this when it serves the
+        #: snapshot (it is bookkeeping about the *collection*, not part of
+        #: the statistical profile, so it stays out of ``to_value``)
+        self.staleness = 0
 
     # -- collection -----------------------------------------------------
 
@@ -457,6 +462,16 @@ class CollectionStatistics:
             self.attrs.setdefault(key, AttributeStatistics()).observe(value)
 
     # -- derived ---------------------------------------------------------
+
+    @property
+    def stale(self) -> bool:
+        """True when rows were added after the collection was last fully
+        materialized (or its statistics rebuilt). Incremental collection
+        keeps the profile exact under appends, so this flags *mutation*,
+        not error — views built before those appends no longer reflect
+        the collection, which is what lineage-driven invalidation keys on.
+        """
+        return self.staleness > 0
 
     @property
     def data_dim(self) -> int | None:

@@ -335,6 +335,60 @@ class TestStatsDrivenLowering:
             limited = logical.Limit(plan, 5)
             assert estimate_plan_rows(optimizer, limited) == pytest.approx(5.0)
 
+    def test_join_output_estimate_from_dim_and_sizes(self, tmp_path):
+        """SimilarityJoin output must be estimated as a match count, not
+        as the left input's row count (the old placeholder)."""
+        from repro.core.optimizer import (
+            JOIN_PER_DIM_MATCH,
+            estimate_join_output,
+            estimate_plan_rows,
+        )
+
+        with self._catalog(tmp_path) as catalog:
+            optimizer = Optimizer(catalog)
+            # low dim: matches per probe follow the geometric decay model
+            low = logical.SimilarityJoin(
+                logical.Scan("c"), logical.Scan("c"), threshold=1.0, dim=2
+            )
+            expected = 40 * 40 * JOIN_PER_DIM_MATCH**2
+            assert estimate_plan_rows(optimizer, low) == pytest.approx(expected)
+            assert estimate_plan_rows(optimizer, low) != pytest.approx(40.0)
+            # high dim floors at ~one near-duplicate partner per left row
+            high = logical.SimilarityJoin(
+                logical.Scan("c"), logical.Scan("c"), threshold=1.0, dim=64
+            )
+            assert estimate_plan_rows(optimizer, high) == pytest.approx(40.0)
+            # exclude_self removes the identity pairs
+            assert estimate_join_output(
+                40, 40, 64, exclude_self=True
+            ) == pytest.approx(0.0)
+            # an empty side yields zero pairs (the per-probe floor must
+            # not conjure matches from nothing)
+            assert estimate_join_output(0, 40, 2) == 0.0
+            assert estimate_join_output(40, 0, 2) == 0.0
+            # filters shrink the inputs before the match model applies
+            filtered = logical.SimilarityJoin(
+                logical.Filter(logical.Scan("c"), Attr("label") == "car"),
+                logical.Scan("c"),
+                threshold=1.0,
+                dim=2,
+            )
+            assert estimate_plan_rows(optimizer, filtered) == pytest.approx(
+                20 * 40 * JOIN_PER_DIM_MATCH**2
+            )
+
+    def test_join_output_estimate_surfaces_in_explain(self, tmp_path):
+        with self._catalog(tmp_path) as catalog:
+            optimizer = Optimizer(catalog)
+            plan = logical.SimilarityJoin(
+                logical.Scan("c"), logical.Scan("c"), threshold=1.0, dim=4
+            )
+            _, explanation = plan_pipeline(optimizer, plan)
+            assert any(
+                "pairs" in line and "similarity-join" in line
+                for line in explanation.estimates
+            )
+
     def test_neq_estimate_regression(self, tmp_path):
         """!= must estimate as the EQ complement, not as a range.
 

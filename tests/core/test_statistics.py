@@ -370,3 +370,47 @@ class TestPersistence:
             assert rows == pytest.approx(103 * EQ_SELECTIVITY)
             # an explicit rebuild restores measured estimates over all rows
             assert catalog.rebuild_statistics("c").row_count == 103
+
+
+class TestStaleness:
+    """The mutation counter: post-materialization add()s flip the stale
+    flag (the signal view invalidation also keys on) without perturbing
+    the statistical profile or its persistence invariants."""
+
+    def test_stale_flag_counts_post_materialize_adds(self, tmp_path):
+        with DeepLens(tmp_path) as db:
+            db.materialize(_make_patches(20), "c")
+            assert db.statistics("c").stale is False
+            collection = db.collection("c")
+            for patch in _make_patches(3, start=20):
+                collection.add(patch)
+            stats = db.statistics("c")
+            assert stats.stale is True
+            assert stats.staleness == 3
+            # the profile itself stayed exact under the incremental adds
+            assert stats.row_count == 23
+
+    def test_staleness_excluded_from_snapshot_equality(self, tmp_path):
+        # staleness is bookkeeping about the collection, not part of the
+        # statistical profile: incremental-vs-rebuild equality must hold
+        # even when the incremental side saw post-materialization adds
+        with Catalog(tmp_path) as catalog:
+            collection = catalog.materialize(_make_patches(20), "c")
+            for patch in _make_patches(5, start=20):
+                collection.add(patch)
+            incremental = catalog.statistics_for("c")
+            assert incremental.staleness == 5
+            snapshot = incremental.to_value()
+            assert "staleness" not in repr(snapshot)
+            rebuilt = catalog.rebuild_statistics("c")
+            assert rebuilt.to_value() == snapshot
+            # and the rebuild re-baselined the counter
+            assert catalog.statistics_for("c").staleness == 0
+
+    def test_staleness_survives_reopen(self, tmp_path):
+        with Catalog(tmp_path) as catalog:
+            collection = catalog.materialize(_make_patches(10), "c")
+            collection.add(next(iter(_make_patches(1, start=10))))
+        with Catalog(tmp_path) as catalog:
+            assert catalog.statistics_for("c").staleness == 1
+            assert catalog.statistics_for("c").stale is True
