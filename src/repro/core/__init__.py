@@ -1,6 +1,11 @@
 """DeepLens core: the patch data model, query processing, and optimizer."""
 
 from repro.core.catalog import Catalog, MaterializedCollection
+from repro.core.executor import (
+    ExecutionContext,
+    ExecutionPlan,
+    PrefetchBatches,
+)
 from repro.core.expressions import Attr, Expr, Predicate
 from repro.core.lineage import LineageStore
 from repro.core.materialization import (
@@ -25,6 +30,8 @@ __all__ = [
     "CollectionStatistics",
     "DeepLens",
     "Estimate",
+    "ExecutionContext",
+    "ExecutionPlan",
     "Expr",
     "Field",
     "ImgRef",
@@ -35,6 +42,7 @@ __all__ = [
     "PatchSchema",
     "PersistentUDFCache",
     "Predicate",
+    "PrefetchBatches",
     "QueryBuilder",
     "Row",
     "StatisticsProvider",

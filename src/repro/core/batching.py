@@ -1,0 +1,40 @@
+"""Batch-size policy and re-chunking helpers.
+
+Shared by the operator layer and the storage layer (the catalog cannot
+import the operators package — scans import the catalog — so the policy
+lives here, below both).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import QueryError
+
+#: rows per batch when callers don't say otherwise
+DEFAULT_BATCH_SIZE = 256
+
+
+def slice_batches(rows, size: int):
+    """Yield fixed-size slices of an in-memory sequence (the last may be
+    short) — the one place the re-chunking policy lives."""
+    if size < 1:
+        raise QueryError(f"batch size must be positive, got {size}")
+    for start in range(0, len(rows), size):
+        yield rows[start : start + size]
+
+
+def chunked(items: Iterable, size: int):
+    """Yield lists of at most ``size`` items from any iterable — the
+    accumulate-and-flush twin of :func:`slice_batches` for one-shot
+    iterators that cannot be sliced."""
+    if size < 1:
+        raise QueryError(f"batch size must be positive, got {size}")
+    chunk: list = []
+    for item in items:
+        chunk.append(item)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk

@@ -32,6 +32,7 @@ from typing import Any, Callable, Iterable, Iterator
 
 import numpy as np
 
+from repro.core.batching import DEFAULT_BATCH_SIZE, chunked
 from repro.core.lineage import LineageStore
 from repro.core.patch import Patch
 from repro.core.schema import PatchSchema
@@ -89,6 +90,31 @@ class MaterializedCollection:
             )
         return self._load(patch_id, payload, load_data)
 
+    def get_many(
+        self, patch_ids: Iterable[int], *, load_data: bool = True
+    ) -> list[Patch]:
+        """Batched point access: many patches per coalesced heap trip.
+
+        Results align with ``patch_ids``. The heap sorts the underlying
+        blob reads by file offset and coalesces adjacent runs, so index
+        access paths fetching dozens of ids pay a handful of sequential
+        reads instead of one seek per patch.
+        """
+        ids = list(patch_ids)
+        if not ids:
+            return []
+        if self._ref_map is None:
+            self._ref_map = {pid: payload for pid, payload in self._tree.items()}
+        chunk: list[tuple[int, bytes]] = []
+        for patch_id in ids:
+            payload = self._ref_map.get(patch_id)
+            if payload is None:
+                raise QueryError(
+                    f"patch {patch_id} not in collection {self.name!r}"
+                )
+            chunk.append((patch_id, payload))
+        return self._load_chunk(chunk, load_data)
+
     def scan(self, *, load_data: bool = True) -> Iterator[Patch]:
         """Iterate every patch in id order.
 
@@ -97,6 +123,32 @@ class MaterializedCollection:
         """
         for patch_id, payload in self._tree.items():
             yield self._load(patch_id, payload, load_data)
+
+    def scan_batches(
+        self, size: int = DEFAULT_BATCH_SIZE, *, load_data: bool = True
+    ) -> Iterator[list[Patch]]:
+        """Scan in id order, decoding a whole batch per heap trip.
+
+        The vectorized storage path behind ``CollectionScan.iter_batches``:
+        each batch resolves its blob refs up front and reads them through
+        :meth:`BlobHeap.multi_get`, so a cold scan issues a few coalesced
+        reads per ``size`` patches instead of a heap round-trip each.
+        """
+        for chunk in chunked(self._tree.items(), size):
+            yield self._load_chunk(chunk, load_data)
+
+    def _load_chunk(
+        self, chunk: list[tuple[int, bytes]], load_data: bool
+    ) -> list[Patch]:
+        refs = [
+            BlobRef.from_tuple(tuple(serialization.loads(payload)))
+            for _, payload in chunk
+        ]
+        records = self.catalog.heap.multi_get(refs)
+        return [
+            Patch.from_record(record, patch_id=patch_id, with_data=load_data)
+            for (patch_id, _), record in zip(chunk, records)
+        ]
 
     def ids(self) -> list[int]:
         return [patch_id for patch_id, _ in self._tree.items()]
@@ -115,7 +167,7 @@ class MaterializedCollection:
     def lookup(self, attr: str, value: Any, kind: str = "hash") -> list[Patch]:
         """Point lookup through an index: patches with attr == value."""
         index = self.index(attr, kind)
-        return [self.get(patch_id) for patch_id in index.lookup(value)]
+        return self.get_many(list(index.lookup(value)))
 
 
 class Catalog:

@@ -39,13 +39,15 @@ identity (they still match within the defining session, never after).
 from __future__ import annotations
 
 import hashlib
+import threading
 
 from dataclasses import dataclass
 from typing import Any
 
 from repro.core import logical
 from repro.core.catalog import Catalog, MaterializedCollection
-from repro.core.operators import Operator
+from repro.core.executor import ExecutionContext
+from repro.core.operators import DEFAULT_BATCH_SIZE, Operator
 from repro.core.optimizer.lowering import (
     UDFCache,
     estimate_plan_rows,
@@ -126,10 +128,14 @@ class MaterializationManager:
         catalog: Catalog,
         optimizer: Optimizer,
         udf_cache: UDFCache | None = None,
+        execution: ExecutionContext | None = None,
     ) -> None:
         self.catalog = catalog
         self.optimizer = optimizer
         self.udf_cache = udf_cache
+        #: engine configuration for view builds/refreshes (the session's
+        #: context, so a workers=4 session rebuilds views in parallel too)
+        self.execution = execution if execution is not None else ExecutionContext()
         meta = catalog.pager.get_meta()
         self._defs: dict[str, ViewDefinition] = {
             name: ViewDefinition.from_value(value)
@@ -260,15 +266,25 @@ class MaterializationManager:
         # replace=True the catalog destroys the previous snapshot before
         # consuming the input, so a UDF failure mid-plan must surface
         # here, while the old view rows are still intact.
-        operator, _ = plan_pipeline(
-            self.optimizer, plan, udf_cache=self.udf_cache
+        operator, explanation = plan_pipeline(
+            self.optimizer,
+            plan,
+            udf_cache=self.udf_cache,
+            execution=self.execution,
         )
         if not isinstance(operator, Operator) or operator.arity != 1:
             raise QueryError(
                 "only arity-1 pipelines can be materialized as views; "
                 "materialize a join's sides separately"
             )
-        return [row[0] for row in operator]
+        # batched collection: view builds ride the same engine as ad-hoc
+        # queries (coalesced scans, prefetch, worker fan-out)
+        size = (
+            explanation.execution.batch_size
+            if explanation.execution is not None
+            else DEFAULT_BATCH_SIZE
+        )
+        return [row[0] for batch in operator.iter_batches(size) for row in batch]
 
     @staticmethod
     def _plan_of(query: Any) -> logical.LogicalPlan:
@@ -494,6 +510,14 @@ class PersistentUDFCache(UDFCache):
 
     Lambdas and closures have no session-independent identity, so their
     results stay memory-only — correctness over reuse.
+
+    Concurrency: the persistent tier implements the base class's
+    out-of-mutex hooks (``_fetch_second_tier`` / ``_spill``), called only
+    by a key's single-flight owner, so one digest is read, computed, and
+    spilled at most once. A dedicated tier lock serializes the B+ tree
+    object (tree-structure updates are not safe under concurrent access,
+    even though the pager and heap each guard their own file handles),
+    without ever blocking workers that are purely in memory.
     """
 
     #: name of the backing B+ tree inside the catalog's pager
@@ -503,6 +527,9 @@ class PersistentUDFCache(UDFCache):
         super().__init__(max_entries)
         self.catalog = catalog
         self._tree = catalog._tree_for(self.TREE_NAME)
+        #: serializes reads/inserts on the results tree (and the
+        #: disk_hits counter they maintain)
+        self._tier_lock = threading.Lock()
         #: hits served from the persistent tier (subset of ``hits``)
         self.disk_hits = 0
 
@@ -511,7 +538,8 @@ class PersistentUDFCache(UDFCache):
         return len(self._store)
 
     def persisted_count(self) -> int:
-        return len(self._tree)
+        with self._tier_lock:
+            return len(self._tree)
 
     @staticmethod
     def _digest(key: tuple) -> str | None:
@@ -523,34 +551,43 @@ class PersistentUDFCache(UDFCache):
         payload = repr((name, logical.callable_identity(fn)) + key[2:])
         return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
 
-    def _fetch(self, key: Any) -> Any:
-        try:
-            return super()._fetch(key)
-        except KeyError:
-            digest = self._digest(key)
-            if digest is None:
-                raise
+    def _fetch_second_tier(self, key: Any) -> Any:
+        digest = self._digest(key)
+        if digest is None:
+            raise KeyError(key)
+        with self._tier_lock:
             payloads = self._tree.get(digest)
             if not payloads:
-                raise
-            value = self._decode(payloads[0])
-            super()._put(key, value)  # promote without re-spilling
+                raise KeyError(key)
+            payload = payloads[0]
             self.disk_hits += 1
-            return value
+        # the heap read + decode need only the heap's own lock
+        return self._decode(payload)
 
-    def _put(self, key: Any, value: Any) -> None:
-        super()._put(key, value)
+    def _spill(self, key: Any, value: Any) -> None:
         digest = self._digest(key)
-        if digest is None or self._tree.contains(digest):
+        if digest is None:
             return
         encoded = self._encode(value)
         if encoded is None:
             return  # non-patch results stay memory-only
+        with self._tier_lock:
+            if self._tree.contains(digest):
+                return
+        # compress + append outside the tier lock (the heap has its own);
+        # single-flight means no concurrent spill of this digest, so the
+        # re-check below only guards hypothetical non-owner callers — a
+        # lost race costs one orphaned blob in an append-only heap
         ref = self.catalog.heap.put(encoded, compress=True)
-        self._tree.insert(
-            digest,
-            serialization.dumps(list(ref.to_tuple()), compress_arrays=False),
-        )
+        with self._tier_lock:
+            if self._tree.contains(digest):
+                return
+            self._tree.insert(
+                digest,
+                serialization.dumps(
+                    list(ref.to_tuple()), compress_arrays=False
+                ),
+            )
 
     @staticmethod
     def _encode(value: Any) -> bytes | None:

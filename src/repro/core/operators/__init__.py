@@ -12,6 +12,7 @@ from repro.core.operators.base import (
     Batch,
     Operator,
     as_rows,
+    chunked,
     slice_batches,
 )
 from repro.core.operators.joins import (
@@ -56,6 +57,7 @@ __all__ = [
     "SwapSides",
     "UnionFind",
     "as_rows",
+    "chunked",
     "cluster_pairs",
     "slice_batches",
 ]

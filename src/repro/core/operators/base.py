@@ -13,23 +13,16 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Iterable, Iterator
 
+from repro.core.batching import (  # noqa: F401  (canonical re-export)
+    DEFAULT_BATCH_SIZE,
+    chunked,
+    slice_batches,
+)
 from repro.core.patch import Patch, Row
 from repro.errors import QueryError
 
 #: A batch flowing between operators under the batched protocol.
 Batch = list[Row]
-
-#: rows per batch when callers don't say otherwise
-DEFAULT_BATCH_SIZE = 256
-
-
-def slice_batches(rows, size: int):
-    """Yield fixed-size slices of an in-memory sequence (the last may be
-    short) — the one place the re-chunking policy lives."""
-    if size < 1:
-        raise QueryError(f"batch size must be positive, got {size}")
-    for start in range(0, len(rows), size):
-        yield rows[start : start + size]
 
 
 class Operator(ABC):
@@ -63,16 +56,7 @@ class Operator(ABC):
         batches through the pipeline — fewer generator hops per row, and
         vectorized UDFs get their inputs pre-gathered.
         """
-        if size < 1:
-            raise QueryError(f"batch size must be positive, got {size}")
-        batch: Batch = []
-        for row in self:
-            batch.append(row)
-            if len(batch) >= size:
-                yield batch
-                batch = []
-        if batch:
-            yield batch
+        yield from chunked(self, size)
 
     # -- terminal convenience methods ------------------------------------
 

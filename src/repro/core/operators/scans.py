@@ -10,17 +10,22 @@ materialized collection, mirroring Section 3.2's index menu:
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator
+from itertools import islice
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 import numpy as np
 
 from repro.core.catalog import MaterializedCollection
+
+if TYPE_CHECKING:  # import cycle: the executor subclasses Operator
+    from repro.core.executor import ExecutionContext
 from repro.core.expressions import Expr
 from repro.core.operators.base import (
     DEFAULT_BATCH_SIZE,
     Batch,
     Operator,
     as_rows,
+    chunked,
     slice_batches,
 )
 from repro.core.patch import FRAME_KEY, LINEAGE_KEY, SOURCE_KEY, Patch, Row
@@ -35,18 +40,24 @@ class IteratorScan(Operator):
         self._consumed = False
 
     def __iter__(self) -> Iterator[Row]:
-        if self._consumed and not isinstance(self._patches, (list, tuple)):
+        if isinstance(self._patches, (list, tuple)):
+            yield from as_rows(iter(self._patches))
+            return
+        # the consumed flag trips only once this generator is actually
+        # driven: merely *creating* an iterator (or an iter_batches
+        # generator that is then dropped undriven) must not poison later
+        # scans of the underlying one-shot iterator
+        if self._consumed:
             raise QueryError(
                 "this IteratorScan wraps a one-shot iterator that was "
                 "already consumed; materialize the collection to re-scan"
             )
         self._consumed = True
-        return as_rows(iter(self._patches))
+        yield from as_rows(iter(self._patches))
 
     def iter_batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
         if isinstance(self._patches, (list, tuple)):
             # slice directly instead of re-chunking a row iterator
-            self._consumed = True
             for chunk in slice_batches(self._patches, size):
                 yield [(patch,) for patch in chunk]
             return
@@ -69,8 +80,54 @@ class CollectionScan(Operator):
     def __iter__(self) -> Iterator[Row]:
         return as_rows(self.collection.scan(load_data=self.load_data))
 
+    def iter_batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+        # the vectorized storage path: each batch is decoded in one
+        # coalesced heap trip instead of a round-trip per patch
+        for patches in self.collection.scan_batches(
+            size, load_data=self.load_data
+        ):
+            yield [(patch,) for patch in patches]
 
-class IndexLookupScan(Operator):
+
+class _IndexScan(Operator):
+    """Shared batched fetch path of the index access scans: the index
+    yields patch ids, batches of ids become patches through one coalesced
+    ``get_many`` heap trip each."""
+
+    collection: MaterializedCollection
+    load_data: bool
+
+    #: first fetch of the row path — small, so an early-exiting consumer
+    #: (a limit) never pays for a full default-sized batch of decodes
+    ROW_PATH_INITIAL_FETCH = 8
+
+    def _ids(self) -> Iterator[int]:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Row]:
+        # coalesced like the batched path, but with geometrically growing
+        # chunks: a consumer that stops after a few rows decodes ~8
+        # patches, a consumer that drains everything converges on
+        # full-size coalesced fetches
+        ids = self._ids()
+        size = self.ROW_PATH_INITIAL_FETCH
+        while True:
+            chunk = list(islice(ids, size))
+            if not chunk:
+                return
+            yield from self._fetch(chunk)
+            size = min(size * 2, DEFAULT_BATCH_SIZE)
+
+    def iter_batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+        for ids in chunked(self._ids(), size):
+            yield self._fetch(ids)
+
+    def _fetch(self, ids: list[int]) -> Batch:
+        patches = self.collection.get_many(ids, load_data=self.load_data)
+        return [(patch,) for patch in patches]
+
+
+class IndexLookupScan(_IndexScan):
     """Equality access path: patches with ``attr == value`` via an index."""
 
     def __init__(
@@ -88,13 +145,12 @@ class IndexLookupScan(Operator):
         self.kind = kind
         self.load_data = load_data
 
-    def __iter__(self) -> Iterator[Row]:
+    def _ids(self) -> Iterator[int]:
         index = self.collection.index(self.attr, self.kind)
-        for patch_id in index.lookup(self.value):
-            yield (self.collection.get(patch_id, load_data=self.load_data),)
+        return iter(index.lookup(self.value))
 
 
-class IndexRangeScan(Operator):
+class IndexRangeScan(_IndexScan):
     """Range access path: ``lo <= attr <= hi`` via a B+ tree index."""
 
     def __init__(
@@ -114,10 +170,9 @@ class IndexRangeScan(Operator):
         self.kind = kind
         self.load_data = load_data
 
-    def __iter__(self) -> Iterator[Row]:
+    def _ids(self) -> Iterator[int]:
         index = self.collection.index(self.attr, self.kind)
-        for _, patch_id in index.range(self.lo, self.hi):
-            yield (self.collection.get(patch_id, load_data=self.load_data),)
+        return (patch_id for _, patch_id in index.range(self.lo, self.hi))
 
 
 class Select(Operator):
@@ -157,6 +212,14 @@ class MapPatches(Operator):
     batched protocol: it takes a list of patches and must return one
     result (patch / list / None) per input — the hook batched model
     inference plugs into.
+
+    ``execution`` (an :class:`~repro.core.executor.ExecutionContext`)
+    with ``workers > 1`` dispatches batches to a thread pool on the
+    batched path. UDF maps are pure per-row, so ordered fan-out — batches
+    submitted in input order, results consumed in submission order —
+    yields exactly the serial output: same rows, same order, same lineage
+    keys. A worker exception re-raises on the driver with its original
+    type.
     """
 
     def __init__(
@@ -167,6 +230,7 @@ class MapPatches(Operator):
         on: int = 0,
         batch_fn: Callable[[list[Patch]], list[Patch | list[Patch] | None]]
         | None = None,
+        execution: "ExecutionContext | None" = None,
     ) -> None:
         if child.arity != 1:
             raise QueryError("MapPatches operates on arity-1 rows")
@@ -174,6 +238,7 @@ class MapPatches(Operator):
         self.fn = fn
         self.on = on
         self.batch_fn = batch_fn
+        self.execution = execution
 
     @staticmethod
     def _result_rows(result: Patch | list[Patch] | None) -> list[Row]:
@@ -188,20 +253,44 @@ class MapPatches(Operator):
         for row in self.child:
             yield from self._result_rows(self.fn(row[self.on]))
 
+    def _apply(self, inputs: list[Patch]) -> list:
+        """Run the UDF over one gathered batch (worker-side when parallel)."""
+        if self.batch_fn is not None:
+            results = self.batch_fn(inputs)
+            if len(results) != len(inputs):
+                raise QueryError(
+                    f"batch_fn returned {len(results)} results for "
+                    f"{len(inputs)} patches"
+                )
+            return results
+        fn = self.fn
+        return [fn(patch) for patch in inputs]
+
     def iter_batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
         on = self.on
-        for batch in self.child.iter_batches(size):
-            inputs = [row[on] for row in batch]
-            if self.batch_fn is not None:
-                results = self.batch_fn(inputs)
-                if len(results) != len(inputs):
-                    raise QueryError(
-                        f"batch_fn returned {len(results)} results for "
-                        f"{len(inputs)} patches"
-                    )
-            else:
-                fn = self.fn
-                results = [fn(patch) for patch in inputs]
+        workers = self.execution.workers if self.execution is not None else 1
+        if workers > 1:
+            # ordered thread-pool fan-out; imported here, not at module
+            # level, because the executor subclasses this package's
+            # Operator (import cycle otherwise)
+            from repro.core.executor import run_ordered
+
+            inputs = (
+                [row[on] for row in batch]
+                for batch in self.child.iter_batches(size)
+            )
+            batch_results = run_ordered(
+                inputs,
+                self._apply,
+                workers=workers,
+                prefetch=self.execution.prefetch_batches,
+            )
+        else:
+            batch_results = (
+                self._apply([row[on] for row in batch])
+                for batch in self.child.iter_batches(size)
+            )
+        for results in batch_results:
             out: Batch = []
             for result in results:
                 out.extend(self._result_rows(result))

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import copy
 import hashlib
+import threading
 
 from dataclasses import dataclass
 from typing import Any, Callable, Protocol, runtime_checkable
@@ -21,12 +22,21 @@ from typing import Any, Callable, Protocol, runtime_checkable
 import numpy as np
 
 from repro.core import logical
+from repro.core.executor import (
+    ExecutionContext,
+    PrefetchBatches,
+    resolve_execution,
+)
 from repro.core.expressions import And, Expr
 from repro.core.operators import (
     DEFAULT_BATCH_SIZE,
     BallTreeSimilarityJoin,
+    CollectionScan,
     DistinctCount,
     GroupBy,
+    IndexLookupScan,
+    IndexRangeScan,
+    IteratorScan,
     Limit,
     MapPatches,
     NestedLoopJoin,
@@ -98,6 +108,10 @@ class ViewMatcher(Protocol):
         ...  # pragma: no cover
 
 
+#: sentinel distinguishing "no in-memory hit" from a cached None result
+_NO_HIT = object()
+
+
 class UDFCache:
     """Memoized UDF results keyed by patch lineage id.
 
@@ -116,6 +130,16 @@ class UDFCache:
     in-memory store with a second tier — :class:`~repro.core.
     materialization.PersistentUDFCache` spills results through the
     catalog so cached inference survives sessions.
+
+    The cache is thread-safe: parallel map workers share one instance.
+    The mutex guards only the in-memory LRU and the single-flight claim
+    registry; the second tier's I/O (:meth:`_fetch_second_tier` /
+    :meth:`_spill`) runs *outside* it, so workers serving different keys
+    from disk — or computing while another fetches — never serialize on
+    the memory lock. Misses are *single-flight*: when two workers miss
+    the same key concurrently, one consults the second tier and computes
+    while the other waits and is served the cached result, so one digest
+    is never computed (or spilled) twice.
     """
 
     def __init__(self, max_entries: int = 100_000) -> None:
@@ -127,28 +151,69 @@ class UDFCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        #: guards the in-memory store, the counters, and the claim
+        #: registry — never held across second-tier I/O or UDF calls
+        self._mutex = threading.RLock()
+        #: single-flight registry: key -> event set when its computation
+        #: lands in the store (or its owner fails)
+        self._inflight: dict[Any, threading.Event] = {}
 
     def _fetch(self, key: Any) -> Any:
-        """Look up one entry; raises KeyError on miss (TypeError for
-        unhashable keys propagates to the caller's skip-caching path —
-        subscript rather than .pop(), which skips hashing on empty dicts)."""
+        """Look up one in-memory entry (must hold ``_mutex``); raises
+        KeyError on miss (TypeError for unhashable keys propagates to the
+        caller's skip-caching path — subscript rather than .pop(), which
+        skips hashing on empty dicts)."""
         value = self._store[key]
         del self._store[key]
         self._store[key] = value  # re-insert: most-recently-used last
         return value
 
     def _put(self, key: Any, value: Any) -> None:
+        """Insert an in-memory entry (must hold ``_mutex``)."""
         if key not in self._store and len(self._store) >= self.max_entries:
             # LRU eviction: _fetch re-inserts on hit, so insertion order
             # is recency order and the first entry is the coldest
             self._store.pop(next(iter(self._store)))
         self._store[key] = value
 
+    # -- second tier (overridden by PersistentUDFCache) -----------------
+    # Called WITHOUT the mutex, only by the single-flight owner of a key,
+    # so implementations may do I/O without serializing other workers and
+    # never see two concurrent calls for the same key.
+
+    def _fetch_second_tier(self, key: Any) -> Any:
+        """Consult the slow tier on a memory miss; KeyError when absent."""
+        raise KeyError(key)
+
+    def _spill(self, key: Any, value: Any) -> None:
+        """Persist one freshly computed result to the slow tier."""
+
     def __len__(self) -> int:
-        return len(self._store)
+        with self._mutex:
+            return len(self._store)
 
     def clear(self) -> None:
-        self._store.clear()
+        with self._mutex:
+            self._store.clear()
+
+    def _claim(self, key: Any) -> threading.Event | None:
+        """Claim a missed key for computation (must hold ``_mutex``).
+
+        Returns None when this caller now owns the computation, or the
+        owning worker's event to wait on before re-checking the store.
+        """
+        event = self._inflight.get(key)
+        if event is None:
+            self._inflight[key] = threading.Event()
+        return event
+
+    def _release(self, key: Any) -> None:
+        """End a claimed computation (after _put, or on failure) and wake
+        every worker waiting for this key."""
+        with self._mutex:
+            event = self._inflight.pop(key, None)
+        if event is not None:
+            event.set()
 
     @staticmethod
     def _key(name: str, fn: Callable, patch: Patch) -> tuple:
@@ -194,17 +259,48 @@ class UDFCache:
         def cached(patch: Patch) -> Any:
             try:
                 key = self._key(name, fn, patch)
-                value = self._fetch(key)
-            except KeyError:
-                pass
+                hash(key)
             except TypeError:  # unhashable lineage/metadata: skip caching
                 return fn(patch)
-            else:
-                self.hits += 1
-                return self._isolate(value)
-            self.misses += 1
-            value = fn(patch)
-            self._put(key, self._isolate(value))
+            while True:
+                hit = _NO_HIT
+                with self._mutex:
+                    try:
+                        hit = self._fetch(key)
+                        self.hits += 1
+                    except KeyError:
+                        waiter = self._claim(key)
+                if hit is not _NO_HIT:
+                    # isolate (deep-copy) outside the mutex: stored
+                    # values are never mutated, so concurrent copies of
+                    # one entry are safe, and the dominant hit-path cost
+                    # stops serializing the worker pool
+                    return self._isolate(hit)
+                if waiter is None:
+                    break
+                # another worker owns this key: wait for it, then
+                # re-check the store (it may have failed — then we claim)
+                waiter.wait()
+            # we own the claim; release it no matter what below raises,
+            # or every waiter on this key would hang forever
+            try:
+                try:
+                    value = self._fetch_second_tier(key)
+                    fresh = False
+                except KeyError:
+                    value = fn(patch)
+                    fresh = True
+                isolated = self._isolate(value)
+                with self._mutex:
+                    if fresh:
+                        self.misses += 1
+                    else:
+                        self.hits += 1
+                    self._put(key, isolated)
+                if fresh:
+                    self._spill(key, isolated)
+            finally:
+                self._release(key)
             return value
 
         return cached
@@ -226,33 +322,99 @@ class UDFCache:
 
         def cached(patches: list[Patch]) -> list:
             results: list = [None] * len(patches)
-            keys: list = [None] * len(patches)
-            missing: list[int] = []
+            keys: list = [None] * len(patches)  # None -> uncachable
             for position, patch in enumerate(patches):
                 try:
-                    keys[position] = self._key(name, ident, patch)
-                    results[position] = self._isolate(
-                        self._fetch(keys[position])
-                    )
-                    self.hits += 1
-                except (KeyError, TypeError):
-                    missing.append(position)
-            if missing:
-                self.misses += len(missing)
-                fresh = batch_fn([patches[i] for i in missing])
-                if len(fresh) != len(missing):
-                    raise QueryError(
-                        f"batch_fn returned {len(fresh)} results for "
-                        f"{len(missing)} patches"
-                    )
-                for position, value in zip(missing, fresh):
-                    results[position] = value
-                    if keys[position] is None:  # key construction failed
-                        continue
-                    try:
-                        self._put(keys[position], self._isolate(value))
-                    except TypeError:  # key built but unhashable
-                        pass
+                    key = self._key(name, ident, patch)
+                    hash(key)
+                    keys[position] = key
+                except TypeError:  # unhashable: computed, never cached
+                    pass
+            pending = list(range(len(patches)))
+            while pending:
+                compute: list[int] = []
+                owned: list = []
+                waiting: dict[int, threading.Event] = {}
+                # every claim this round is released in the finally — a
+                # failure anywhere (claim scan, second tier, the UDF, the
+                # store) must wake waiters rather than strand them
+                try:
+                    memory_hits: dict[int, Any] = {}
+                    with self._mutex:
+                        for position in pending:
+                            key = keys[position]
+                            if key is None:
+                                compute.append(position)
+                                continue
+                            try:
+                                memory_hits[position] = self._fetch(key)
+                                self.hits += 1
+                            except KeyError:
+                                event = self._claim(key)
+                                if event is None:
+                                    compute.append(position)
+                                    owned.append(key)
+                                else:
+                                    waiting[position] = event
+                    # deep-copies of hits happen outside the mutex (the
+                    # stored values are never mutated)
+                    for position, value in memory_hits.items():
+                        results[position] = self._isolate(value)
+                    if compute:
+                        # owned keys may live in the second tier; only
+                        # true absences reach the vectorized UDF
+                        missing: list[int] = []
+                        served: dict[int, Any] = {}
+                        for position in compute:
+                            key = keys[position]
+                            if key is None:
+                                missing.append(position)
+                                continue
+                            try:
+                                served[position] = self._fetch_second_tier(key)
+                            except KeyError:
+                                missing.append(position)
+                        fresh: list = []
+                        if missing:
+                            fresh = batch_fn([patches[i] for i in missing])
+                            if len(fresh) != len(missing):
+                                raise QueryError(
+                                    f"batch_fn returned {len(fresh)} results "
+                                    f"for {len(missing)} patches"
+                                )
+                        isolated = {
+                            position: self._isolate(value)
+                            for position, value in zip(missing, fresh)
+                        }
+                        served_isolated = {
+                            position: self._isolate(value)
+                            for position, value in served.items()
+                        }
+                        with self._mutex:
+                            self.misses += len(missing)
+                            self.hits += len(served)
+                            for position, value in served.items():
+                                results[position] = value
+                                self._put(
+                                    keys[position], served_isolated[position]
+                                )
+                            for position, value in zip(missing, fresh):
+                                results[position] = value
+                                if keys[position] is not None:
+                                    self._put(keys[position], isolated[position])
+                        for position in missing:
+                            if keys[position] is not None:
+                                self._spill(keys[position], isolated[position])
+                finally:
+                    for key in owned:
+                        self._release(key)
+                # keys claimed by other workers: wait (after computing our
+                # own share, so two batches owning disjoint keys can never
+                # deadlock on each other), then re-check the store — on an
+                # owner failure the next round claims the key itself
+                for event in waiting.values():
+                    event.wait()
+                pending = sorted(waiting)
             return results
 
         return cached
@@ -294,6 +456,7 @@ def plan_pipeline(
     udf_cache: UDFCache | None = None,
     views: "ViewMatcher | None" = None,
     allow_stale: bool = False,
+    execution: ExecutionContext | None = None,
 ) -> tuple[Operator | AggregateExecution, Explanation]:
     """Rewrite + lower a logical plan; returns the physical root and the
     merged explanation (logical rewrites + every physical candidate).
@@ -304,6 +467,14 @@ def plan_pipeline(
     of the view when the cost model favours it. Stale views (a base
     collection changed since the view was built) are skipped unless
     ``allow_stale``.
+
+    ``execution`` carries the engine configuration (worker count, batch
+    size, prefetch depth). Parallel contexts thread into the lowered UDF
+    maps (ordered thread-pool fan-out) and insert a prefetch stage
+    between storage scans and the first map; the *resolved* configuration
+    — including the batch size the planner picked from cardinality
+    estimates — lands on ``Explanation.execution`` so ``explain()``
+    reports it per plan.
     """
     view_notes: list[str] = []
     view_decisions: list[Explanation] = []
@@ -312,7 +483,8 @@ def plan_pipeline(
             plan, allow_stale=allow_stale
         )
     rewritten, applied = rewrite(plan)
-    lowering = _Lowering(optimizer, udf_cache)
+    context = execution if execution is not None else ExecutionContext()
+    lowering = _Lowering(optimizer, udf_cache, context)
     root = lowering.lower(rewritten)
     explanation = _merge_decisions(view_decisions + lowering.decisions)
     explanation.rewrites = (
@@ -320,6 +492,9 @@ def plan_pipeline(
     )
     explanation.estimates.extend(lowering.estimates)
     explanation.logical_plan = rewritten.describe()
+    explanation.execution = resolve_execution(
+        context, lowering._estimate_rows(rewritten)
+    )
     return root, explanation
 
 
@@ -342,9 +517,15 @@ def _merge_decisions(decisions: list[Explanation]) -> Explanation:
 
 
 class _Lowering:
-    def __init__(self, optimizer: Optimizer, udf_cache: UDFCache | None) -> None:
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        udf_cache: UDFCache | None,
+        execution: ExecutionContext | None = None,
+    ) -> None:
         self.optimizer = optimizer
         self.udf_cache = udf_cache
+        self.execution = execution if execution is not None else ExecutionContext()
         self.decisions: list[Explanation] = []
         #: extra explain-trace lines (one per memoized map; each map node
         #: lowers exactly once, so no dedup is needed)
@@ -352,6 +533,10 @@ class _Lowering:
         #: cardinality-estimate lines the lowering itself produced (join
         #: sizes / dims; scan-group estimates live in their decisions)
         self.estimates: list[str] = []
+        #: per-node row-estimate memo: joins estimate their inputs during
+        #: lowering and plan_pipeline estimates the root afterwards, so
+        #: without it each statistics lookup would repeat per walk
+        self._row_estimates: dict[int, float] = {}
 
     # -- node dispatch --------------------------------------------------
 
@@ -434,7 +619,24 @@ class _Lowering:
             self.notes.append(
                 f"memoize-udf: map {node.name!r} memoized by patch lineage id"
             )
-        return MapPatches(child, fn, batch_fn=batch_fn)
+        if (
+            self.execution.parallel
+            and self.execution.prefetch_batches > 0
+            and _scan_rooted(child)
+        ):
+            # bounded prefetch between the storage scan and the first UDF
+            # map: the scan's heap reads/decodes for batch i+1 run while
+            # the pool infers batch i. Only the innermost map above a
+            # scan chain gets one (an outer map's child is a MapPatches,
+            # which _scan_rooted rejects), so one plan spawns one
+            # prefetch thread, not one per stage.
+            child = PrefetchBatches(child, depth=self.execution.prefetch_batches)
+            self.notes.append(
+                f"prefetch: storage scan decodes "
+                f"{self.execution.prefetch_batches} batches ahead of map "
+                f"{node.name!r}"
+            )
+        return MapPatches(child, fn, batch_fn=batch_fn, execution=self.execution)
 
     # -- joins -----------------------------------------------------------
 
@@ -489,7 +691,16 @@ class _Lowering:
 
     def _estimate_rows(self, node: logical.LogicalPlan) -> float:
         """Estimated output rows of a logical subtree, statistics-driven
-        where the subtree bottoms out at a materialized scan."""
+        where the subtree bottoms out at a materialized scan (memoized
+        per node for the lifetime of this lowering)."""
+        cached = self._row_estimates.get(id(node))
+        if cached is not None:
+            return cached
+        estimate = self._estimate_rows_uncached(node)
+        self._row_estimates[id(node)] = estimate
+        return estimate
+
+    def _estimate_rows_uncached(self, node: logical.LogicalPlan) -> float:
         if isinstance(node, logical.Scan):
             try:
                 return float(
@@ -551,6 +762,20 @@ def join_dim(optimizer: Optimizer, node: logical.SimilarityJoin) -> tuple[int, s
             if dim is not None:
                 return dim, f"recorded data dim of {collection!r}"
     return DEFAULT_JOIN_DIM, "fallback-constant"
+
+
+def _scan_rooted(operator: Operator) -> bool:
+    """True when a physical chain bottoms out at a storage scan with only
+    filters in between — the shape where a prefetch stage buys I/O
+    overlap. Anything heavier in between (another map, a join) already
+    decouples the scan from the consumer."""
+    current = operator
+    while isinstance(current, Select):
+        current = current.child
+    return isinstance(
+        current,
+        (CollectionScan, IndexLookupScan, IndexRangeScan, IteratorScan),
+    )
 
 
 def _base_collection(node: logical.LogicalPlan) -> str | None:

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.catalog import Catalog
+from repro.core.executor import ExecutionPlan
 from repro.core.expressions import And, Comparison, Expr, extract_bounds
 from repro.core.operators import (
     CollectionScan,
@@ -102,6 +103,12 @@ class Explanation:
     ``estimates`` lists the cardinality estimates the decisions rested
     on, one line each, naming the statistic used (histogram / mcv /
     distinct) or ``fallback-constant`` when no statistics existed.
+
+    ``execution`` is the resolved engine configuration of a pipeline
+    plan (an :class:`~repro.core.executor.ExecutionPlan`): worker count,
+    the batch size the planner picked (and from what — caller-specified
+    vs cardinality estimate vs default), and the prefetch depth. None
+    for direct physical planning calls.
     """
 
     chosen: PlanChoice
@@ -110,6 +117,7 @@ class Explanation:
     logical_plan: str | None = None
     sections: list["Explanation"] = field(default_factory=list)
     estimates: list[str] = field(default_factory=list)
+    execution: ExecutionPlan | None = None
 
     def __str__(self) -> str:
         lines = []
@@ -122,6 +130,8 @@ class Explanation:
         if self.estimates:
             lines.append("cardinality estimates:")
             lines.extend(f"  {line}" for line in self.estimates)
+        if self.execution is not None:
+            lines.append(f"execution: {self.execution}")
         if self.sections:
             for number, section in enumerate(self.sections, 1):
                 lines.append(f"decision {number}: chosen: {section.chosen}")

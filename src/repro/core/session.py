@@ -63,6 +63,7 @@ import numpy as np
 
 from repro.core import logical
 from repro.core.catalog import Catalog, MaterializedCollection
+from repro.core.executor import ExecutionContext
 from repro.core.expressions import Expr
 from repro.core.lineage import LineageStore
 from repro.core.materialization import (
@@ -85,12 +86,52 @@ from repro.errors import QueryError, StorageError
 from repro.storage.formats import VideoStore, load_patches, open_store
 
 
-class DeepLens:
-    """A visual data management session over one database directory."""
+#: sentinel default for terminal ``batch_size`` parameters: defer to the
+#: planner's cardinality-driven choice. Distinct from an explicit
+#: ``batch_size=DEFAULT_BATCH_SIZE`` argument, which — like any explicit
+#: value — is honored exactly (a caller's GPU/model batch contract).
+PLANNER_CHOSEN: Any = object()
 
-    def __init__(self, workdir: str | os.PathLike) -> None:
+
+class DeepLens:
+    """A visual data management session over one database directory.
+
+    **Execution tuning.** ``execution`` sets the session-wide engine
+    configuration (override per query with
+    :meth:`QueryBuilder.with_execution`)::
+
+        db = DeepLens(workdir, execution=ExecutionContext(workers=4))
+        rows = db.scan("detections").map(model, name="m").patches()
+
+    * ``workers`` — UDF map batches fan out across this many threads
+      (ordered, so results are bit-identical to serial execution: same
+      rows, same order, same lineage keys). Threads pay off when the UDF
+      releases the GIL — numpy/BLAS kernels, accelerator or RPC
+      inference; pure-Python UDFs should stay at ``workers=1``.
+    * ``batch_size`` — rows per batch through the whole pipeline; leave
+      ``None`` and the planner picks from cardinality estimates (shown
+      in ``explain()``), or pin it to a model's batch contract.
+    * ``prefetch_batches`` — how many batches the storage scan decodes
+      ahead of the first UDF map (parallel plans only), overlapping blob
+      I/O with inference.
+
+    Orthogonally, ``scan(..., load_data=False)`` still wins whenever the
+    pipeline only touches metadata: no worker count beats not reading
+    the pixels at all — the batched heap path then skips payload
+    decoding entirely.
+    """
+
+    def __init__(
+        self,
+        workdir: str | os.PathLike,
+        *,
+        execution: ExecutionContext | None = None,
+    ) -> None:
         self.workdir = os.fspath(workdir)
         os.makedirs(self.workdir, exist_ok=True)
+        #: session-wide execution configuration (workers, batch size,
+        #: prefetch); queries override it via ``with_execution``
+        self.execution = execution if execution is not None else ExecutionContext()
         self.catalog = Catalog(os.path.join(self.workdir, "catalog"))
         self.optimizer = Optimizer(self.catalog, CostModel())
         #: lineage-keyed memo for cache=True query UDFs — LRU in memory,
@@ -98,7 +139,7 @@ class DeepLens:
         self.udf_cache: UDFCache = PersistentUDFCache(self.catalog)
         #: materialized-view registry + the planner's view-matching hook
         self.materialization = MaterializationManager(
-            self.catalog, self.optimizer, self.udf_cache
+            self.catalog, self.optimizer, self.udf_cache, self.execution
         )
         self._videos: dict[str, VideoStore] = {}
         self._video_dir = os.path.join(self.workdir, "videos")
@@ -285,11 +326,15 @@ class QueryBuilder:
         plan: logical.LogicalPlan | None = None,
         *,
         allow_stale: bool = False,
+        execution: ExecutionContext | None = None,
     ) -> None:
         self.session = session
         self.collection_name = collection_name
         self._plan = plan if plan is not None else logical.Scan(collection_name)
         self._allow_stale = allow_stale
+        #: per-query execution override; None inherits the session's
+        #: context at plan time
+        self._execution = execution
 
     def _extend(self, plan: logical.LogicalPlan) -> "QueryBuilder":
         return QueryBuilder(
@@ -297,6 +342,7 @@ class QueryBuilder:
             self.collection_name,
             plan,
             allow_stale=self._allow_stale,
+            execution=self._execution,
         )
 
     def allow_stale(self, allowed: bool = True) -> "QueryBuilder":
@@ -304,7 +350,52 @@ class QueryBuilder:
         collection changed since the view was built). Default off: stale
         views are recomputed from their bases instead."""
         return QueryBuilder(
-            self.session, self.collection_name, self._plan, allow_stale=allowed
+            self.session,
+            self.collection_name,
+            self._plan,
+            allow_stale=allowed,
+            execution=self._execution,
+        )
+
+    def with_execution(
+        self,
+        *,
+        workers: int | None = None,
+        batch_size: int | None = None,
+        prefetch_batches: int | None = None,
+    ) -> "QueryBuilder":
+        """Override the session's execution configuration for this query.
+
+        ``workers`` > 1 fans UDF map batches across a thread pool
+        (order-preserving) and prefetches storage batches ahead of the
+        first map; ``batch_size`` pins the pipeline batch size the
+        planner would otherwise pick from cardinality estimates;
+        ``prefetch_batches`` sets the scan-side prefetch depth. Knobs
+        left ``None`` keep their current values.
+        """
+        base = (
+            self._execution
+            if self._execution is not None
+            else self.session.execution
+        )
+        return QueryBuilder(
+            self.session,
+            self.collection_name,
+            self._plan,
+            allow_stale=self._allow_stale,
+            execution=base.override(
+                workers=workers,
+                batch_size=batch_size,
+                prefetch_batches=prefetch_batches,
+            ),
+        )
+
+    def execution_context(self) -> ExecutionContext:
+        """The execution configuration this query will plan under."""
+        return (
+            self._execution
+            if self._execution is not None
+            else self.session.execution
         )
 
     # -- pipeline stages --------------------------------------------------
@@ -404,6 +495,7 @@ class QueryBuilder:
             udf_cache=self.session.udf_cache,
             views=self.session.materialization,
             allow_stale=self._allow_stale,
+            execution=self.execution_context(),
         )
         assert isinstance(operator, Operator)  # Aggregate only via aggregate()
         return operator, explanation
@@ -422,10 +514,25 @@ class QueryBuilder:
         operator, _ = self.plan()
         return operator
 
-    def patches(self, *, batch_size: int | None = DEFAULT_BATCH_SIZE) -> list[Patch]:
-        """Collect single-patch rows; batched execution by default
-        (``batch_size=None`` forces the row-at-a-time path)."""
-        operator = self.operator()
+    @staticmethod
+    def _resolve_batch_size(requested: Any, explanation: Explanation) -> int:
+        """The batch size a terminal actually runs at: the planner's
+        cardinality-driven pick when the caller left the default
+        (:data:`PLANNER_CHOSEN`), the caller's explicit value otherwise."""
+        if requested is not PLANNER_CHOSEN:
+            return requested
+        if explanation.execution is not None:
+            return explanation.execution.batch_size
+        return DEFAULT_BATCH_SIZE
+
+    def patches(
+        self, *, batch_size: int | None = PLANNER_CHOSEN
+    ) -> list[Patch]:
+        """Collect single-patch rows; batched execution by default.
+        ``batch_size=None`` forces the row-at-a-time path; omitted, the
+        planner's batch-size choice applies (see ``explain()``); an
+        explicit value is honored exactly."""
+        operator, explanation = self.plan()
         if operator.arity != 1:
             raise QueryError(
                 f"patches() needs arity-1 rows; this operator yields "
@@ -433,24 +540,27 @@ class QueryBuilder:
             )
         if batch_size is None:
             return operator.patches()
+        size = self._resolve_batch_size(batch_size, explanation)
         return [
             row[0]
-            for batch in operator.iter_batches(batch_size)
+            for batch in operator.iter_batches(size)
             for row in batch
         ]
 
-    def rows(self, *, batch_size: int | None = DEFAULT_BATCH_SIZE) -> list[Row]:
+    def rows(self, *, batch_size: int | None = PLANNER_CHOSEN) -> list[Row]:
         """Collect rows of any arity (pairs after a similarity join)."""
-        operator = self.operator()
+        operator, explanation = self.plan()
         if batch_size is None:
             return operator.collect()
-        return [row for batch in operator.iter_batches(batch_size) for row in batch]
+        size = self._resolve_batch_size(batch_size, explanation)
+        return [row for batch in operator.iter_batches(size) for row in batch]
 
-    def count(self, *, batch_size: int | None = DEFAULT_BATCH_SIZE) -> int:
-        operator = self.operator()
+    def count(self, *, batch_size: int | None = PLANNER_CHOSEN) -> int:
+        operator, explanation = self.plan()
         if batch_size is None:
             return operator.count()
-        return sum(len(batch) for batch in operator.iter_batches(batch_size))
+        size = self._resolve_batch_size(batch_size, explanation)
+        return sum(len(batch) for batch in operator.iter_batches(size))
 
     def aggregate(
         self,
@@ -465,15 +575,18 @@ class QueryBuilder:
         ``group`` (needs ``key``; ``reducer`` folds each group's rows).
         """
         plan = logical.Aggregate(self._plan, kind, key=key, reducer=reducer)
-        execution, _ = plan_pipeline(
+        aggregate, explanation = plan_pipeline(
             self.session.optimizer,
             plan,
             udf_cache=self.session.udf_cache,
             views=self.session.materialization,
             allow_stale=self._allow_stale,
+            execution=self.execution_context(),
         )
-        assert isinstance(execution, AggregateExecution)
-        return execution.execute()
+        assert isinstance(aggregate, AggregateExecution)
+        return aggregate.execute(
+            batch_size=self._resolve_batch_size(PLANNER_CHOSEN, explanation)
+        )
 
     def distinct_count(self, key: Callable[[Patch], object]) -> int:
         return self.aggregate("distinct_count", key=key)

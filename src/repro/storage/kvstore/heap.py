@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 import zlib
 from dataclasses import dataclass
 
@@ -21,6 +22,13 @@ _HEADER_SIZE = 16  # magic + reserved
 _REC_HEADER = ">QB"  # payload length, flags
 _REC_HEADER_SIZE = struct.calcsize(_REC_HEADER)
 _FLAG_COMPRESSED = 0x01
+
+#: multi_get coalescing: two sorted requests whose file gap is at most
+#: this many bytes are served by one read (reading the gap is cheaper
+#: than another seek + syscall round-trip)
+COALESCE_GAP_BYTES = 16 << 10
+#: upper bound on one coalesced read, bounding transient buffer memory
+MAX_RUN_BYTES = 8 << 20
 
 
 @dataclass(frozen=True)
@@ -39,10 +47,16 @@ class BlobRef:
 
 
 class BlobHeap:
-    """Append-only blob store with optional per-blob zlib compression."""
+    """Append-only blob store with optional per-blob zlib compression.
+
+    Thread-safe: one lock serializes every seek/read/write on the shared
+    file handle, so a prefetch thread's batched reads can interleave
+    with worker threads spilling UDF results without corrupting either.
+    """
 
     def __init__(self, path: str | os.PathLike) -> None:
         self.path = os.fspath(path)
+        self._lock = threading.RLock()
         exists = os.path.exists(self.path) and os.path.getsize(self.path) > 0
         self._file = open(self.path, "r+b" if exists else "w+b")
         if exists:
@@ -65,14 +79,14 @@ class BlobHeap:
         self.close()
 
     def close(self) -> None:
-        if not self._closed:
-            self._file.flush()
-            self._file.close()
-            self._closed = True
+        with self._lock:
+            if not self._closed:
+                self._file.flush()
+                self._file.close()
+                self._closed = True
 
     def put(self, data: bytes, *, compress: bool = False) -> BlobRef:
         """Append ``data``; returns the reference needed to read it back."""
-        self._check_open()
         flags = 0
         payload = data
         if compress:
@@ -80,36 +94,116 @@ class BlobHeap:
             if len(squeezed) < len(data):
                 payload = squeezed
                 flags |= _FLAG_COMPRESSED
-        offset = self._end
-        self._file.seek(offset)
-        self._file.write(struct.pack(_REC_HEADER, len(payload), flags))
-        self._file.write(payload)
-        self._end = offset + _REC_HEADER_SIZE + len(payload)
+        with self._lock:
+            self._check_open()
+            offset = self._end
+            self._file.seek(offset)
+            self._file.write(struct.pack(_REC_HEADER, len(payload), flags))
+            self._file.write(payload)
+            self._end = offset + _REC_HEADER_SIZE + len(payload)
         return BlobRef(offset=offset, length=len(payload))
 
     def get(self, ref: BlobRef) -> bytes:
         """Read a blob previously stored with :meth:`put`."""
-        self._check_open()
-        if ref.offset < _HEADER_SIZE or ref.offset >= self._end:
-            raise StorageError(f"blob offset {ref.offset} out of range")
-        self._file.seek(ref.offset)
-        header = self._file.read(_REC_HEADER_SIZE)
-        length, flags = struct.unpack(_REC_HEADER, header)
-        if length != ref.length:
-            raise StorageError(
-                f"blob length mismatch at {ref.offset}: header says {length}, "
-                f"ref says {ref.length}"
-            )
-        payload = self._file.read(length)
+        with self._lock:
+            self._check_open()
+            if ref.offset < _HEADER_SIZE or ref.offset >= self._end:
+                raise StorageError(f"blob offset {ref.offset} out of range")
+            self._file.seek(ref.offset)
+            header = self._file.read(_REC_HEADER_SIZE)
+            length, flags = struct.unpack(_REC_HEADER, header)
+            if length != ref.length:
+                raise StorageError(
+                    f"blob length mismatch at {ref.offset}: header says "
+                    f"{length}, ref says {ref.length}"
+                )
+            payload = self._file.read(length)
         if len(payload) != length:
             raise StorageError(f"short read of blob at {ref.offset}")
         if flags & _FLAG_COMPRESSED:
             return zlib.decompress(payload)
         return payload
 
+    def multi_get(self, refs: list[BlobRef] | tuple[BlobRef, ...]) -> list[bytes]:
+        """Read many blobs in one pass; results align with ``refs``.
+
+        Requests are served in file-offset order, adjacent/near-adjacent
+        records are coalesced into single reads (``COALESCE_GAP_BYTES``,
+        capped at ``MAX_RUN_BYTES`` per read), so a batch of point reads
+        costs a handful of sequential I/O requests instead of one
+        seek + two reads per blob — the batched storage path cold scans
+        and index access paths sit on.
+        """
+        if not refs:
+            return []
+        # only the raw file reads happen under the lock; decompression
+        # runs after release so a prefetch thread decoding a large run
+        # cannot stall workers fetching/spilling through the same heap
+        raw: list[tuple[bytes, int] | None] = [None] * len(refs)
+        with self._lock:
+            self._check_open()
+            order = sorted(range(len(refs)), key=lambda i: refs[i].offset)
+
+            run: list[int] = []
+            run_start = run_end = 0
+            for position in order:
+                ref = refs[position]
+                if ref.offset < _HEADER_SIZE or ref.offset >= self._end:
+                    raise StorageError(
+                        f"blob offset {ref.offset} out of range"
+                    )
+                record_end = ref.offset + _REC_HEADER_SIZE + ref.length
+                if not run:
+                    run, run_start, run_end = [position], ref.offset, record_end
+                elif (
+                    ref.offset - run_end <= COALESCE_GAP_BYTES
+                    and max(run_end, record_end) - run_start <= MAX_RUN_BYTES
+                ):
+                    run.append(position)
+                    run_end = max(run_end, record_end)
+                else:
+                    self._read_run(refs, run, run_start, run_end, raw)
+                    run, run_start, run_end = [position], ref.offset, record_end
+            self._read_run(refs, run, run_start, run_end, raw)
+        return [
+            zlib.decompress(payload) if flags & _FLAG_COMPRESSED else payload
+            for payload, flags in raw  # type: ignore[misc]  # every slot filled
+        ]
+
+    def _read_run(
+        self,
+        refs: list[BlobRef] | tuple[BlobRef, ...],
+        run: list[int],
+        run_start: int,
+        run_end: int,
+        raw: list[tuple[bytes, int] | None],
+    ) -> None:
+        """One coalesced read serving every request in ``run``; fills
+        ``raw`` with (still-compressed payload, flags) pairs."""
+        self._file.seek(run_start)
+        buffer = self._file.read(run_end - run_start)
+        if len(buffer) != run_end - run_start:
+            raise StorageError(f"short read of blob run at {run_start}")
+        for position in run:
+            ref = refs[position]
+            base = ref.offset - run_start
+            length, flags = struct.unpack_from(_REC_HEADER, buffer, base)
+            if length != ref.length:
+                raise StorageError(
+                    f"blob length mismatch at {ref.offset}: header says "
+                    f"{length}, ref says {ref.length}"
+                )
+            payload = buffer[
+                base + _REC_HEADER_SIZE : base + _REC_HEADER_SIZE + length
+            ]
+            if len(payload) != length:
+                raise StorageError(f"short read of blob at {ref.offset}")
+            raw[position] = (payload, flags)
+
     def sync(self) -> None:
-        self._check_open()
-        self._file.flush()
+        with self._lock:
+            self._check_open()
+            self._file.flush()
 
     @property
     def size_bytes(self) -> int:

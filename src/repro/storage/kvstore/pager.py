@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 from collections import OrderedDict
 
 from repro.errors import PageError, StorageError
@@ -52,6 +53,11 @@ class Pager:
         cache_pages: int = 256,
     ) -> None:
         self.path = os.fspath(path)
+        # serializes every page/file/cache operation: page-granularity
+        # atomicity is what concurrent clients get (a prefetch thread
+        # scanning one B+ tree while workers insert into another), and
+        # the LRU OrderedDict must never be mutated from two threads
+        self._lock = threading.RLock()
         self._cache: OrderedDict[int, bytearray] = OrderedDict()
         self._dirty: set[int] = set()
         self._cache_pages = max(cache_pages, 8)
@@ -83,11 +89,12 @@ class Pager:
 
     def close(self) -> None:
         """Flush all dirty pages and close the backing file."""
-        if self._closed:
-            return
-        self.sync()
-        self._file.close()
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            self.sync()
+            self._file.close()
+            self._closed = True
 
     def register_sync_hook(self, hook) -> None:
         """Register a callable run at the start of every :meth:`sync`.
@@ -99,71 +106,78 @@ class Pager:
 
     def sync(self) -> None:
         """Write every dirty cached page and the header to disk."""
-        self._check_open()
-        for hook in self._sync_hooks:
-            hook()
-        for page_id in sorted(self._dirty):
-            self._write_through(page_id, self._cache[page_id])
-        self._dirty.clear()
-        self._write_header()
-        self._file.flush()
+        with self._lock:
+            self._check_open()
+            for hook in self._sync_hooks:
+                hook()
+            for page_id in sorted(self._dirty):
+                self._write_through(page_id, self._cache[page_id])
+            self._dirty.clear()
+            self._write_header()
+            self._file.flush()
 
     # -- page operations --------------------------------------------------
 
     def allocate(self) -> int:
         """Return the id of a fresh zeroed page, reusing freed pages first."""
-        self._check_open()
-        if self._freelist_head != _NO_PAGE:
-            page_id = self._freelist_head
-            page = self.read(page_id)
-            (self._freelist_head,) = struct.unpack_from(">Q", page, 0)
+        with self._lock:
+            self._check_open()
+            if self._freelist_head != _NO_PAGE:
+                page_id = self._freelist_head
+                page = self.read(page_id)
+                (self._freelist_head,) = struct.unpack_from(">Q", page, 0)
+                self.write(page_id, bytes(self.page_size))
+                return page_id
+            page_id = self.page_count
+            self.page_count += 1
             self.write(page_id, bytes(self.page_size))
             return page_id
-        page_id = self.page_count
-        self.page_count += 1
-        self.write(page_id, bytes(self.page_size))
-        return page_id
 
     def free(self, page_id: int) -> None:
         """Return ``page_id`` to the free list."""
-        self._check_open()
-        self._validate_id(page_id)
-        page = bytearray(self.page_size)
-        struct.pack_into(">Q", page, 0, self._freelist_head)
-        self.write(page_id, bytes(page))
-        self._freelist_head = page_id
+        with self._lock:
+            self._check_open()
+            self._validate_id(page_id)
+            page = bytearray(self.page_size)
+            struct.pack_into(">Q", page, 0, self._freelist_head)
+            self.write(page_id, bytes(page))
+            self._freelist_head = page_id
 
     def read(self, page_id: int) -> bytearray:
         """Return a mutable copy of the page image (callers own the copy)."""
-        self._check_open()
-        self._validate_id(page_id)
-        if page_id in self._cache:
-            self._cache.move_to_end(page_id)
-            return bytearray(self._cache[page_id])
-        self._file.seek(page_id * self.page_size)
-        data = self._file.read(self.page_size)
-        if len(data) < self.page_size:
-            data = data.ljust(self.page_size, b"\x00")
-        image = bytearray(data)
-        self._cache_put(page_id, image, dirty=False)
-        return bytearray(image)
+        with self._lock:
+            self._check_open()
+            self._validate_id(page_id)
+            if page_id in self._cache:
+                self._cache.move_to_end(page_id)
+                return bytearray(self._cache[page_id])
+            self._file.seek(page_id * self.page_size)
+            data = self._file.read(self.page_size)
+            if len(data) < self.page_size:
+                data = data.ljust(self.page_size, b"\x00")
+            image = bytearray(data)
+            self._cache_put(page_id, image, dirty=False)
+            return bytearray(image)
 
     def write(self, page_id: int, data: bytes) -> None:
         """Replace the page image; buffered until eviction or :meth:`sync`."""
-        self._check_open()
-        self._validate_id(page_id)
-        if len(data) > self.page_size:
-            raise PageError(
-                f"page image of {len(data)} bytes exceeds page size {self.page_size}"
-            )
-        image = bytearray(data.ljust(self.page_size, b"\x00"))
-        self._cache_put(page_id, image, dirty=True)
+        with self._lock:
+            self._check_open()
+            self._validate_id(page_id)
+            if len(data) > self.page_size:
+                raise PageError(
+                    f"page image of {len(data)} bytes exceeds page size "
+                    f"{self.page_size}"
+                )
+            image = bytearray(data.ljust(self.page_size, b"\x00"))
+            self._cache_put(page_id, image, dirty=True)
 
     # -- client metadata ----------------------------------------------------
 
     def get_meta(self) -> dict:
         """Return the client metadata dictionary (e.g. index root pointers)."""
-        page = self.read(self._meta_page)
+        with self._lock:
+            page = self.read(self._meta_page)
         (length,) = struct.unpack_from(">I", page, 0)
         if length == 0:
             return {}
@@ -180,7 +194,8 @@ class Pager:
         image = bytearray(self.page_size)
         struct.pack_into(">I", image, 0, len(payload))
         image[4 : 4 + len(payload)] = payload
-        self.write(self._meta_page, bytes(image))
+        with self._lock:
+            self.write(self._meta_page, bytes(image))
 
     # -- internals ----------------------------------------------------------
 

@@ -28,6 +28,15 @@ def make_patches(n=20, source="vid"):
         yield patch
 
 
+def assert_same_metadata(a: dict, b: dict) -> None:
+    assert a.keys() == b.keys()
+    for key in a:
+        if isinstance(a[key], np.ndarray):
+            assert np.array_equal(a[key], b[key])
+        else:
+            assert a[key] == b[key]
+
+
 class TestCatalog:
     def test_materialize_and_scan(self, tmp_path):
         with Catalog(tmp_path) as catalog:
@@ -50,6 +59,43 @@ class TestCatalog:
             with pytest.raises(StorageError, match="already exists"):
                 catalog.materialize(make_patches(2), "c")
             catalog.materialize(make_patches(2), "c", replace=True)
+
+    def test_get_many_matches_point_gets(self, tmp_path):
+        with Catalog(tmp_path) as catalog:
+            collection = catalog.materialize(make_patches(25), "c")
+            wanted = [7, 3, 24, 0, 3]  # out of order, with a duplicate
+            batch = collection.get_many(wanted)
+            assert [p.patch_id for p in batch] == wanted
+            for patch, patch_id in zip(batch, wanted):
+                point = collection.get(patch_id)
+                assert (patch.data == point.data).all()
+                assert_same_metadata(patch.metadata, point.metadata)
+            assert collection.get_many([]) == []
+            meta_only = collection.get_many([1, 2], load_data=False)
+            assert all(p.data.size == 0 for p in meta_only)
+            with pytest.raises(QueryError, match="not in collection"):
+                collection.get_many([1, 999])
+
+    def test_scan_batches_matches_scan(self, tmp_path):
+        with Catalog(tmp_path) as catalog:
+            collection = catalog.materialize(make_patches(23), "c")
+            batches = list(collection.scan_batches(7))
+            assert [len(b) for b in batches] == [7, 7, 7, 2]
+            flat = [p for batch in batches for p in batch]
+            plain = list(collection.scan())
+            assert [p.patch_id for p in flat] == [p.patch_id for p in plain]
+            for a, b in zip(flat, plain):
+                assert (a.data == b.data).all()
+                assert_same_metadata(a.metadata, b.metadata)
+            with pytest.raises(QueryError, match="positive"):
+                list(collection.scan_batches(0))
+
+    def test_index_lookup_helper_uses_batched_path(self, tmp_path):
+        with Catalog(tmp_path) as catalog:
+            collection = catalog.materialize(make_patches(12), "c")
+            catalog.create_index("c", "label", "hash")
+            found = collection.lookup("label", "vehicle")
+            assert sorted(p.patch_id for p in found) == [0, 3, 6, 9]
 
     def test_schema_enforced_at_materialize(self, tmp_path):
         schema = frame_schema().with_field(

@@ -370,3 +370,74 @@ class TestBlobHeap:
             ref = heap.put(b"persisted")
         with BlobHeap(path) as heap:
             assert heap.get(ref) == b"persisted"
+
+
+class TestBlobHeapMultiGet:
+    """The coalesced batch read path behind scans and index fetches."""
+
+    def test_empty(self, tmp_path):
+        with BlobHeap(tmp_path / "heap.db") as heap:
+            assert heap.multi_get([]) == []
+
+    def test_matches_get_in_request_order(self, tmp_path):
+        rng = np.random.default_rng(3)
+        with BlobHeap(tmp_path / "heap.db") as heap:
+            blobs = [
+                rng.integers(0, 256, size=int(n), dtype=np.uint8).tobytes()
+                for n in rng.integers(0, 5_000, size=200)
+            ]
+            refs = [
+                heap.put(blob, compress=(i % 3 == 0))
+                for i, blob in enumerate(blobs)
+            ]
+            order = rng.permutation(len(refs)).tolist()
+            got = heap.multi_get([refs[i] for i in order])
+            assert got == [blobs[i] for i in order]
+
+    def test_duplicates_and_subsets(self, tmp_path):
+        with BlobHeap(tmp_path / "heap.db") as heap:
+            refs = [heap.put(bytes([i]) * (i + 1)) for i in range(50)]
+            want = [refs[7], refs[7], refs[0], refs[49], refs[7]]
+            assert heap.multi_get(want) == [
+                b"\x07" * 8,
+                b"\x07" * 8,
+                b"\x00",
+                b"\x31" * 50,
+                b"\x07" * 8,
+            ]
+
+    def test_far_apart_blobs_split_runs(self, tmp_path):
+        # blobs separated by more than the coalescing gap exercise the
+        # run-flush path; a blob larger than MAX_RUN_BYTES caps a run
+        from repro.storage.kvstore import heap as heap_module
+
+        with BlobHeap(tmp_path / "heap.db") as heap:
+            first = heap.put(b"a" * 10)
+            filler = heap.put(b"\x00" * (heap_module.COALESCE_GAP_BYTES + 1))
+            big = heap.put(b"b" * (heap_module.MAX_RUN_BYTES + 1))
+            last = heap.put(b"c" * 10)
+            got = heap.multi_get([last, big, first, filler])
+            assert got[0] == b"c" * 10
+            assert got[1] == b"b" * (heap_module.MAX_RUN_BYTES + 1)
+            assert got[2] == b"a" * 10
+
+    def test_bad_offset_rejected(self, tmp_path):
+        with BlobHeap(tmp_path / "heap.db") as heap:
+            ref = heap.put(b"x")
+            with pytest.raises(StorageError, match="out of range"):
+                heap.multi_get([ref, BlobRef(offset=10**9, length=1)])
+
+    def test_length_mismatch_rejected(self, tmp_path):
+        with BlobHeap(tmp_path / "heap.db") as heap:
+            ref = heap.put(b"hello")
+            heap.put(b"trailing so the over-long read stays inside the file")
+            wrong = BlobRef(offset=ref.offset, length=ref.length + 2)
+            with pytest.raises(StorageError, match="length mismatch"):
+                heap.multi_get([wrong])
+
+    def test_truncated_tail_rejected(self, tmp_path):
+        with BlobHeap(tmp_path / "heap.db") as heap:
+            ref = heap.put(b"hello")
+            wrong = BlobRef(offset=ref.offset, length=ref.length + 2)
+            with pytest.raises(StorageError, match="short read"):
+                heap.multi_get([wrong])
