@@ -1,0 +1,133 @@
+"""LensQL frontend overhead and plan-identity on the Table-1 workload.
+
+Two promises the SQL redesign makes, armed as assertions:
+
+* **compilation is cheap** — parse + bind time for the Table-1 query
+  shapes stays under 10% of their end-to-end execution time (the
+  frontend adds a string-to-plan step, not a second planner);
+* **plans are identical** — each query's SQL form compiles to the same
+  ``plan_fingerprint`` as its fluent-builder form, so the rewriter,
+  statistics, view matcher, and executor see one plan regardless of
+  frontend.
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import write_result
+from repro.bench.metrics import Timer
+from repro.core import Attr, attribute_key
+from repro.core.sql import BoundSelect
+
+#: parse+bind repetitions (compilation is sub-ms; repeating steadies the
+#: mean at smoke scale)
+REPEAT = int(os.environ.get("REPRO_BENCH_SQL_REPEAT", "25"))
+#: end-to-end runs per query; the minimum is the denominator
+EXEC_RUNS = int(os.environ.get("REPRO_BENCH_SQL_RUNS", "3"))
+
+
+def _workload_queries(db, detections):
+    """(name, SQL text, fluent builder, fluent aggregate) per query."""
+    frames = sorted({p["frameno"] for p in detections.scan(load_data=False)})
+    mid_frame = frames[len(frames) // 2]
+    queries = [
+        (
+            "label-eq",
+            "SELECT * FROM detections WHERE label = 'person'",
+            db.scan("detections").filter(Attr("label") == "person"),
+            None,
+        ),
+        (
+            "frame-range",
+            f"SELECT * FROM detections WHERE frameno BETWEEN "
+            f"{frames[0]} AND {mid_frame}",
+            db.scan("detections").filter(
+                Attr("frameno").between(frames[0], mid_frame)
+            ),
+            None,
+        ),
+        (
+            "proj-order-limit",
+            "SELECT label, frameno FROM detections WHERE depth >= 1 "
+            "ORDER BY depth DESC LIMIT 10",
+            db.scan("detections")
+            .filter(Attr("depth") >= 1)
+            .order_by("depth", reverse=True)
+            .limit(10)
+            .select("label", "frameno"),
+            None,
+        ),
+        (
+            "distinct-frames",
+            "SELECT COUNT(DISTINCT frameno) FROM detections "
+            "WHERE label = 'vehicle'",
+            db.scan("detections").filter(Attr("label") == "vehicle"),
+            ("distinct_count", attribute_key("frameno")),
+        ),
+    ]
+    return queries
+
+
+def test_sql_overhead_and_plan_identity(traffic):
+    workload, _ = traffic
+    db = workload.db
+    queries = _workload_queries(db, workload.detections)
+
+    lines = [
+        f"workload: {len(workload.detections)} detections; "
+        f"{REPEAT} compilations vs best of {EXEC_RUNS} executions",
+        "",
+        "| query | parse+bind (ms) | end-to-end (ms) | overhead | "
+        "fingerprints |",
+        "|---|---|---|---|---|",
+    ]
+    for name, sql, fluent, aggregate in queries:
+        bound = db._bind_sql(sql)
+        assert isinstance(bound, BoundSelect)
+
+        # plan identity: the SQL form compiles onto the *same* logical
+        # plan as the fluent form (below any terminal aggregate)
+        sql_fp = bound.builder.plan_fingerprint()
+        fluent_fp = fluent.plan_fingerprint()
+        assert sql_fp == fluent_fp, (
+            f"{name}: SQL plan {sql_fp} != fluent plan {fluent_fp}"
+        )
+        if aggregate is not None:
+            kind, key = aggregate
+            assert bound.aggregate is not None
+            assert bound.aggregate[0] == kind
+            assert bound.aggregate[1] is key  # the shared attribute_key
+
+        with Timer() as compile_timer:
+            for _ in range(REPEAT):
+                db._bind_sql(sql)
+        compile_seconds = compile_timer.seconds / REPEAT
+
+        exec_seconds = min(
+            _timed_execute(db, sql) for _ in range(EXEC_RUNS)
+        )
+
+        overhead = compile_seconds / max(exec_seconds, 1e-9)
+        lines.append(
+            f"| {name} | {compile_seconds * 1e3:.3f} | "
+            f"{exec_seconds * 1e3:.2f} | {overhead:.1%} | identical |"
+        )
+        # the headline assertion: compiling the statement costs < 10%
+        # of running it, even on the smoke-scale workload
+        assert overhead < 0.10, (
+            f"{name}: parse+bind {compile_seconds * 1e3:.3f} ms is "
+            f"{overhead:.1%} of the {exec_seconds * 1e3:.2f} ms execution"
+        )
+
+    write_result(
+        "sql_overhead",
+        "LensQL compilation overhead vs end-to-end query time",
+        lines,
+    )
+
+
+def _timed_execute(db, sql: str) -> float:
+    with Timer() as timer:
+        db.sql(sql)
+    return timer.seconds

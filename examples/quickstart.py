@@ -18,9 +18,15 @@ The minimal end-to-end DeepLens workflow on synthetic CCTV footage:
    and decodes batches ahead through coalesced ``multi_get`` heap
    reads; ``explain()`` reports the resolved worker count and the
    batch size the planner picked from cardinality estimates;
-6. aggregate: how many frames contain a vehicle? (the paper's q2)
-7. backtrace one detection to its base frame through lineage;
-8. persist the UDF pipeline as a **materialized view**: later queries
+6. query the same data with **LensQL**: register the UDF by name and run
+   the step-4 query as one SQL string — it binds against the catalog and
+   compiles onto the *same* logical plan (identical fingerprint,
+   identical rows), so statistics, rewrites, and the executor behave
+   identically across both frontends;
+7. aggregate: how many frames contain a vehicle? (the paper's q2) — in
+   both forms;
+8. backtrace one detection to its base frame through lineage;
+9. persist the UDF pipeline as a **materialized view**: later queries
    whose prefix recomputes it are rewritten to scan the view instead
    (cost-based, visible in explain(), and across sessions — the view's
    plan fingerprint lives in the catalog). Adding patches to the base
@@ -153,6 +159,39 @@ def main() -> None:
             "bench_parallel_pipeline.py)"
         )
 
+        # -- querying with LensQL -------------------------------------
+        # the same query as one declarative string: register the UDF by
+        # name (the registry hands BOTH frontends the same function
+        # object, so cached inference and view fingerprints are shared),
+        # then let the SQL frontend bind collection/attribute/UDF names
+        # against the catalog and lower onto the same logical plan IR
+        db.register_udf(
+            "brightness",
+            add_brightness,
+            provides={"brightness"},
+            one_to_one=True,
+            cache=True,
+            replace=True,  # shadow the built-in brightness UDF
+        )
+        sql_query = db.sql_query(
+            "SELECT label, frameno, brightness() FROM detections "
+            "WHERE label = 'vehicle' ORDER BY brightness DESC LIMIT 5"
+        )
+        assert sql_query.plan_fingerprint() == query.plan_fingerprint()
+        sql_rows = sql_query.patches()
+        assert [p.patch_id for p in sql_rows] == [
+            p.patch_id for p in brightest
+        ]
+        print(
+            "\nLensQL form of the same query: fingerprint-identical plan, "
+            "identical rows"
+        )
+        # DDL and introspection are statements too
+        db.sql("CREATE INDEX ON detections (score) USING btree")
+        print("SHOW STATS FOR detections (first two attributes):")
+        for row in db.sql("SHOW STATS FOR detections")[:2]:
+            print(f"  {row}")
+
         # q2 via the aggregate terminal: frames containing a vehicle
         vehicles = db.scan("detections").filter(Attr("label") == "vehicle")
         n_frames = vehicles.aggregate(
@@ -161,6 +200,12 @@ def main() -> None:
         truth = len(dataset.frames_with_vehicles())
         print(f"\nq2 answer: {n_frames} frames contain a vehicle")
         print(f"ground truth: {truth} frames")
+        sql_answer = db.sql(
+            "SELECT COUNT(DISTINCT frameno) FROM detections "
+            "WHERE label = 'vehicle'"
+        )
+        assert sql_answer == n_frames
+        print(f"q2 via LensQL: {sql_answer} frames (same plan, same answer)")
 
         sample = vehicles.first()
         source, frame = db.lineage.backtrace(sample)

@@ -22,6 +22,7 @@ from repro.core.statistics import (
     Estimate,
     StatisticsProvider,
 )
+from repro.core.udf import UDFDefinition, UDFRegistry, attribute_key
 
 __all__ = [
     "Attr",
@@ -46,6 +47,9 @@ __all__ = [
     "QueryBuilder",
     "Row",
     "StatisticsProvider",
+    "UDFDefinition",
+    "UDFRegistry",
     "ViewDefinition",
+    "attribute_key",
     "frame_schema",
 ]

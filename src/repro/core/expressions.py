@@ -22,6 +22,26 @@ from typing import Any, Callable
 from repro.core.patch import Patch
 from repro.errors import QueryError
 
+def _safe_in(a: Any, b: Any) -> bool:
+    """``a in b`` degrading to False when the operands cannot support
+    membership (b is no container, or a is unhashable against a set) —
+    a mismatched row simply doesn't match, it doesn't abort the query."""
+    try:
+        return a in b
+    except TypeError:
+        return False
+
+
+def _safe_contains(a: Any, b: Any) -> bool:
+    """``b in a`` with the same degrade-to-False contract as ``in``."""
+    if a is None:
+        return False
+    try:
+        return b in a
+    except TypeError:
+        return False
+
+
 _OPS: dict[str, Callable[[Any, Any], bool]] = {
     "==": lambda a, b: a == b,
     "!=": lambda a, b: a != b,
@@ -29,8 +49,8 @@ _OPS: dict[str, Callable[[Any, Any], bool]] = {
     "<=": lambda a, b: a is not None and a <= b,
     ">": lambda a, b: a is not None and a > b,
     ">=": lambda a, b: a is not None and a >= b,
-    "in": lambda a, b: a in b,
-    "contains": lambda a, b: a is not None and b in a,
+    "in": _safe_in,
+    "contains": _safe_contains,
 }
 
 

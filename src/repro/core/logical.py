@@ -225,7 +225,7 @@ class SimilarityJoin(LogicalPlan):
 
 
 #: supported aggregate kinds -> required arguments
-AGGREGATE_KINDS = ("count", "distinct_count", "group")
+AGGREGATE_KINDS = ("count", "distinct_count", "avg", "group")
 
 
 @dataclass(frozen=True, eq=False)
@@ -233,8 +233,9 @@ class Aggregate(LogicalPlan):
     """Terminal reduction over the child's rows.
 
     ``kind`` is one of :data:`AGGREGATE_KINDS`; ``key`` maps the row's
-    first patch to a grouping/dedup key; ``reducer`` folds each group's
-    row list (group kind only).
+    first patch to a grouping/dedup key (for ``avg``, to the numeric
+    value averaged); ``reducer`` folds each group's row list (group kind
+    only).
     """
 
     child: LogicalPlan
@@ -248,7 +249,7 @@ class Aggregate(LogicalPlan):
                 f"unknown aggregate kind {self.kind!r}; "
                 f"expected one of {AGGREGATE_KINDS}"
             )
-        if self.kind in ("distinct_count", "group") and self.key is None:
+        if self.kind in ("distinct_count", "avg", "group") and self.key is None:
             raise QueryError(f"aggregate kind {self.kind!r} needs a key function")
         # reject arguments the kind would silently ignore — a key on
         # 'count' almost certainly meant 'distinct_count' or 'group'

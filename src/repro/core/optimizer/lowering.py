@@ -446,6 +446,23 @@ class AggregateExecution:
             return sum(1 for _ in rows)
         if self.kind == "distinct_count":
             return DistinctCount(rows, self.key).execute()
+        if self.kind == "avg":
+            # SQL semantics: NULL (None) values are skipped, and AVG of
+            # an empty/all-NULL input is NULL, not a division error
+            total, n = 0.0, 0
+            for row in rows:
+                value = self.key(row[0])
+                if value is None:
+                    continue
+                try:
+                    total += float(value)
+                except (TypeError, ValueError):
+                    raise QueryError(
+                        f"avg key produced non-numeric value {value!r} "
+                        f"for patch {row[0].patch_id}"
+                    ) from None
+                n += 1
+            return total / n if n else None
         return GroupBy(rows, self.key, self.reducer).execute()
 
 

@@ -52,6 +52,21 @@ named module-level UDFs::
     top = scored.order_by("score", reverse=True).limit(10).patches()
     db.collection("detections").add(new_patch)   # "scored" is now stale
     db.refresh_view("scored")                    # re-runs the defining plan
+
+**LensQL.** Every query above is also one string away:
+:meth:`DeepLens.sql` parses the LensQL dialect, binds names against the
+catalog and the session's UDF registry (:meth:`DeepLens.register_udf`),
+and lowers onto the *same* logical plans the fluent builder makes —
+fingerprint-identical, so rewrites, statistics, view matching, and the
+parallel executor behave identically across both frontends::
+
+    db.register_udf("score", score_udf, provides={"score"},
+                    one_to_one=True, cache=True)
+    rows = db.sql(\"\"\"
+        SELECT label, frameno, score() FROM detections
+        WHERE label = 'vehicle' ORDER BY score DESC LIMIT 10
+    \"\"\")
+    print(db.sql("EXPLAIN SELECT count(*) FROM detections"))
 """
 
 from __future__ import annotations
@@ -82,6 +97,7 @@ from repro.core.optimizer import (
 )
 from repro.core.patch import Patch, Row
 from repro.core.schema import PatchSchema
+from repro.core.udf import UDFDefinition, default_registry
 from repro.errors import QueryError, StorageError
 from repro.storage.formats import VideoStore, load_patches, open_store
 
@@ -119,6 +135,41 @@ class DeepLens:
     pipeline only touches metadata: no worker count beats not reading
     the pixels at all — the batched heap path then skips payload
     decoding entirely.
+
+    **The LensQL dialect** (:meth:`sql` / :meth:`sql_query`):
+
+    .. code-block:: text
+
+        statement   := select | EXPLAIN select
+                     | CREATE [OR REPLACE] MATERIALIZED VIEW name AS select
+                     | REFRESH VIEW name [AS select]
+                     | DROP VIEW name
+                     | CREATE INDEX ON name '(' name ')' [USING kind]
+                     | SHOW COLLECTIONS | SHOW VIEWS | SHOW STATS FOR name
+        select      := SELECT items FROM collection [simjoin]
+                       [WHERE expr] [ORDER BY attr [ASC|DESC]] [LIMIT n]
+        items       := '*' | item (',' item)*
+        item        := attr | udf '(' ')'                 -- registered UDF map
+                     | COUNT '(' '*' ')' | COUNT '(' DISTINCT attr ')'
+                     | AVG '(' attr ')'
+        simjoin     := SIMILARITY JOIN (collection | '(' select ')')
+                       [ON feature_udf] WITHIN number [DIM n] [TOP k]
+                       [EXCLUDE SELF]
+        expr        := boolean combinations (AND / OR / NOT, parentheses)
+                       of: attr op literal | attr BETWEEN lit AND lit
+                         | attr IN '(' lit, ... ')' | attr CONTAINS lit
+                       (above a join, qualify sides: left.attr / right.attr)
+        op          := = | == | != | <> | < | <= | > | >=
+        literal     := 'string' | number | -number | TRUE | FALSE | NULL
+
+    ``SELECT udf()`` applies a registered UDF as a map below the WHERE
+    clause (its declared ``provides`` attributes join the projection);
+    ``SIMILARITY JOIN ... WITHIN t`` lowers to the same
+    ``SimilarityJoin`` node as :meth:`QueryBuilder.similarity_join`
+    (``TOP k`` limits the pair stream directly above the join). Keywords
+    are case-insensitive; identifiers may be double-quoted; ``--``
+    starts a line comment. Equivalent SQL and fluent pipelines produce
+    fingerprint-identical logical plans.
     """
 
     def __init__(
@@ -141,6 +192,9 @@ class DeepLens:
         self.materialization = MaterializationManager(
             self.catalog, self.optimizer, self.udf_cache, self.execution
         )
+        #: named-UDF registry shared by LensQL and the fluent API,
+        #: auto-seeded with the built-in vision-model UDFs
+        self.udfs = default_registry()
         self._videos: dict[str, VideoStore] = {}
         self._video_dir = os.path.join(self.workdir, "videos")
         meta = self.catalog.pager.get_meta()
@@ -295,6 +349,88 @@ class DeepLens:
     def lineage(self) -> LineageStore:
         return self.catalog.lineage
 
+    # -- UDF registry -----------------------------------------------------
+
+    def register_udf(
+        self,
+        name: str,
+        fn: Callable[[Patch], Patch | list[Patch] | None],
+        *,
+        batch_fn: Callable[[list[Patch]], list] | None = None,
+        provides: Iterable[str] | None = None,
+        one_to_one: bool = False,
+        cache: bool = False,
+        replace: bool = False,
+    ) -> UDFDefinition:
+        """Register a UDF addressable by name from LensQL *and* the
+        fluent API (``query.map("name")``).
+
+        The registry stores the function object itself, so both
+        frontends share one identity: plan fingerprints (materialized-
+        view matching) and lineage-keyed UDF cache entries — including
+        the catalog-persisted tier for named module-level functions —
+        are interchangeable across SQL and fluent queries. ``provides``/
+        ``one_to_one``/``cache`` carry the same contracts as
+        :meth:`QueryBuilder.map`. In SQL, ``SELECT name()`` applies the
+        UDF as a map, and ``SIMILARITY JOIN ... ON name`` uses ``fn`` as
+        the join's feature extractor (it should return a vector then).
+        """
+        return self.udfs.register(
+            name,
+            fn,
+            batch_fn=batch_fn,
+            provides=None if provides is None else frozenset(provides),
+            one_to_one=one_to_one,
+            cache=cache,
+            replace=replace,
+        )
+
+    # -- LensQL ----------------------------------------------------------
+
+    def sql(self, text: str) -> Any:
+        """Parse, bind, and execute one LensQL statement.
+
+        The result depends on the statement (see the class docstring for
+        the grammar): ``SELECT`` returns patches (rows of pairs after a
+        similarity join, a scalar for aggregates); ``EXPLAIN`` returns
+        the :class:`~repro.core.optimizer.Explanation`; ``CREATE
+        MATERIALIZED VIEW`` / ``REFRESH VIEW`` return the backing
+        collection; ``CREATE INDEX`` returns the index; ``SHOW ...``
+        returns a list of dicts; ``DROP VIEW`` returns None. Malformed
+        text raises :class:`~repro.errors.ParseError`, unknown names
+        :class:`~repro.errors.BindError` — both positioned, with a
+        caret-annotated excerpt.
+        """
+        return self._bind_sql(text).execute()
+
+    def sql_query(self, text: str) -> "QueryBuilder":
+        """Compile a LensQL ``SELECT`` into its :class:`QueryBuilder`
+        without executing — the bridge between frontends: inspect
+        ``explain()``, extend it fluently, or pass it to
+        :meth:`materialize_view`. Aggregate selects have no builder
+        surface for the terminal, so they are rejected here (use
+        :meth:`sql`)."""
+        from repro.core.sql import BoundSelect
+
+        bound = self._bind_sql(text)
+        if not isinstance(bound, BoundSelect):
+            raise QueryError(
+                "sql_query() takes a SELECT statement; use sql() for "
+                "DDL/EXPLAIN/SHOW"
+            )
+        if bound.aggregate is not None:
+            raise QueryError(
+                "sql_query() cannot return a builder for an aggregate "
+                "select (the terminal is part of the statement); use "
+                "sql() to execute it"
+            )
+        return bound.builder
+
+    def _bind_sql(self, text: str):
+        from repro.core.sql import Binder, parse
+
+        return Binder(self, text).bind(parse(text))
+
     # -- querying -----------------------------------------------------------
 
     def scan(self, collection_name: str, *, load_data: bool = True) -> "QueryBuilder":
@@ -411,15 +547,22 @@ class QueryBuilder:
 
     def map(
         self,
-        fn: Callable[[Patch], Patch | list[Patch] | None],
+        fn: Callable[[Patch], Patch | list[Patch] | None] | str,
         *,
-        name: str = "udf",
+        name: str | None = None,
         provides: Iterable[str] | None = None,
         batch_fn: Callable[[list[Patch]], list] | None = None,
         one_to_one: bool = False,
-        cache: bool = False,
+        cache: bool | None = None,
     ) -> "QueryBuilder":
         """Apply a UDF (one patch -> patch / list / None).
+
+        ``fn`` may be a **registered UDF name** (see
+        :meth:`DeepLens.register_udf`): the map then uses the registry's
+        function object and contracts, exactly as the SQL frontend does,
+        so both forms build fingerprint-identical plans and share cache
+        entries. With a name, only ``cache`` may be overridden — the
+        other contracts belong to the registration.
 
         ``provides`` declares the UDF's metadata contract — it writes
         exactly these attributes and passes all others through unchanged
@@ -431,15 +574,33 @@ class QueryBuilder:
         implementation; ``cache=True`` memoizes results by patch lineage
         id in the session's :class:`UDFCache`.
         """
+        if isinstance(fn, str):
+            if name is not None or provides is not None or batch_fn is not None or one_to_one:
+                raise QueryError(
+                    f"map({fn!r}) resolves its contracts from the UDF "
+                    f"registry; only 'cache' may be overridden"
+                )
+            definition = self.session.udfs.get(fn)
+            return self._extend(
+                logical.Map(
+                    self._plan,
+                    definition.fn,
+                    name=definition.name,
+                    provides=definition.provides,
+                    batch_fn=definition.batch_fn,
+                    one_to_one=definition.one_to_one,
+                    cache=definition.cache if cache is None else cache,
+                )
+            )
         return self._extend(
             logical.Map(
                 self._plan,
                 fn,
-                name=name,
+                name=name if name is not None else "udf",
                 provides=None if provides is None else frozenset(provides),
                 batch_fn=batch_fn,
                 one_to_one=one_to_one,
-                cache=cache,
+                cache=bool(cache),
             )
         )
 
@@ -508,6 +669,13 @@ class QueryBuilder:
         """The (un-rewritten) logical plan built so far."""
         return self._plan
 
+    def plan_fingerprint(self) -> str:
+        """Structural fingerprint of the logical plan built so far —
+        what the SQL/fluent equivalence tests and the view matcher
+        compare. Equivalent LensQL statements compile to plans with this
+        same fingerprint."""
+        return logical.plan_fingerprint(self._plan)
+
     # -- terminals ------------------------------------------------------
 
     def operator(self) -> Operator:
@@ -562,18 +730,13 @@ class QueryBuilder:
         size = self._resolve_batch_size(batch_size, explanation)
         return sum(len(batch) for batch in operator.iter_batches(size))
 
-    def aggregate(
+    def _plan_aggregate(
         self,
         kind: str,
         *,
         key: Callable[[Patch], Any] | None = None,
         reducer: Callable[[list], Any] = len,
-    ) -> Any:
-        """Run a terminal aggregate over the pipeline.
-
-        ``kind``: ``count``, ``distinct_count`` (needs ``key``), or
-        ``group`` (needs ``key``; ``reducer`` folds each group's rows).
-        """
+    ) -> tuple[AggregateExecution, Explanation]:
         plan = logical.Aggregate(self._plan, kind, key=key, reducer=reducer)
         aggregate, explanation = plan_pipeline(
             self.session.optimizer,
@@ -584,12 +747,46 @@ class QueryBuilder:
             execution=self.execution_context(),
         )
         assert isinstance(aggregate, AggregateExecution)
+        return aggregate, explanation
+
+    def aggregate(
+        self,
+        kind: str,
+        *,
+        key: Callable[[Patch], Any] | None = None,
+        reducer: Callable[[list], Any] = len,
+    ) -> Any:
+        """Run a terminal aggregate over the pipeline.
+
+        ``kind``: ``count``, ``distinct_count`` (needs ``key``), ``avg``
+        (needs ``key``; empty input yields None), or ``group`` (needs
+        ``key``; ``reducer`` folds each group's rows).
+        """
+        aggregate, explanation = self._plan_aggregate(
+            kind, key=key, reducer=reducer
+        )
         return aggregate.execute(
             batch_size=self._resolve_batch_size(PLANNER_CHOSEN, explanation)
         )
 
+    def aggregate_explain(
+        self,
+        kind: str,
+        *,
+        key: Callable[[Patch], Any] | None = None,
+        reducer: Callable[[list], Any] = len,
+    ) -> Explanation:
+        """The planner's explanation for this pipeline under a terminal
+        aggregate (what ``EXPLAIN SELECT count(*) ...`` shows)."""
+        _, explanation = self._plan_aggregate(kind, key=key, reducer=reducer)
+        return explanation
+
     def distinct_count(self, key: Callable[[Patch], object]) -> int:
         return self.aggregate("distinct_count", key=key)
+
+    def avg(self, key: Callable[[Patch], Any]) -> float | None:
+        """Mean of ``key`` over the pipeline's rows (None when empty)."""
+        return self.aggregate("avg", key=key)
 
     def first(self) -> Patch:
         operator = self.operator()

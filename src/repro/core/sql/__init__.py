@@ -1,0 +1,45 @@
+"""LensQL: the declarative SQL frontend over the logical plan IR.
+
+The dialect compiles onto the *same* logical plans the fluent
+:class:`~repro.core.session.QueryBuilder` builds — equivalent queries
+are fingerprint-identical and flow through the same rewriter,
+statistics, view matcher, and executor. Entry points:
+
+* :func:`repro.core.sql.parser.parse` — text -> typed AST
+  (:mod:`repro.core.sql.ast`), every node round-tripping through
+  ``to_sql()``;
+* :class:`repro.core.sql.binder.Binder` — AST -> bound statement over a
+  session (name resolution against the catalog and UDF registry);
+* :meth:`repro.core.session.DeepLens.sql` — the one-call surface.
+"""
+
+from repro.core.sql import ast
+from repro.core.sql.binder import (
+    Binder,
+    BoundCreateIndex,
+    BoundCreateView,
+    BoundDropView,
+    BoundExplain,
+    BoundRefreshView,
+    BoundSelect,
+    BoundShow,
+    BoundStatement,
+)
+from repro.core.sql.lexer import Token, tokenize
+from repro.core.sql.parser import parse
+
+__all__ = [
+    "Binder",
+    "BoundCreateIndex",
+    "BoundCreateView",
+    "BoundDropView",
+    "BoundExplain",
+    "BoundRefreshView",
+    "BoundSelect",
+    "BoundShow",
+    "BoundStatement",
+    "Token",
+    "ast",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,350 @@
+"""Typed AST for LensQL statements.
+
+Every node is a frozen dataclass that compares *structurally* — source
+positions ride along in a ``pos`` field excluded from equality, so
+``parse(node.to_sql()) == node`` is the round-trip law the property
+tests pin down. ``to_sql()`` renders the canonical form of the dialect
+(uppercase keywords, ``''``-escaped strings, parenthesized connectives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.core.sql.lexer import KEYWORDS
+
+#: aggregate kinds the dialect surfaces -> logical Aggregate kinds
+AGGREGATE_SQL_KINDS = ("count", "distinct_count", "avg")
+
+#: valid comparison operators after normalization ("=" -> "==", "<>" -> "!=")
+COMPARISON_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+Pos = tuple[int, int]
+
+
+def _ident(name: str) -> str:
+    """Render an identifier, double-quoting (with ``\"\"`` escapes) when
+    it collides with the lexer's rules (reserved word, or not a bare
+    identifier shape)."""
+    bare = (
+        name != ""
+        and (name[0].isalpha() or name[0] == "_")
+        and all(c.isalnum() or c == "_" for c in name)
+        and name.upper() not in KEYWORDS
+    )
+    return name if bare else '"' + name.replace('"', '""') + '"'
+
+
+def _literal(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if value is True:
+        return "TRUE"
+    if value is False:
+        return "FALSE"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base AST node; ``pos`` is the (line, column) of the leading token."""
+
+    pos: Pos = field(default=(1, 1), compare=False, kw_only=True)
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+
+# -- expressions --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnRef(Node):
+    """A metadata attribute reference, optionally side-qualified
+    (``left.label`` / ``right.label`` above a similarity join)."""
+
+    name: str
+    side: str | None = None
+
+    def to_sql(self) -> str:
+        if self.side is not None:
+            return f"{self.side}.{_ident(self.name)}"
+        return _ident(self.name)
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    """A constant: string, int, float, bool, or NULL."""
+
+    value: Union[str, int, float, bool, None]
+
+    def to_sql(self) -> str:
+        return _literal(self.value)
+
+
+@dataclass(frozen=True)
+class Comparison(Node):
+    """``column <op> literal`` with a normalized operator."""
+
+    column: ColumnRef
+    op: str  # one of COMPARISON_OPS
+    value: Literal
+
+    def to_sql(self) -> str:
+        rendered = {"==": "=", "!=": "!="}.get(self.op, self.op)
+        return f"{self.column.to_sql()} {rendered} {self.value.to_sql()}"
+
+
+@dataclass(frozen=True)
+class Between(Node):
+    column: ColumnRef
+    lo: Literal
+    hi: Literal
+
+    def to_sql(self) -> str:
+        return (
+            f"{self.column.to_sql()} BETWEEN {self.lo.to_sql()} "
+            f"AND {self.hi.to_sql()}"
+        )
+
+
+@dataclass(frozen=True)
+class InList(Node):
+    column: ColumnRef
+    items: tuple[Literal, ...]
+
+    def to_sql(self) -> str:
+        rendered = ", ".join(item.to_sql() for item in self.items)
+        return f"{self.column.to_sql()} IN ({rendered})"
+
+
+@dataclass(frozen=True)
+class Contains(Node):
+    column: ColumnRef
+    needle: Literal
+
+    def to_sql(self) -> str:
+        return f"{self.column.to_sql()} CONTAINS {self.needle.to_sql()}"
+
+
+@dataclass(frozen=True)
+class Not(Node):
+    child: "SqlExpr"
+
+    def to_sql(self) -> str:
+        return f"NOT {_wrap(self.child)}"
+
+
+@dataclass(frozen=True)
+class And(Node):
+    children: tuple["SqlExpr", ...]
+
+    def to_sql(self) -> str:
+        return " AND ".join(_wrap(child) for child in self.children)
+
+
+@dataclass(frozen=True)
+class Or(Node):
+    children: tuple["SqlExpr", ...]
+
+    def to_sql(self) -> str:
+        return " OR ".join(_wrap(child) for child in self.children)
+
+
+SqlExpr = Union[Comparison, Between, InList, Contains, Not, And, Or]
+
+
+def _wrap(expr: SqlExpr) -> str:
+    """Parenthesize connective children so precedence survives re-parsing
+    (the parser flattens only *unparenthesized* same-operator chains)."""
+    if isinstance(expr, (And, Or)):
+        return f"({expr.to_sql()})"
+    return expr.to_sql()
+
+
+# -- select list --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Star(Node):
+    """``SELECT *`` — keep every attribute (no projection node)."""
+
+    def to_sql(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class UdfCall(Node):
+    """``name()`` in the select list: apply the registered UDF as a map;
+    its declared ``provides`` attributes join the projection."""
+
+    name: str
+
+    def to_sql(self) -> str:
+        return f"{_ident(self.name)}()"
+
+
+@dataclass(frozen=True)
+class AggregateCall(Node):
+    """``COUNT(*)``, ``COUNT(DISTINCT attr)``, or ``AVG(attr)``."""
+
+    kind: str  # one of AGGREGATE_SQL_KINDS
+    attr: str | None = None
+
+    def to_sql(self) -> str:
+        if self.kind == "count":
+            return "COUNT(*)"
+        if self.kind == "distinct_count":
+            return f"COUNT(DISTINCT {_ident(self.attr or '')})"
+        return f"AVG({_ident(self.attr or '')})"
+
+
+SelectItem = Union[Star, ColumnRef, UdfCall, AggregateCall]
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableRef(Node):
+    name: str
+
+    def to_sql(self) -> str:
+        return _ident(self.name)
+
+
+@dataclass(frozen=True)
+class OrderSpec(Node):
+    attr: str
+    desc: bool = False
+
+    def to_sql(self) -> str:
+        return f"ORDER BY {_ident(self.attr)}{' DESC' if self.desc else ''}"
+
+
+@dataclass(frozen=True)
+class SimilarityJoinClause(Node):
+    """``SIMILARITY JOIN right [ON feature_udf] WITHIN t [DIM d] [TOP k]
+    [EXCLUDE SELF]`` — lowers to :class:`repro.core.logical.SimilarityJoin`
+    (``TOP k`` becomes a limit directly above the join)."""
+
+    right: Union[TableRef, "Select"]
+    threshold: float
+    on: str | None = None
+    dim: int | None = None
+    top: int | None = None
+    exclude_self: bool = False
+
+    def to_sql(self) -> str:
+        right = (
+            self.right.to_sql()
+            if isinstance(self.right, TableRef)
+            else f"({self.right.to_sql()})"
+        )
+        parts = [f"SIMILARITY JOIN {right}"]
+        if self.on is not None:
+            parts.append(f"ON {_ident(self.on)}")
+        parts.append(f"WITHIN {self.threshold!r}")
+        if self.dim is not None:
+            parts.append(f"DIM {self.dim}")
+        if self.top is not None:
+            parts.append(f"TOP {self.top}")
+        if self.exclude_self:
+            parts.append("EXCLUDE SELF")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Select(Node):
+    items: tuple[SelectItem, ...]
+    source: TableRef
+    join: SimilarityJoinClause | None = None
+    where: SqlExpr | None = None
+    order_by: OrderSpec | None = None
+    limit: int | None = None
+
+    def to_sql(self) -> str:
+        parts = [
+            "SELECT " + ", ".join(item.to_sql() for item in self.items),
+            f"FROM {self.source.to_sql()}",
+        ]
+        if self.join is not None:
+            parts.append(self.join.to_sql())
+        if self.where is not None:
+            parts.append(f"WHERE {self.where.to_sql()}")
+        if self.order_by is not None:
+            parts.append(self.order_by.to_sql())
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Explain(Node):
+    select: Select
+
+    def to_sql(self) -> str:
+        return f"EXPLAIN {self.select.to_sql()}"
+
+
+@dataclass(frozen=True)
+class CreateView(Node):
+    name: str
+    select: Select
+    replace: bool = False
+
+    def to_sql(self) -> str:
+        replace = " OR REPLACE" if self.replace else ""
+        return (
+            f"CREATE{replace} MATERIALIZED VIEW {_ident(self.name)} "
+            f"AS {self.select.to_sql()}"
+        )
+
+
+@dataclass(frozen=True)
+class RefreshView(Node):
+    name: str
+    select: Select | None = None
+
+    def to_sql(self) -> str:
+        suffix = f" AS {self.select.to_sql()}" if self.select else ""
+        return f"REFRESH VIEW {_ident(self.name)}{suffix}"
+
+
+@dataclass(frozen=True)
+class DropView(Node):
+    name: str
+
+    def to_sql(self) -> str:
+        return f"DROP VIEW {_ident(self.name)}"
+
+
+@dataclass(frozen=True)
+class CreateIndex(Node):
+    collection: str
+    attr: str
+    kind: str = "btree"
+
+    def to_sql(self) -> str:
+        return (
+            f"CREATE INDEX ON {_ident(self.collection)} "
+            f"({_ident(self.attr)}) USING {_ident(self.kind)}"
+        )
+
+
+@dataclass(frozen=True)
+class Show(Node):
+    what: str  # "collections" | "views" | "stats"
+    target: str | None = None
+
+    def to_sql(self) -> str:
+        suffix = f" FOR {_ident(self.target)}" if self.target else ""
+        return f"SHOW {self.what.upper()}{suffix}"
+
+
+Statement = Union[
+    Select, Explain, CreateView, RefreshView, DropView, CreateIndex, Show
+]

@@ -1,0 +1,202 @@
+"""The LensQL lexer: hand-written, position-tracking.
+
+Tokens carry their 1-based line/column plus the matched source length so
+every downstream failure — parser or binder — can render a caret-annotated
+excerpt (:class:`~repro.errors.ParseError`). Keywords are case-insensitive
+and reserved; identifiers may be double-quoted to escape them.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParseError
+
+# token types
+KEYWORD = "keyword"
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"
+OP = "op"
+PUNCT = "punct"
+EOF = "eof"
+
+#: every reserved word of the dialect (case-insensitive)
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "BETWEEN", "IN",
+        "CONTAINS", "ORDER", "BY", "ASC", "DESC", "LIMIT", "AS",
+        "EXPLAIN", "CREATE", "MATERIALIZED", "VIEW", "REFRESH", "DROP",
+        "INDEX", "ON", "USING", "REPLACE", "SHOW", "COLLECTIONS",
+        "VIEWS", "STATS", "FOR", "SIMILARITY", "JOIN", "WITHIN", "TOP",
+        "DIM", "EXCLUDE", "SELF", "COUNT", "AVG", "DISTINCT", "TRUE",
+        "FALSE", "NULL",
+    }
+)
+
+#: multi-character operators first so "<=" never lexes as "<", "="
+OPERATORS = ("<=", ">=", "!=", "<>", "==", "=", "<", ">")
+PUNCTUATION = "(),.*;-"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexed token with its source position (1-based line/column)."""
+
+    type: str
+    value: str
+    line: int
+    column: int
+    length: int = 1
+    #: numeric tokens carry their parsed value (int or float)
+    number: float | int | None = field(default=None, compare=False)
+
+    def matches(self, type_: str, value: str | None = None) -> bool:
+        if self.type != type_:
+            return False
+        return value is None or self.value == value
+
+    def __repr__(self) -> str:
+        return f"Token({self.type}, {self.value!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex LensQL text into tokens (always ending with an EOF token)."""
+    tokens: list[Token] = []
+    line, column = 1, 1
+    i, n = 0, len(source)
+
+    def error(message: str, length: int = 1) -> ParseError:
+        return ParseError(
+            message, source=source, line=line, column=column, length=length
+        )
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            column = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if source.startswith("--", i):  # line comment
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "'":  # string literal, '' escapes a quote, may span lines
+            j = i + 1
+            parts: list[str] = []
+            while True:
+                if j >= n:
+                    raise error("unterminated string literal", max(n - i, 1))
+                if source[j] == "'":
+                    if j + 1 < n and source[j + 1] == "'":
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(source[j])
+                j += 1
+            text = "".join(parts)
+            length = j + 1 - i
+            tokens.append(Token(STRING, text, line, column, length))
+            line += text.count("\n")
+            last_newline = source.rfind("\n", i, j + 1)
+            if last_newline >= 0:
+                column = j + 1 - last_newline
+            else:
+                column += length
+            i = j + 1
+            continue
+        if ch == '"':  # quoted identifier, "" escapes a quote
+            j = i + 1
+            name_parts: list[str] = []
+            while True:
+                if j >= n or source[j] == "\n":
+                    raise error("unterminated quoted identifier", 1)
+                if source[j] == '"':
+                    if j + 1 < n and source[j + 1] == '"':
+                        name_parts.append('"')
+                        j += 2
+                        continue
+                    break
+                name_parts.append(source[j])
+                j += 1
+            name = "".join(name_parts)
+            if not name:
+                raise error("empty quoted identifier", j + 1 - i)
+            length = j + 1 - i
+            tokens.append(Token(IDENT, name, line, column, length))
+            i = j + 1
+            column += length
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and source[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = seen_exp = False
+            while j < n:
+                c = source[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < n and source[j] in "+-":
+                        j += 1
+                else:
+                    break
+            text = source[i:j]
+            try:
+                value: float | int = (
+                    float(text) if seen_dot or seen_exp else int(text)
+                )
+            except ValueError:
+                raise error(f"malformed number {text!r}", j - i) from None
+            if isinstance(value, float) and not math.isfinite(value):
+                # e.g. 1e999 overflows to inf, whose repr would not
+                # re-lex as a number — reject with a position instead
+                raise error(f"number {text!r} is out of range", j - i)
+            tokens.append(Token(NUMBER, text, line, column, j - i, number=value))
+            column += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(KEYWORD, upper, line, column, j - i))
+            else:
+                tokens.append(Token(IDENT, word, line, column, j - i))
+            column += j - i
+            i = j
+            continue
+        matched = False
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(OP, op, line, column, len(op)))
+                i += len(op)
+                column += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token(PUNCT, ch, line, column, 1))
+            i += 1
+            column += 1
+            continue
+        raise error(f"unexpected character {ch!r}")
+    tokens.append(Token(EOF, "", line, column, 1))
+    return tokens

@@ -38,6 +38,7 @@ import hashlib
 import math
 import struct
 from bisect import bisect_left, insort
+from collections import abc as _abc
 from dataclasses import dataclass
 from typing import Any, Protocol, runtime_checkable
 
@@ -358,10 +359,15 @@ class AttributeStatistics:
             estimate = self.estimate_range(value, None)
             return estimate if op == ">=" else self._strict(estimate, value)
         if op == "in":
-            try:
-                items = list(value)
-            except TypeError:
+            # sized containers only: a string operand means substring
+            # membership (chars are not list members), and list() would
+            # consume a one-shot iterator the evaluator still needs
+            if isinstance(value, (str, bytes)) or not (
+                isinstance(value, _abc.Sized)
+                and isinstance(value, (_abc.Container, _abc.Iterable))
+            ):
                 return None
+            items = list(value)
             total, sources = 0.0, []
             for item in items:
                 eq = self.estimate_eq(item)
@@ -605,6 +611,22 @@ def _fallback_selectivity(expr: Expr | None) -> float:
             return EQ_SELECTIVITY
         if expr.op == "!=":
             return NEQ_SELECTIVITY
+        if expr.op == "in":
+            # an IN list is a disjunction of equalities: one equality's
+            # worth of selectivity per member, not the range constant.
+            # Strings mean substring membership (keep the range
+            # constant); unsized containers have unknown member counts;
+            # non-containers always evaluate False
+            value = expr.value
+            if isinstance(value, (str, bytes)):
+                return RANGE_SELECTIVITY
+            if isinstance(value, _abc.Sized) and isinstance(
+                value, (_abc.Container, _abc.Iterable)
+            ):
+                return min(len(value) * EQ_SELECTIVITY, 1.0)
+            if isinstance(value, (_abc.Container, _abc.Iterable)):
+                return RANGE_SELECTIVITY
+            return 0.0
         return RANGE_SELECTIVITY
     if isinstance(expr, Between):
         return RANGE_SELECTIVITY

@@ -1,0 +1,212 @@
+"""Named UDF registry shared by the fluent API and the LensQL frontend.
+
+A :class:`UDFRegistry` maps names to :class:`UDFDefinition` records — the
+scalar function, its optional vectorized ``batch_fn``, and the planner
+contract (``provides``/``one_to_one``/``cache``) a ``map`` over it should
+carry. Both frontends resolve a registered name to the *same* function
+object, so
+
+* plan fingerprints agree (:func:`repro.core.logical.callable_identity`
+  keys on the function, not the frontend that named it), which keeps
+  materialized-view matching working across SQL and fluent queries, and
+* lineage-keyed UDF cache entries (including the catalog-persisted tier)
+  are shared: inference cached by a SQL query is served to the fluent
+  form and vice versa.
+
+Sessions seed their registry with the built-in vision models
+(:func:`default_registry`); :meth:`repro.core.session.DeepLens.
+register_udf` adds user functions. :func:`attribute_key` is the shared
+attribute-getter factory SQL aggregates bind (``COUNT(DISTINCT a)``,
+``AVG(a)``) — memoized per attribute so fluent queries using the same
+key compare fingerprint-equal, and portable so such fingerprints survive
+sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.patch import Patch
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class UDFDefinition:
+    """One registered UDF and the map contract queries apply it under."""
+
+    name: str
+    fn: Callable[[Patch], Any]
+    batch_fn: Callable[[list[Patch]], list] | None = None
+    #: the attributes the UDF writes (all others pass through) — None
+    #: means undeclared, which blocks filter push-down below its maps
+    provides: frozenset[str] | None = None
+    one_to_one: bool = False
+    #: whether maps over this UDF memoize results by patch lineage
+    cache: bool = False
+
+
+class UDFRegistry:
+    """Name -> definition registry; shared by one session's frontends."""
+
+    def __init__(self) -> None:
+        self._defs: dict[str, UDFDefinition] = {}
+
+    def register(
+        self,
+        name: str,
+        fn: Callable[[Patch], Any],
+        *,
+        batch_fn: Callable[[list[Patch]], list] | None = None,
+        provides: set[str] | frozenset[str] | None = None,
+        one_to_one: bool = False,
+        cache: bool = False,
+        replace: bool = False,
+    ) -> UDFDefinition:
+        if not name or not isinstance(name, str):
+            raise QueryError(f"UDF name must be a non-empty string, got {name!r}")
+        if not callable(fn):
+            raise QueryError(f"UDF {name!r} must be callable, got {type(fn).__name__}")
+        if name in self._defs and not replace:
+            raise QueryError(
+                f"UDF {name!r} is already registered (pass replace=True)"
+            )
+        definition = UDFDefinition(
+            name=name,
+            fn=fn,
+            batch_fn=batch_fn,
+            provides=None if provides is None else frozenset(provides),
+            one_to_one=one_to_one,
+            cache=cache,
+        )
+        self._defs[name] = definition
+        return definition
+
+    def get(self, name: str) -> UDFDefinition:
+        try:
+            return self._defs[name]
+        except KeyError:
+            raise QueryError(
+                f"no registered UDF {name!r}; have {self.names()}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._defs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._defs
+
+    def __len__(self) -> int:
+        return len(self._defs)
+
+
+# -- aggregate key functions ---------------------------------------------------
+
+
+class AttributeKey:
+    """A portable patch -> attribute getter.
+
+    Instances advertise a stable ``__qualname__`` embedding the attribute
+    name, so :func:`~repro.core.logical.callable_identity` gives two
+    sessions' keys over the same attribute the same identity — SQL
+    aggregate fingerprints therefore persist like named module-level
+    functions do. A missing attribute reads as ``None`` (SQL NULL
+    semantics: ``AVG`` skips it; ``COUNT(DISTINCT)`` folds all missing
+    rows into at most one bucket) rather than aborting the query the way
+    the fluent ``lambda patch: patch["attr"]`` idiom would.
+    """
+
+    def __init__(self, attr: str) -> None:
+        self.attr = attr
+        self.__qualname__ = f"AttributeKey[{attr}]"
+
+    def __call__(self, patch: Patch) -> Any:
+        return patch.get(self.attr)
+
+    def __repr__(self) -> str:
+        return f"AttributeKey({self.attr!r})"
+
+
+_attribute_keys: dict[str, AttributeKey] = {}
+
+
+def attribute_key(attr: str) -> AttributeKey:
+    """The shared getter for ``attr`` (memoized: same attribute, same
+    callable object, so plans comparing by callable identity match)."""
+    key = _attribute_keys.get(attr)
+    if key is None:
+        key = _attribute_keys[attr] = AttributeKey(attr)
+    return key
+
+
+# -- built-in UDFs -------------------------------------------------------------
+#
+# Module-level named functions (portable identities: their cache entries
+# and view fingerprints survive sessions). Models are lazy singletons so
+# importing this module stays cheap.
+
+_embedder = None
+
+
+def _get_embedder():
+    global _embedder
+    if _embedder is None:
+        from repro.vision.models.embeddings import TinyEmbedder
+
+        _embedder = TinyEmbedder()
+    return _embedder
+
+
+def brightness(patch: Patch) -> Patch:
+    """Annotate a patch with its mean pixel level (``brightness``)."""
+    level = float(patch.data.mean()) if patch.data.size else 0.0
+    return patch.derive(patch.data, "brightness", brightness=level)
+
+
+def brightness_batch(patches: list[Patch]) -> list[Patch]:
+    return [brightness(patch) for patch in patches]
+
+
+def embedding(patch: Patch) -> Patch:
+    """Annotate a patch with its TinyEmbedder descriptor (``embedding``)."""
+    vector = _get_embedder().process(patch.data)
+    return patch.derive(patch.data, "embed", embedding=np.asarray(vector))
+
+
+def embedding_batch(patches: list[Patch]) -> list[Patch]:
+    vectors = _get_embedder().embed_batch([patch.data for patch in patches])
+    return [
+        patch.derive(patch.data, "embed", embedding=np.asarray(vector))
+        for patch, vector in zip(patches, vectors)
+    ]
+
+
+def embedding_features(patch: Patch) -> np.ndarray:
+    """Feature extractor for ``SIMILARITY JOIN ... ON embedding_features``:
+    the TinyEmbedder descriptor as a plain vector."""
+    return np.asarray(_get_embedder().process(patch.data))
+
+
+def default_registry() -> UDFRegistry:
+    """A registry seeded with the built-in vision-model UDFs."""
+    registry = UDFRegistry()
+    registry.register(
+        "brightness",
+        brightness,
+        batch_fn=brightness_batch,
+        provides={"brightness"},
+        one_to_one=True,
+        cache=True,
+    )
+    registry.register(
+        "embedding",
+        embedding,
+        batch_fn=embedding_batch,
+        provides={"embedding"},
+        one_to_one=True,
+        cache=True,
+    )
+    registry.register("embedding_features", embedding_features)
+    return registry

@@ -60,6 +60,62 @@ class QueryError(DeepLensError):
     """A malformed logical query or an unsupported physical plan request."""
 
 
+def annotate_source(
+    source: str, line: int, column: int, length: int = 1
+) -> str:
+    """A caret-annotated excerpt of ``source`` at (1-based) line/column.
+
+    Shared by the LensQL frontend's positioned errors so every lexer,
+    parser, and binder failure points at the offending characters::
+
+        SELECT label FROM detections WHRE label = 'car'
+                                     ^^^^
+    """
+    lines = source.splitlines() or [""]
+    index = min(max(line, 1), len(lines)) - 1
+    text = lines[index]
+    caret_at = min(max(column, 1), len(text) + 1) - 1
+    width = max(min(length, len(text) - caret_at + 1), 1)
+    return f"{text}\n{' ' * caret_at}{'^' * width}"
+
+
+class PositionedQueryError(QueryError):
+    """A query-text failure that knows where in the source it happened.
+
+    ``line``/``column`` are 1-based; ``excerpt`` is the offending source
+    line with a caret underneath, and ``str()`` renders all of it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        source: str = "",
+        line: int = 1,
+        column: int = 1,
+        length: int = 1,
+    ) -> None:
+        self.message = message
+        self.source = source
+        self.line = line
+        self.column = column
+        self.length = length
+        self.excerpt = annotate_source(source, line, column, length)
+        super().__init__(
+            f"{message} (line {line}, column {column})\n{self.excerpt}"
+        )
+
+
+class ParseError(PositionedQueryError):
+    """LensQL text failed to lex or parse."""
+
+
+class BindError(PositionedQueryError):
+    """A parsed LensQL statement referenced an unknown collection, view,
+    attribute side, or UDF — or used a construct the catalog cannot
+    satisfy."""
+
+
 class OptimizerError(QueryError):
     """The optimizer could not produce a physical plan."""
 

@@ -258,7 +258,10 @@ def _encode_key_into(out: bytearray, value: Any) -> None:
         out.append(_K_NUM)
         out += _orderable_double(float(value))
         # A trailing discriminator restores the exact Python type on decode
-        # (1 vs 1.0 encode to the same double image).
+        # (1 vs 1.0 encode to the same double image). It participates in
+        # the byte order, so numerically equal keys of different types
+        # sort int-before-float — deliberately: a total order per
+        # component is what keeps *tuple* keys ordered componentwise.
         out.append(1 if isinstance(value, (int, np.integer)) else 2)
     elif isinstance(value, str):
         out.append(_K_STR)

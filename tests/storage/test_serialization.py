@@ -117,6 +117,12 @@ def _natural_lt(a, b):
         return len(a) < len(b)
     if a is None:
         return False
+    if ra == 2 and a == b:
+        # numerically equal int/float keys: the encoding's type
+        # discriminator puts the int first, which keeps the order total
+        # inside tuple keys (e.g. (0, x) vs (0.0, y) must not fall
+        # through to comparing x with y)
+        return isinstance(a, int) and isinstance(b, float)
     return a < b
 
 
