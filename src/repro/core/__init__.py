@@ -14,6 +14,12 @@ from repro.core.materialization import (
     ViewDefinition,
 )
 from repro.core.patch import ImgRef, Patch, Row
+from repro.core.profile import (
+    OperatorProfile,
+    PlanQualityLog,
+    RuntimeProfile,
+    q_error,
+)
 from repro.core.schema import Field, PatchSchema, frame_schema
 from repro.core.session import DeepLens, QueryBuilder
 from repro.core.statistics import (
@@ -39,17 +45,21 @@ __all__ = [
     "LineageStore",
     "MaterializationManager",
     "MaterializedCollection",
+    "OperatorProfile",
     "Patch",
     "PatchSchema",
     "PersistentUDFCache",
+    "PlanQualityLog",
     "Predicate",
     "PrefetchBatches",
     "QueryBuilder",
     "Row",
+    "RuntimeProfile",
     "StatisticsProvider",
     "UDFDefinition",
     "UDFRegistry",
     "ViewDefinition",
     "attribute_key",
     "frame_schema",
+    "q_error",
 ]

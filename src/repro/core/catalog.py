@@ -35,6 +35,7 @@ import numpy as np
 from repro.core.batching import DEFAULT_BATCH_SIZE, chunked
 from repro.core.lineage import LineageStore
 from repro.core.patch import Patch
+from repro.core.profile import PlanQualityLog
 from repro.core.schema import PatchSchema
 from repro.core.statistics import CollectionStatistics
 from repro.errors import IndexError_, QueryError, StorageError
@@ -206,6 +207,11 @@ class Catalog:
         self._fresh_versions: dict[str, int] = dict(
             meta.get("catalog:fresh_versions", {})
         )
+        #: lazily-loaded plan-quality log (estimate-vs-actual history and
+        #: per-predicate feedback corrections from EXPLAIN ANALYZE runs)
+        self._plan_log: PlanQualityLog | None = None
+        #: heap ref of the persisted log snapshot
+        self._plan_log_ref: list | None = meta.get("catalog:plan_log")
 
     # -- lifecycle ------------------------------------------------------
 
@@ -236,6 +242,12 @@ class Catalog:
             ref = self.heap.put(payload, compress=True)
             self._stats_refs[name] = list(ref.to_tuple())
         self._stats_dirty.clear()
+        if self._plan_log is not None and self._plan_log.dirty:
+            payload = serialization.dumps(
+                self._plan_log.to_value(), compress_arrays=False
+            )
+            self._plan_log_ref = list(self.heap.put(payload, compress=True).to_tuple())
+            self._plan_log.dirty = False
         meta = self.pager.get_meta()
         meta["catalog:next_id"] = self._next_id
         meta["catalog:collections"] = sorted(self._collections)
@@ -244,6 +256,8 @@ class Catalog:
         meta["catalog:stats"] = dict(self._stats_refs)
         meta["catalog:versions"] = dict(self._versions)
         meta["catalog:fresh_versions"] = dict(self._fresh_versions)
+        if self._plan_log_ref is not None:
+            meta["catalog:plan_log"] = self._plan_log_ref
         self.pager.set_meta(meta)
 
     def _tree_for(self, name: str) -> BPlusTree:
@@ -327,6 +341,23 @@ class Catalog:
 
     def _bump_version(self, collection_name: str) -> None:
         self._versions[collection_name] = self._versions.get(collection_name, 0) + 1
+
+    # -- plan quality (EXPLAIN ANALYZE feedback) --------------------------
+
+    def plan_quality_log(self) -> PlanQualityLog:
+        """The catalog's plan-quality log: estimate-vs-actual history per
+        parameterized plan fingerprint plus per-predicate observed
+        selectivities. Lazily loaded from its persisted snapshot; flushed
+        back (when dirty) by :meth:`_save_meta` like statistics."""
+        if self._plan_log is None:
+            if self._plan_log_ref is not None:
+                ref = BlobRef.from_tuple(tuple(self._plan_log_ref))
+                self._plan_log = PlanQualityLog.from_value(
+                    serialization.loads(self.heap.get(ref))
+                )
+            else:
+                self._plan_log = PlanQualityLog()
+        return self._plan_log
 
     # -- cardinality statistics -----------------------------------------
 

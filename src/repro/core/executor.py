@@ -35,8 +35,8 @@ import threading
 
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass, replace
-from typing import Callable, Iterator, TypeVar
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Iterator, TypeVar
 
 from repro.core.operators.base import (
     DEFAULT_BATCH_SIZE,
@@ -45,6 +45,9 @@ from repro.core.operators.base import (
     Row,
 )
 from repro.errors import QueryError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.profile import RuntimeProfile
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -69,11 +72,18 @@ class ExecutionContext:
     pick from cardinality estimates; an explicit value is used as given.
     ``prefetch_batches`` bounds both the scan-side prefetch queue and the
     extra in-flight map batches beyond the worker count.
+
+    ``profile`` carries a :class:`~repro.core.profile.RuntimeProfile`
+    when this plan should be instrumented (``explain(analyze=True)``);
+    it rides along without affecting equality or planning decisions.
     """
 
     workers: int = 1
     batch_size: int | None = None
     prefetch_batches: int = 2
+    profile: "RuntimeProfile | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -108,6 +118,12 @@ class ExecutionContext:
         if prefetch_batches is not None:
             updates["prefetch_batches"] = prefetch_batches
         return replace(self, **updates) if updates else self
+
+    def with_profile(
+        self, profile: "RuntimeProfile | None"
+    ) -> "ExecutionContext":
+        """A copy instrumented with the given runtime profile."""
+        return replace(self, profile=profile)
 
 
 @dataclass(frozen=True)

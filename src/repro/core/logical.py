@@ -337,56 +337,94 @@ def callable_is_portable(fn: Callable) -> bool:
     return "<lambda>" not in qualname and "<locals>" not in qualname
 
 
-def _expr_signature(expr: Expr | None) -> tuple:
+def _expr_signature(expr: Expr | None, *, parameterized: bool = False) -> tuple:
     if expr is None or isinstance(expr, AlwaysTrue):
         return ("true",)
     if isinstance(expr, Comparison):
-        return ("cmp", expr.attr, expr.op, repr(expr.value))
+        value = "?" if parameterized else repr(expr.value)
+        return ("cmp", expr.attr, expr.op, value)
     if isinstance(expr, Between):
+        if parameterized:
+            return ("between", expr.attr, "?", "?")
         return ("between", expr.attr, repr(expr.lo), repr(expr.hi))
     if isinstance(expr, (And, Or)):
         kind = "and" if isinstance(expr, And) else "or"
-        return (kind, tuple(_expr_signature(child) for child in expr.children))
+        return (
+            kind,
+            tuple(
+                _expr_signature(child, parameterized=parameterized)
+                for child in expr.children
+            ),
+        )
     if isinstance(expr, Not):
-        return ("not", _expr_signature(expr.child))
+        return ("not", _expr_signature(expr.child, parameterized=parameterized))
     if isinstance(expr, Predicate):
         return ("pred", expr.name, callable_identity(expr.fn))
     return ("expr", repr(expr))
 
 
-def plan_signature(plan: LogicalPlan) -> tuple:
+def expr_signature_key(expr: Expr | None) -> str:
+    """A canonical string key for a predicate expression, constants
+    included — the exact-shape key the plan-quality feedback loop records
+    observed selectivities under."""
+    return repr(_expr_signature(expr))
+
+
+def plan_signature(
+    plan: LogicalPlan, *, parameterized: bool = False
+) -> tuple:
     """A canonical nested-tuple rendering of a plan's structure.
 
     Execution details that cannot change a plan's *output* — a map's
     ``batch_fn`` (by contract an equivalent vectorization of ``fn``) and
     its ``cache`` flag — are excluded, so pipelines that differ only in
     how they execute still share a signature.
+
+    With ``parameterized=True`` the literal constants inside predicate
+    expressions and join thresholds are replaced by ``"?"`` — the
+    prepared-statement view of the plan, under which ``label = 'car'``
+    and ``label = 'bus'`` share one signature.
     """
     if isinstance(plan, Scan):
         return ("scan", plan.collection, plan.load_data)
     if isinstance(plan, Filter):
-        return ("filter", plan_signature(plan.child), _expr_signature(plan.expr), plan.on)
+        return (
+            "filter",
+            plan_signature(plan.child, parameterized=parameterized),
+            _expr_signature(plan.expr, parameterized=parameterized),
+            plan.on,
+        )
     if isinstance(plan, Map):
         return (
             "map",
-            plan_signature(plan.child),
+            plan_signature(plan.child, parameterized=parameterized),
             plan.name,
             callable_identity(plan.fn),
             None if plan.provides is None else tuple(sorted(plan.provides)),
             plan.one_to_one,
         )
     if isinstance(plan, Project):
-        return ("project", plan_signature(plan.child), plan.attrs, plan.keep_data)
+        return (
+            "project",
+            plan_signature(plan.child, parameterized=parameterized),
+            plan.attrs,
+            plan.keep_data,
+        )
     if isinstance(plan, Limit):
-        return ("limit", plan_signature(plan.child), plan.n)
+        return ("limit", plan_signature(plan.child, parameterized=parameterized), plan.n)
     if isinstance(plan, OrderBy):
-        return ("orderby", plan_signature(plan.child), plan.attr, plan.reverse)
+        return (
+            "orderby",
+            plan_signature(plan.child, parameterized=parameterized),
+            plan.attr,
+            plan.reverse,
+        )
     if isinstance(plan, SimilarityJoin):
         return (
             "simjoin",
-            plan_signature(plan.left),
-            plan_signature(plan.right),
-            repr(plan.threshold),
+            plan_signature(plan.left, parameterized=parameterized),
+            plan_signature(plan.right, parameterized=parameterized),
+            "?" if parameterized else repr(plan.threshold),
             None if plan.features is None else callable_identity(plan.features),
             plan.dim,
             plan.exclude_self,
@@ -394,7 +432,7 @@ def plan_signature(plan: LogicalPlan) -> tuple:
     if isinstance(plan, Aggregate):
         return (
             "aggregate",
-            plan_signature(plan.child),
+            plan_signature(plan.child, parameterized=parameterized),
             plan.kind,
             None if plan.key is None else callable_identity(plan.key),
             callable_identity(plan.reducer),
@@ -405,6 +443,14 @@ def plan_signature(plan: LogicalPlan) -> tuple:
 def plan_fingerprint(plan: LogicalPlan) -> str:
     """Hex digest of :func:`plan_signature` — the persistable form."""
     payload = repr(plan_signature(plan)).encode()
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+
+def plan_parameterized_fingerprint(plan: LogicalPlan) -> str:
+    """Hex digest of the *parameterized* plan signature (literals
+    stripped) — the key the :class:`~repro.core.profile.PlanQualityLog`
+    groups estimate/actual history under."""
+    payload = repr(plan_signature(plan, parameterized=True)).encode()
     return hashlib.blake2b(payload, digest_size=16).hexdigest()
 
 

@@ -22,6 +22,10 @@ from repro.core.operators.joins import (
     RTreeOverlapJoin,
     SwapSides,
 )
+from repro.core.operators.profiled import (
+    InputProbe,
+    ProfiledOperator,
+)
 from repro.core.operators.scans import (
     CollectionScan,
     IndexLookupScan,
@@ -45,12 +49,14 @@ __all__ = [
     "IndexEqJoin",
     "IndexLookupScan",
     "IndexRangeScan",
+    "InputProbe",
     "IteratorScan",
     "Limit",
     "MapPatches",
     "NestedLoopJoin",
     "Operator",
     "OrderBy",
+    "ProfiledOperator",
     "Project",
     "RTreeOverlapJoin",
     "Select",

@@ -36,12 +36,14 @@ from repro.core.operators import (
     GroupBy,
     IndexLookupScan,
     IndexRangeScan,
+    InputProbe,
     IteratorScan,
     Limit,
     MapPatches,
     NestedLoopJoin,
     Operator,
     OrderBy,
+    ProfiledOperator,
     Project,
     Select,
     SwapSides,
@@ -53,7 +55,8 @@ from repro.core.optimizer.optimizer import (
 )
 from repro.core.optimizer.rewriter import rewrite
 from repro.core.patch import LINEAGE_KEY, Patch
-from repro.core.statistics import fallback_estimate
+from repro.core.profile import OperatorProfile
+from repro.core.statistics import fallback_estimate, sample_match_fraction
 from repro.errors import QueryError
 
 #: feature dimensionality assumed for join costing when the caller gives
@@ -73,19 +76,35 @@ JOIN_MATCH_DIM_CAP = 32
 
 
 def estimate_join_output(
-    n_left: float, n_right: float, dim: int, *, exclude_self: bool = False
+    n_left: float,
+    n_right: float,
+    dim: int,
+    *,
+    exclude_self: bool = False,
+    match_fraction: float | None = None,
 ) -> float:
     """Estimated output pairs of a similarity join.
 
-    Each left row matches ``n_right * JOIN_PER_DIM_MATCH ** dim`` right
-    rows under the independence model, floored at one match per probe —
-    similarity joins exist because near-duplicates *do* exist, so a
-    high-dimensional join degrades to ~one partner per row rather than
-    zero. ``exclude_self`` removes the identity pairs a self-join of the
-    same rows would otherwise count.
+    With ``match_fraction`` (the sampled fraction of pairwise distances
+    within the join threshold, from the recorded vector statistics) each
+    left row matches ``n_right * match_fraction`` right rows — the
+    data-distribution-aware model, which sees clustering the geometric
+    decay cannot. Identity-pair handling is the *sampler's* job there
+    (:func:`~repro.core.statistics.sample_match_fraction` with ``same=``),
+    so no further ``exclude_self`` subtraction applies.
+
+    Without it, each left row matches ``n_right * JOIN_PER_DIM_MATCH **
+    dim`` right rows under the independence model. Both paths floor at
+    one match per probe — similarity joins exist because near-duplicates
+    *do* exist, so a high-dimensional join degrades to ~one partner per
+    row rather than zero. ``exclude_self`` removes the identity pairs a
+    self-join of the same rows would otherwise count.
     """
     if n_left <= 0 or n_right <= 0:
         return 0.0  # the floor must not conjure matches from an empty side
+    if match_fraction is not None:
+        per_probe = n_right * min(max(match_fraction, 0.0), 1.0)
+        return n_left * min(max(per_probe, 1.0), max(n_right, 1.0))
     per_probe = n_right * JOIN_PER_DIM_MATCH ** min(max(dim, 1), JOIN_MATCH_DIM_CAP)
     matches = n_left * min(max(per_probe, 1.0), max(n_right, 1.0))
     if exclude_self:
@@ -254,8 +273,15 @@ class UDFCache:
         return value
 
     def wrap(
-        self, name: str, fn: Callable[[Patch], Any]
+        self,
+        name: str,
+        fn: Callable[[Patch], Any],
+        *,
+        counters: "OperatorProfile | None" = None,
     ) -> Callable[[Patch], Any]:
+        """``counters`` (an operator's profile entry) mirrors every
+        hit/miss this wrapper adds to the cache-wide totals, so profiled
+        plans attribute cache traffic to the map that caused it."""
         def cached(patch: Patch) -> Any:
             try:
                 key = self._key(name, fn, patch)
@@ -271,6 +297,8 @@ class UDFCache:
                     except KeyError:
                         waiter = self._claim(key)
                 if hit is not _NO_HIT:
+                    if counters is not None:
+                        counters.add_cache(1, 0)
                     # isolate (deep-copy) outside the mutex: stored
                     # values are never mutated, so concurrent copies of
                     # one entry are safe, and the dominant hit-path cost
@@ -297,6 +325,8 @@ class UDFCache:
                     else:
                         self.hits += 1
                     self._put(key, isolated)
+                if counters is not None:
+                    counters.add_cache(0 if fresh else 1, 1 if fresh else 0)
                 if fresh:
                     self._spill(key, isolated)
             finally:
@@ -311,12 +341,14 @@ class UDFCache:
         batch_fn: Callable[[list[Patch]], list],
         *,
         identity: Callable | None = None,
+        counters: "OperatorProfile | None" = None,
     ) -> Callable[[list[Patch]], list]:
         """Batched variant: only cache misses reach the vectorized UDF.
 
         ``identity`` (defaulting to ``batch_fn``) is the function used in
         cache keys; passing the map's scalar fn lets the row and batch
-        paths of one UDF share entries.
+        paths of one UDF share entries. ``counters`` mirrors hit/miss
+        deltas into a profile entry, as in :meth:`wrap`.
         """
         ident = identity if identity is not None else batch_fn
 
@@ -358,6 +390,8 @@ class UDFCache:
                                     waiting[position] = event
                     # deep-copies of hits happen outside the mutex (the
                     # stored values are never mutated)
+                    if counters is not None and memory_hits:
+                        counters.add_cache(len(memory_hits), 0)
                     for position, value in memory_hits.items():
                         results[position] = self._isolate(value)
                     if compute:
@@ -402,6 +436,8 @@ class UDFCache:
                                 results[position] = value
                                 if keys[position] is not None:
                                     self._put(keys[position], isolated[position])
+                        if counters is not None:
+                            counters.add_cache(len(served), len(missing))
                         for position in missing:
                             if keys[position] is not None:
                                 self._spill(keys[position], isolated[position])
@@ -554,6 +590,36 @@ class _Lowering:
         #: lowering and plan_pipeline estimates the root afterwards, so
         #: without it each statistics lookup would repeat per walk
         self._row_estimates: dict[int, float] = {}
+        #: per-join sampled match-fraction memo (id(node) -> fraction or
+        #: None) — computed once, consulted by both the lowering and the
+        #: row estimator
+        self._match_fractions: dict[int, float | None] = {}
+
+    # -- instrumentation --------------------------------------------------
+
+    def _profiled(
+        self,
+        operator: Operator,
+        node: logical.LogicalPlan,
+        *,
+        label: str | None = None,
+        children: tuple[Operator, ...] = (),
+    ) -> Operator:
+        """Wrap a lowered operator in a profiling counter when this plan
+        carries a runtime profile; transparent otherwise."""
+        profile = self.execution.profile
+        if profile is None:
+            return operator
+        entry = profile.operator(
+            label if label is not None else node.label(),
+            est_rows=self._estimate_rows(node),
+            children=[
+                child.entry
+                for child in children
+                if isinstance(child, ProfiledOperator)
+            ],
+        )
+        return ProfiledOperator(operator, entry)
 
     # -- node dispatch --------------------------------------------------
 
@@ -569,16 +635,21 @@ class _Lowering:
         if isinstance(node, logical.Map):
             return self._lower_map(node)
         if isinstance(node, logical.Project):
-            return Project(
-                self._lower_rows(node.child), node.attrs, keep_data=node.keep_data
+            child = self._lower_rows(node.child)
+            return self._profiled(
+                Project(child, node.attrs, keep_data=node.keep_data),
+                node,
+                children=(child,),
             )
         if isinstance(node, logical.Limit):
-            return Limit(self._lower_rows(node.child), node.n)
+            child = self._lower_rows(node.child)
+            return self._profiled(Limit(child, node.n), node, children=(child,))
         if isinstance(node, logical.OrderBy):
-            return OrderBy(
-                self._lower_rows(node.child),
-                key=_attr_key(node.attr),
-                reverse=node.reverse,
+            child = self._lower_rows(node.child)
+            return self._profiled(
+                OrderBy(child, key=_attr_key(node.attr), reverse=node.reverse),
+                node,
+                children=(child,),
             )
         if isinstance(node, logical.SimilarityJoin):
             return self._lower_similarity_join(node)
@@ -606,8 +677,37 @@ class _Lowering:
                 current.collection, combined, load_data=current.load_data
             )
             self.decisions.append(explanation)
+            profile = self.execution.profile
+            if profile is not None:
+                label = f"{current.label()} [{explanation.chosen.kind}]"
+                if combined is not None:
+                    label = (
+                        f"{current.label()} filter {combined!r} "
+                        f"[{explanation.chosen.kind}]"
+                    )
+                entry = profile.operator(
+                    label, est_rows=self._estimate_rows(node)
+                )
+                if combined is not None:
+                    try:
+                        base_rows = len(
+                            self.optimizer.catalog.collection(
+                                current.collection
+                            )
+                        )
+                    except QueryError:
+                        base_rows = 0
+                    entry.set_feedback(
+                        current.collection,
+                        logical.expr_signature_key(combined),
+                        base_rows,
+                    )
+                operator = ProfiledOperator(
+                    _instrument_scan_group(operator, entry), entry
+                )
             return operator
-        operator = self._lower_rows(current)
+        inner = self._lower_rows(current)
+        operator = inner
         for f in reversed(filters):  # innermost logical filter first
             if f.on >= operator.arity:
                 raise QueryError(
@@ -615,6 +715,8 @@ class _Lowering:
                     f"{operator.arity}"
                 )
             operator = Select(operator, f.expr, on=f.on)
+        if filters:
+            operator = self._profiled(operator, node, children=(inner,))
         return operator
 
     # -- maps ------------------------------------------------------------
@@ -622,6 +724,18 @@ class _Lowering:
     def _lower_map(self, node: logical.Map) -> Operator:
         child = self._lower_rows(node.child)
         fn, batch_fn = node.fn, node.batch_fn
+        profile = self.execution.profile
+        entry: OperatorProfile | None = None
+        if profile is not None:
+            entry = profile.operator(
+                node.label(),
+                est_rows=self._estimate_rows(node),
+                children=[
+                    op.entry
+                    for op in (child,)
+                    if isinstance(op, ProfiledOperator)
+                ],
+            )
         if node.cache:
             if self.udf_cache is None:
                 raise QueryError(
@@ -630,9 +744,9 @@ class _Lowering:
                 )
             if batch_fn is not None:
                 batch_fn = self.udf_cache.wrap_batch(
-                    node.name, batch_fn, identity=fn
+                    node.name, batch_fn, identity=fn, counters=entry
                 )
-            fn = self.udf_cache.wrap(node.name, fn)
+            fn = self.udf_cache.wrap(node.name, fn, counters=entry)
             self.notes.append(
                 f"memoize-udf: map {node.name!r} memoized by patch lineage id"
             )
@@ -653,7 +767,12 @@ class _Lowering:
                 f"{self.execution.prefetch_batches} batches ahead of map "
                 f"{node.name!r}"
             )
-        return MapPatches(child, fn, batch_fn=batch_fn, execution=self.execution)
+        operator: Operator = MapPatches(
+            child, fn, batch_fn=batch_fn, execution=self.execution
+        )
+        if entry is not None:
+            operator = ProfiledOperator(operator, entry)
+        return operator
 
     # -- joins -----------------------------------------------------------
 
@@ -663,28 +782,41 @@ class _Lowering:
         n_left = max(int(self._estimate_rows(node.left)), 1)
         n_right = max(int(self._estimate_rows(node.right)), 1)
         dim, dim_source = self._join_dim(node)
+        match_fraction = self._join_match_fraction(node)
         est_pairs = estimate_join_output(
-            n_left, n_right, dim, exclude_self=node.exclude_self
+            n_left,
+            n_right,
+            dim,
+            exclude_self=node.exclude_self,
+            match_fraction=match_fraction,
         )
-        self.estimates.append(
-            f"similarity-join: left ~ {n_left} rows, right ~ {n_right} "
-            f"rows, dim {dim} ({dim_source}) -> ~ {est_pairs:.0f} pairs"
-        )
+        if match_fraction is not None:
+            self.estimates.append(
+                f"similarity-join: left ~ {n_left} rows, right ~ {n_right} "
+                f"rows, match-fraction {match_fraction:.3f} (sampled "
+                f"pairwise distances) -> ~ {est_pairs:.0f} pairs"
+            )
+        else:
+            self.estimates.append(
+                f"similarity-join: left ~ {n_left} rows, right ~ {n_right} "
+                f"rows, dim {dim} ({dim_source}) -> ~ {est_pairs:.0f} pairs"
+            )
         explanation = self.optimizer.plan_similarity_join(n_left, n_right, dim)
         self.decisions.append(explanation)
         features = node.features or _default_features
         kind = explanation.chosen.kind
+        operator: Operator
         if kind == "nested-loop":
-            return NestedLoopJoin(
+            operator = NestedLoopJoin(
                 left_op,
                 right_op,
                 _distance_theta(features, node.threshold),
                 exclude_self=node.exclude_self,
             )
-        if kind == "balltree-index-left":
+        elif kind == "balltree-index-left":
             # build on the left, probe with the right, then restore the
             # caller's (left, right) output order
-            return SwapSides(
+            operator = SwapSides(
                 BallTreeSimilarityJoin(
                     right_op,
                     left_op,
@@ -693,18 +825,61 @@ class _Lowering:
                     exclude_self=node.exclude_self,
                 )
             )
-        return BallTreeSimilarityJoin(
-            left_op,
-            right_op,
-            threshold=node.threshold,
-            features=features,
-            exclude_self=node.exclude_self,
+        else:
+            operator = BallTreeSimilarityJoin(
+                left_op,
+                right_op,
+                threshold=node.threshold,
+                features=features,
+                exclude_self=node.exclude_self,
+            )
+        return self._profiled(
+            operator,
+            node,
+            label=f"{node.label()} [{kind}]",
+            children=(left_op, right_op),
         )
 
     # -- cardinality estimation ------------------------------------------
 
     def _join_dim(self, node: logical.SimilarityJoin) -> tuple[int, str]:
         return join_dim(self.optimizer, node)
+
+    def _join_match_fraction(self, node: logical.SimilarityJoin) -> float | None:
+        """Sampled pairwise match fraction for a default-features join,
+        from the sides' recorded vector samples; None keeps the
+        geometric-decay constant (memoized per node — the lowering and
+        the row estimator both ask)."""
+        if id(node) in self._match_fractions:
+            return self._match_fractions[id(node)]
+        fraction = self._join_match_fraction_uncached(node)
+        self._match_fractions[id(node)] = fraction
+        return fraction
+
+    def _join_match_fraction_uncached(
+        self, node: logical.SimilarityJoin
+    ) -> float | None:
+        if node.features is not None or node.dim is not None:
+            # custom features live in an unrecorded space — the stored
+            # patch-data sample says nothing about their distances — and
+            # a caller-specified dim is a full manual override
+            return None
+        left_name = _base_collection(node.left)
+        right_name = _base_collection(node.right)
+        if left_name is None or right_name is None:
+            return None
+        left_stats = self.optimizer.collection_statistics(left_name)
+        right_stats = self.optimizer.collection_statistics(right_name)
+        if left_stats is None or right_stats is None:
+            return None
+        return sample_match_fraction(
+            left_stats.data_sample(),
+            right_stats.data_sample(),
+            node.threshold,
+            # identity pairs leave the sample exactly when they leave the
+            # join output (see estimate_join_output)
+            same=left_name == right_name and node.exclude_self,
+        )
 
     def _estimate_rows(self, node: logical.LogicalPlan) -> float:
         """Estimated output rows of a logical subtree, statistics-driven
@@ -726,14 +901,25 @@ class _Lowering:
             except QueryError:
                 return 1.0
         if isinstance(node, logical.Filter):
+            # estimate the maximal Filter chain as one combined predicate
+            # (mirroring the scan-group collapse): identical to the
+            # per-filter product for the statistics paths (conjunctions
+            # multiply there anyway), but it lets a logged feedback
+            # correction for the *conjunction* apply as a unit
+            filters: list[logical.Filter] = []
+            current: logical.LogicalPlan = node
+            while isinstance(current, logical.Filter):
+                filters.append(current)
+                current = current.child
+            combined = _combine_exprs([f.expr for f in filters])
             collection = _base_collection(node)
             if collection is not None:
                 estimate = self.optimizer.predicate_estimate(
-                    collection, node.expr
+                    collection, combined
                 )
             else:
-                estimate = fallback_estimate(node.expr)
-            return self._estimate_rows(node.child) * estimate.selectivity
+                estimate = fallback_estimate(combined)
+            return self._estimate_rows(current) * estimate.selectivity
         if isinstance(node, logical.Limit):
             return min(float(node.n), self._estimate_rows(node.child))
         if isinstance(node, logical.SimilarityJoin):
@@ -744,7 +930,11 @@ class _Lowering:
             n_right = self._estimate_rows(node.right)
             dim, _ = self._join_dim(node)
             return estimate_join_output(
-                n_left, n_right, dim, exclude_self=node.exclude_self
+                n_left,
+                n_right,
+                dim,
+                exclude_self=node.exclude_self,
+                match_fraction=self._join_match_fraction(node),
             )
         children = node.children()
         if not children:
@@ -785,13 +975,39 @@ def _scan_rooted(operator: Operator) -> bool:
     """True when a physical chain bottoms out at a storage scan with only
     filters in between — the shape where a prefetch stage buys I/O
     overlap. Anything heavier in between (another map, a join) already
-    decouples the scan from the consumer."""
+    decouples the scan from the consumer. Profiling wrappers are
+    transparent: instrumentation must not change what gets prefetched."""
     current = operator
-    while isinstance(current, Select):
+    while isinstance(current, (Select, ProfiledOperator, InputProbe)):
         current = current.child
     return isinstance(
         current,
         (CollectionScan, IndexLookupScan, IndexRangeScan, IteratorScan),
+    )
+
+
+def _instrument_scan_group(
+    operator: Operator, entry: "OperatorProfile"
+) -> Operator:
+    """Insert an :class:`InputProbe` directly above the storage scan at
+    the base of a scan group, so the entry's input-row count is what the
+    storage layer actually produced — for index-backed scans, the probe
+    count. Residual Selects stay above the probe."""
+    if isinstance(operator, Select):
+        innermost = operator
+        while isinstance(innermost.child, Select):
+            innermost = innermost.child
+        base = innermost.child
+        innermost.child = InputProbe(
+            base,
+            entry,
+            index_probes=isinstance(base, (IndexLookupScan, IndexRangeScan)),
+        )
+        return operator
+    return InputProbe(
+        operator,
+        entry,
+        index_probes=isinstance(operator, (IndexLookupScan, IndexRangeScan)),
     )
 
 

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from repro.core.catalog import Catalog
 from repro.core.executor import ExecutionPlan
 from repro.core.expressions import And, Comparison, Expr, extract_bounds
+from repro.core.logical import expr_signature_key
 from repro.core.operators import (
     CollectionScan,
     IndexLookupScan,
@@ -36,10 +37,12 @@ from repro.core.operators import (
     Select,
 )
 from repro.core.optimizer.cost import CostModel
+from repro.core.profile import RuntimeProfile
 from repro.core.statistics import (
     EQ_SELECTIVITY,
     NEQ_SELECTIVITY,
     RANGE_SELECTIVITY,
+    SOURCE_FEEDBACK,
     CollectionStatistics,
     Estimate,
     StatisticsProvider,
@@ -109,6 +112,11 @@ class Explanation:
     the batch size the planner picked (and from what — caller-specified
     vs cardinality estimate vs default), and the prefetch depth. None
     for direct physical planning calls.
+
+    ``profile`` is the executed plan's runtime profile when the query
+    ran under ``explain(analyze=True)`` / ``EXPLAIN ANALYZE``: one line
+    per physical operator with estimated vs actual rows and the
+    Q-error, next to the plan decisions they grade.
     """
 
     chosen: PlanChoice
@@ -118,6 +126,7 @@ class Explanation:
     sections: list["Explanation"] = field(default_factory=list)
     estimates: list[str] = field(default_factory=list)
     execution: ExecutionPlan | None = None
+    profile: RuntimeProfile | None = None
 
     def __str__(self) -> str:
         lines = []
@@ -139,9 +148,13 @@ class Explanation:
                     f"  considered: {candidate}"
                     for candidate in section.candidates
                 )
-            return "\n".join(lines)
-        lines.append(f"chosen: {self.chosen}")
-        lines.extend(f"  considered: {candidate}" for candidate in self.candidates)
+        else:
+            lines.append(f"chosen: {self.chosen}")
+            lines.extend(
+                f"  considered: {candidate}" for candidate in self.candidates
+            )
+        if self.profile is not None:
+            lines.extend(str(self.profile).splitlines())
         return "\n".join(lines)
 
 
@@ -177,14 +190,38 @@ class Optimizer:
     ) -> Estimate:
         """Selectivity of ``expr`` over a collection, with its source.
 
-        Uses the statistics provider's histograms/MCVs when the
-        collection has statistics; otherwise the fixed fallback
-        constants (source ``fallback-constant``).
+        A logged feedback correction — the median observed selectivity
+        of this exact predicate over this collection, recorded by
+        ``EXPLAIN ANALYZE`` runs into the catalog's
+        :class:`~repro.core.profile.PlanQualityLog` — wins over every
+        model (source ``feedback``): an observation beats an estimate,
+        and it is precisely the correlated conjunctions the independence
+        assumption mangles that it corrects. Otherwise uses the
+        statistics provider's histograms/MCVs when the collection has
+        statistics, else the fixed fallback constants (source
+        ``fallback-constant``).
         """
+        if expr is not None:
+            correction = self._feedback_correction(collection_name, expr)
+            if correction is not None:
+                return Estimate(correction, SOURCE_FEEDBACK)
         stats = self.collection_statistics(collection_name)
         if stats is None or stats.row_count == 0:
             return fallback_estimate(expr)
         return stats.estimate_predicate(expr)
+
+    def _feedback_correction(
+        self, collection_name: str, expr: Expr
+    ) -> float | None:
+        """Median observed selectivity of this exact predicate shape, or
+        None when never profiled (or the catalog keeps no quality log —
+        tests substitute bare providers)."""
+        log_getter = getattr(self.catalog, "plan_quality_log", None)
+        if log_getter is None:
+            return None
+        return log_getter().correction(
+            collection_name, expr_signature_key(expr)
+        )
 
     def estimate_filter_rows(
         self, collection_name: str, expr: Expr | None

@@ -96,6 +96,7 @@ from repro.core.optimizer import (
     plan_pipeline,
 )
 from repro.core.patch import Patch, Row
+from repro.core.profile import PlanQualityLog, RuntimeProfile
 from repro.core.schema import PatchSchema
 from repro.core.udf import UDFDefinition, default_registry
 from repro.errors import QueryError, StorageError
@@ -140,7 +141,7 @@ class DeepLens:
 
     .. code-block:: text
 
-        statement   := select | EXPLAIN select
+        statement   := select | EXPLAIN [ANALYZE] select
                      | CREATE [OR REPLACE] MATERIALIZED VIEW name AS select
                      | REFRESH VIEW name [AS select]
                      | DROP VIEW name
@@ -349,6 +350,30 @@ class DeepLens:
     def lineage(self) -> LineageStore:
         return self.catalog.lineage
 
+    # -- plan quality -----------------------------------------------------
+
+    def plan_quality_log(self) -> PlanQualityLog:
+        """The catalog-persisted estimate-vs-actual history that
+        ``explain(analyze=True)`` / ``EXPLAIN ANALYZE`` runs feed.
+
+        Keyed by *parameterized* plan fingerprint (literals blanked), so
+        repeated executions of the same plan shape accumulate one
+        history. The log doubles as the optimizer's feedback store:
+        observed filter selectivities become per-predicate correction
+        factors that :meth:`Optimizer.predicate_estimate` consults
+        before the histogram/MCV path (source ``feedback`` in
+        ``explain()``)."""
+        return self.catalog.plan_quality_log()
+
+    def _record_plan_quality(
+        self, plan: logical.LogicalPlan, profile: RuntimeProfile
+    ) -> None:
+        if not profile.entries:
+            return
+        self.catalog.plan_quality_log().record(
+            logical.plan_parameterized_fingerprint(plan), profile
+        )
+
     # -- UDF registry -----------------------------------------------------
 
     def register_udf(
@@ -393,7 +418,10 @@ class DeepLens:
         The result depends on the statement (see the class docstring for
         the grammar): ``SELECT`` returns patches (rows of pairs after a
         similarity join, a scalar for aggregates); ``EXPLAIN`` returns
-        the :class:`~repro.core.optimizer.Explanation`; ``CREATE
+        the :class:`~repro.core.optimizer.Explanation` (``EXPLAIN
+        ANALYZE`` additionally *executes* the plan and attaches the
+        per-operator runtime profile — estimated vs actual rows and
+        Q-error); ``CREATE
         MATERIALIZED VIEW`` / ``REFRESH VIEW`` return the backing
         collection; ``CREATE INDEX`` returns the index; ``SHOW ...``
         returns a list of dicts; ``DROP VIEW`` returns None. Malformed
@@ -661,8 +689,41 @@ class QueryBuilder:
         assert isinstance(operator, Operator)  # Aggregate only via aggregate()
         return operator, explanation
 
-    def explain(self) -> Explanation:
-        _, explanation = self.plan()
+    def explain(self, *, analyze: bool = False) -> Explanation:
+        """The planner's reasoning for this pipeline.
+
+        ``analyze=True`` additionally *executes* the plan under runtime
+        instrumentation and attaches a per-operator profile to the
+        explanation: estimated vs actual rows and the Q-error next to
+        each plan choice, plus batch counts, wall time, UDF-cache hits,
+        and index probes. The observed cardinalities are recorded in the
+        session's :meth:`DeepLens.plan_quality_log`, where they feed
+        back as correction factors for later estimates of the same
+        predicates.
+        """
+        if not analyze:
+            _, explanation = self.plan()
+            return explanation
+        profile = RuntimeProfile()
+        operator, explanation = plan_pipeline(
+            self.session.optimizer,
+            self._plan,
+            udf_cache=self.session.udf_cache,
+            views=self.session.materialization,
+            allow_stale=self._allow_stale,
+            execution=self.execution_context().with_profile(profile),
+        )
+        assert isinstance(operator, Operator)
+        size = (
+            explanation.execution.batch_size
+            if explanation.execution is not None
+            else DEFAULT_BATCH_SIZE
+        )
+        for _ in operator.iter_batches(size):
+            pass
+        profile.finish()
+        explanation.profile = profile
+        self.session._record_plan_quality(self._plan, profile)
         return explanation
 
     def logical_plan(self) -> logical.LogicalPlan:
@@ -736,7 +797,8 @@ class QueryBuilder:
         *,
         key: Callable[[Patch], Any] | None = None,
         reducer: Callable[[list], Any] = len,
-    ) -> tuple[AggregateExecution, Explanation]:
+        execution: ExecutionContext | None = None,
+    ) -> tuple[AggregateExecution, Explanation, logical.LogicalPlan]:
         plan = logical.Aggregate(self._plan, kind, key=key, reducer=reducer)
         aggregate, explanation = plan_pipeline(
             self.session.optimizer,
@@ -744,10 +806,10 @@ class QueryBuilder:
             udf_cache=self.session.udf_cache,
             views=self.session.materialization,
             allow_stale=self._allow_stale,
-            execution=self.execution_context(),
+            execution=execution if execution is not None else self.execution_context(),
         )
         assert isinstance(aggregate, AggregateExecution)
-        return aggregate, explanation
+        return aggregate, explanation, plan
 
     def aggregate(
         self,
@@ -762,7 +824,7 @@ class QueryBuilder:
         (needs ``key``; empty input yields None), or ``group`` (needs
         ``key``; ``reducer`` folds each group's rows).
         """
-        aggregate, explanation = self._plan_aggregate(
+        aggregate, explanation, _ = self._plan_aggregate(
             kind, key=key, reducer=reducer
         )
         return aggregate.execute(
@@ -775,10 +837,30 @@ class QueryBuilder:
         *,
         key: Callable[[Patch], Any] | None = None,
         reducer: Callable[[list], Any] = len,
+        analyze: bool = False,
     ) -> Explanation:
         """The planner's explanation for this pipeline under a terminal
-        aggregate (what ``EXPLAIN SELECT count(*) ...`` shows)."""
-        _, explanation = self._plan_aggregate(kind, key=key, reducer=reducer)
+        aggregate (what ``EXPLAIN SELECT count(*) ...`` shows).
+        ``analyze=True`` executes the aggregate under instrumentation
+        and attaches the runtime profile, as :meth:`explain` does."""
+        if not analyze:
+            _, explanation, _ = self._plan_aggregate(
+                kind, key=key, reducer=reducer
+            )
+            return explanation
+        profile = RuntimeProfile()
+        aggregate, explanation, plan = self._plan_aggregate(
+            kind,
+            key=key,
+            reducer=reducer,
+            execution=self.execution_context().with_profile(profile),
+        )
+        aggregate.execute(
+            batch_size=self._resolve_batch_size(PLANNER_CHOSEN, explanation)
+        )
+        profile.finish()
+        explanation.profile = profile
+        self.session._record_plan_quality(plan, profile)
         return explanation
 
     def distinct_count(self, key: Callable[[Patch], object]) -> int:

@@ -285,9 +285,11 @@ class Select(Node):
 @dataclass(frozen=True)
 class Explain(Node):
     select: Select
+    analyze: bool = False
 
     def to_sql(self) -> str:
-        return f"EXPLAIN {self.select.to_sql()}"
+        analyze = " ANALYZE" if self.analyze else ""
+        return f"EXPLAIN{analyze} {self.select.to_sql()}"
 
 
 @dataclass(frozen=True)

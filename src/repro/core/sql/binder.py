@@ -65,11 +65,11 @@ class BoundSelect:
     def plan_fingerprint(self) -> str:
         return logical.plan_fingerprint(self.logical_plan())
 
-    def explain(self) -> "Explanation":
+    def explain(self, *, analyze: bool = False) -> "Explanation":
         if self.aggregate is not None:
             kind, key = self.aggregate
-            return self.builder.aggregate_explain(kind, key=key)
-        return self.builder.explain()
+            return self.builder.aggregate_explain(kind, key=key, analyze=analyze)
+        return self.builder.explain(analyze=analyze)
 
     def execute(self) -> Any:
         if self.aggregate is not None:
@@ -83,9 +83,10 @@ class BoundSelect:
 @dataclass
 class BoundExplain:
     select: BoundSelect
+    analyze: bool = False
 
     def execute(self) -> "Explanation":
-        return self.select.explain()
+        return self.select.explain(analyze=self.analyze)
 
 
 @dataclass
@@ -239,7 +240,9 @@ class Binder:
         if isinstance(statement, ast.Select):
             return self.bind_select(statement)
         if isinstance(statement, ast.Explain):
-            return BoundExplain(self.bind_select(statement.select))
+            return BoundExplain(
+                self.bind_select(statement.select), analyze=statement.analyze
+            )
         if isinstance(statement, ast.CreateView):
             select = self._bind_view_select(statement.select)
             return BoundCreateView(

@@ -28,7 +28,7 @@ KEYWORDS = frozenset(
     {
         "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "BETWEEN", "IN",
         "CONTAINS", "ORDER", "BY", "ASC", "DESC", "LIMIT", "AS",
-        "EXPLAIN", "CREATE", "MATERIALIZED", "VIEW", "REFRESH", "DROP",
+        "EXPLAIN", "ANALYZE", "CREATE", "MATERIALIZED", "VIEW", "REFRESH", "DROP",
         "INDEX", "ON", "USING", "REPLACE", "SHOW", "COLLECTIONS",
         "VIEWS", "STATS", "FOR", "SIMILARITY", "JOIN", "WITHIN", "TOP",
         "DIM", "EXCLUDE", "SELF", "COUNT", "AVG", "DISTINCT", "TRUE",

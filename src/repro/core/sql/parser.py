@@ -5,7 +5,7 @@ One statement per call. The grammar (also documented on
 
 .. code-block:: text
 
-    statement   := select | EXPLAIN select
+    statement   := select | EXPLAIN [ANALYZE] select
                  | CREATE [OR REPLACE] MATERIALIZED VIEW name AS select
                  | REFRESH VIEW name [AS select]
                  | DROP VIEW name
@@ -126,7 +126,10 @@ class _Parser:
             statement: ast.Statement = self._select()
         elif token.matches(KEYWORD, "EXPLAIN"):
             start = self._advance()
-            statement = ast.Explain(self._select(), pos=self._pos(start))
+            analyze = self._accept(KEYWORD, "ANALYZE") is not None
+            statement = ast.Explain(
+                self._select(), analyze=analyze, pos=self._pos(start)
+            )
         elif token.matches(KEYWORD, "CREATE"):
             statement = self._create()
         elif token.matches(KEYWORD, "REFRESH"):

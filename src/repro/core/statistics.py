@@ -67,12 +67,24 @@ MAX_NUMERIC_SAMPLE = 4096
 MAX_TRACKED_VALUES = 256
 #: size of the KMV (k-minimum-values) distinct-count sketch
 KMV_SIZE = 128
+#: patch-data vectors sampled per collection (first-K — deterministic in
+#: insertion order, so incremental collection stays bit-identical to a
+#: rebuild) for sampled-distance join-selectivity estimation
+DATA_SAMPLE_SIZE = 32
+#: coordinates kept per sampled vector; higher-dimensional vectors are
+#: subsampled on a fixed stride and distances rescaled by
+#: ``sqrt(dim / kept)``
+DATA_SAMPLE_MAX_DIM = 256
+#: sampled vectors each side needs before the pairwise match fraction is
+#: trusted over the geometric-decay constant
+MIN_SAMPLE_VECTORS = 8
 
 SOURCE_HISTOGRAM = "histogram"
 SOURCE_MCV = "mcv"
 SOURCE_DISTINCT = "distinct"
 SOURCE_FALLBACK = "fallback-constant"
 SOURCE_EXACT = "row-count"
+SOURCE_FEEDBACK = "feedback"
 
 #: fixed selectivity guesses used when no statistics exist (the seed
 #: planner's constants; ``!=`` gets its own complement rather than being
@@ -448,6 +460,9 @@ class CollectionStatistics:
         # joins over default features actually see
         self.data_count = 0
         self._data_dim_total = 0
+        # first-K patch-data vectors (original dim, possibly-subsampled
+        # coordinates) for sampled pairwise-distance join estimation
+        self._data_sample: list[tuple[int, np.ndarray]] = []
         #: mutations since the collection's last full materialization or
         #: statistics rebuild — the catalog stamps this when it serves the
         #: snapshot (it is bookkeeping about the *collection*, not part of
@@ -462,6 +477,15 @@ class CollectionStatistics:
         if patch.data.size:
             self.data_count += 1
             self._data_dim_total += int(patch.data.size)
+            if len(self._data_sample) < DATA_SAMPLE_SIZE:
+                flat = np.asarray(patch.data, dtype=np.float64).ravel()
+                kept = flat
+                if flat.size > DATA_SAMPLE_MAX_DIM:
+                    stride = np.linspace(
+                        0, flat.size - 1, DATA_SAMPLE_MAX_DIM
+                    ).astype(np.int64)
+                    kept = flat[stride]
+                self._data_sample.append((int(flat.size), kept.copy()))
         for key, value in patch.metadata.items():
             if key == LINEAGE_KEY:
                 continue
@@ -495,6 +519,11 @@ class CollectionStatistics:
 
     def attribute(self, attr: str) -> AttributeStatistics | None:
         return self.attrs.get(attr)
+
+    def data_sample(self) -> list[tuple[int, np.ndarray]]:
+        """The recorded patch-data vector sample as ``(original_dim,
+        kept_coordinates)`` pairs."""
+        return list(self._data_sample)
 
     # -- estimation ------------------------------------------------------
 
@@ -571,6 +600,10 @@ class CollectionStatistics:
             "row_count": self.row_count,
             "data_count": self.data_count,
             "data_dim_total": self._data_dim_total,
+            "data_sample": [
+                [dim, [float(x) for x in vec]]
+                for dim, vec in self._data_sample
+            ],
             "attrs": {
                 name: stats.to_value()
                 for name, stats in sorted(self.attrs.items())
@@ -583,11 +616,62 @@ class CollectionStatistics:
         stats.row_count = value["row_count"]
         stats.data_count = value["data_count"]
         stats._data_dim_total = value["data_dim_total"]
+        # pre-sample snapshots (earlier sessions) simply have no sample
+        stats._data_sample = [
+            (int(dim), np.asarray(vec, dtype=np.float64))
+            for dim, vec in value.get("data_sample", [])
+        ]
         stats.attrs = {
             name: AttributeStatistics.from_value(attr_value)
             for name, attr_value in value["attrs"].items()
         }
         return stats
+
+
+# -- sampled join selectivity --------------------------------------------------
+
+
+def sample_match_fraction(
+    left: list[tuple[int, np.ndarray]],
+    right: list[tuple[int, np.ndarray]],
+    threshold: float,
+    *,
+    same: bool = False,
+) -> float | None:
+    """Fraction of sampled cross pairs within ``threshold`` distance.
+
+    The data-distribution-aware replacement for the geometric-decay
+    join-selectivity constant: clustered embeddings match far more often
+    than the independence-per-dimension decay predicts, and the recorded
+    first-K vector samples (:meth:`CollectionStatistics.data_sample`) see
+    exactly that. ``same=True`` excludes identity pairs (self-join
+    sampling from one collection). Subsampled vectors rescale distances
+    by ``sqrt(dim / kept)`` — the uniform-coordinate estimate of the full
+    distance. Returns None (caller keeps the constant) when either
+    sample is too small to trust.
+    """
+    if threshold < 0 or not math.isfinite(threshold):
+        return None
+    if len(left) < MIN_SAMPLE_VECTORS or len(right) < MIN_SAMPLE_VECTORS:
+        return None
+    matches = 0
+    total = 0
+    for i, (left_dim, left_vec) in enumerate(left):
+        for j, (right_dim, right_vec) in enumerate(right):
+            if same and i == j:
+                continue
+            if left_vec.size != right_vec.size or not left_vec.size:
+                continue
+            distance = float(np.linalg.norm(left_vec - right_vec))
+            full_dim = max(left_dim, right_dim)
+            if full_dim > left_vec.size:
+                distance *= math.sqrt(full_dim / left_vec.size)
+            total += 1
+            if distance <= threshold:
+                matches += 1
+    if not total:
+        return None
+    return matches / total
 
 
 # -- fallback estimation (no statistics) --------------------------------------

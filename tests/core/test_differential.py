@@ -1,0 +1,208 @@
+"""Differential query oracle (property-based).
+
+Hypothesis generates random queries — filters, boolean connectives,
+ordering, limits, UDF maps — and executes each through independent
+paths that must agree row-for-row:
+
+* the LensQL frontend vs the fluent builder (the two compile to
+  fingerprint-identical logical plans, so the optimizer cannot even
+  tell them apart);
+* the serial engine vs ``workers=4`` with prefetch (the parallel
+  engine's bit-identical contract);
+* a session holding a matching materialized view vs a session without
+  one (view reuse is a cost-based *physical* choice, never a semantic
+  one).
+
+Any divergence is a planner or engine bug, reported as a shrunk
+counterexample query rather than a hand-picked regression.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Attr, DeepLens
+from repro.core.patch import Patch
+
+N = 60
+LABELS = ("vehicle", "person", "bike")
+
+
+def make_patches(n=N):
+    for i in range(n):
+        patch = Patch.from_frame("vid", i, np.full((4, 4, 3), i % 9, np.uint8))
+        patch.metadata["label"] = LABELS[i % 3]
+        patch.metadata["score"] = float(i)
+        yield patch
+
+
+def brighten(patch):
+    return patch.derive(
+        patch.data, "bright", brightness=float(patch.data.mean())
+    )
+
+
+def row_signature(patches):
+    return [
+        (p.patch_id, p.data.tobytes(), sorted(p.metadata.items()))
+        for p in patches
+    ]
+
+
+def semantic_signature(patches):
+    """Identity-free row content: what view-served and recomputed plans
+    must agree on (derived patches get fresh ids either way)."""
+    return sorted(
+        (p["frameno"], p["label"], p["score"], round(p["brightness"], 9))
+        for p in patches
+    )
+
+
+@pytest.fixture(scope="module")
+def db(tmp_path_factory):
+    with DeepLens(tmp_path_factory.mktemp("differential")) as session:
+        session.materialize(make_patches(), "det")
+        session.register_udf("brighten", brighten, provides={"brightness"})
+        yield session
+
+
+@pytest.fixture(scope="module")
+def view_db(tmp_path_factory):
+    with DeepLens(tmp_path_factory.mktemp("differential_view")) as session:
+        session.materialize(make_patches(), "det")
+        session.register_udf("brighten", brighten, provides={"brightness"})
+        session.materialize_view("bright", session.scan("det").map("brighten"))
+        yield session
+
+
+# -- query generator ------------------------------------------------------
+
+
+@st.composite
+def leaves(draw):
+    """One comparison, as (fluent Expr, SQL text) — the same predicate
+    through both frontends."""
+    kind = draw(st.sampled_from(["label", "score", "between"]))
+    if kind == "label":
+        value = draw(st.sampled_from(LABELS))
+        if draw(st.booleans()):
+            return Attr("label") == value, f"label = '{value}'"
+        return Attr("label") != value, f"label != '{value}'"
+    if kind == "between":
+        low = draw(st.integers(-5, 60))
+        high = low + draw(st.integers(0, 30))
+        return (
+            Attr("score").between(float(low), float(high)),
+            f"score BETWEEN {float(low)} AND {float(high)}",
+        )
+    value = float(draw(st.integers(-5, 65)))
+    op = draw(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+    attr = Attr("score")
+    expr = {
+        "<": attr < value,
+        "<=": attr <= value,
+        ">": attr > value,
+        ">=": attr >= value,
+        "==": attr == value,
+        "!=": attr != value,
+    }[op]
+    return expr, f"score {'=' if op == '==' else op} {value}"
+
+
+@st.composite
+def where_clauses(draw):
+    """A WHERE clause as (fluent filter exprs, SQL text). Top-level AND
+    becomes *chained* filters, mirroring how the binder splits
+    conjunctions — the shapes stay fingerprint-identical."""
+    expr, sql = draw(leaves())
+    exprs = [expr]
+    if draw(st.booleans()):
+        other_expr, other_sql = draw(leaves())
+        if draw(st.booleans()):
+            exprs, sql = [expr, other_expr], f"{sql} AND {other_sql}"
+        else:
+            exprs, sql = [expr | other_expr], f"({sql} OR {other_sql})"
+    if draw(st.booleans()):
+        combined = exprs[0]
+        for extra in exprs[1:]:
+            combined = combined & extra
+        exprs, sql = [~combined], f"NOT ({sql})"
+    return exprs, sql
+
+
+@st.composite
+def query_shapes(draw):
+    where = draw(st.none() | where_clauses())
+    order = draw(st.none() | st.booleans())  # ORDER BY score ASC/DESC
+    limit = draw(st.none() | st.integers(1, 25))
+    return where, order, limit
+
+
+def build(session, shape, *, mapped=False):
+    """The same random query via both frontends: a fluent builder and
+    the LensQL text."""
+    where, order, limit = shape
+    query = session.scan("det")
+    sql = "SELECT brighten() FROM det" if mapped else "SELECT * FROM det"
+    if mapped:
+        query = query.map("brighten")
+    if where is not None:
+        exprs, text = where
+        for expr in exprs:
+            query = query.filter(expr)
+        sql += f" WHERE {text}"
+    if order is not None:
+        query = query.order_by("score", reverse=order)
+        sql += f" ORDER BY score {'DESC' if order else 'ASC'}"
+    if limit is not None:
+        query = query.limit(limit)
+        sql += f" LIMIT {limit}"
+    return query, sql
+
+
+# -- the oracles ----------------------------------------------------------
+
+
+@given(shape=query_shapes())
+@settings(max_examples=30, deadline=None)
+def test_sql_matches_fluent(db, shape):
+    query, sql = build(db, shape)
+    assert db.sql_query(sql).plan_fingerprint() == query.plan_fingerprint()
+    assert row_signature(db.sql(sql)) == row_signature(query.patches())
+
+
+@given(shape=query_shapes())
+@settings(max_examples=20, deadline=None)
+def test_parallel_matches_serial(db, shape):
+    query, _ = build(db, shape, mapped=True)
+    serial = query.with_execution(workers=1)
+    parallel = query.with_execution(workers=4, prefetch_batches=2)
+    assert row_signature(parallel.patches()) == row_signature(serial.patches())
+
+
+@given(shape=query_shapes())
+@settings(max_examples=20, deadline=None)
+def test_view_served_matches_recomputed(db, view_db, shape):
+    where, order, limit = shape
+    # scores are unique, so ordered prefixes are deterministic; without
+    # ORDER BY a LIMIT picks physical-order-dependent rows, and the view
+    # scan's physical order is legitimately its own — skip that shape
+    served_shape = (where, order, limit if order is not None else None)
+    with_view, _ = build(view_db, served_shape, mapped=True)
+    without_view, _ = build(db, served_shape, mapped=True)
+    assert semantic_signature(with_view.patches()) == semantic_signature(
+        without_view.patches()
+    )
+
+
+def test_view_reuse_actually_happens(view_db):
+    # guards the third oracle's bite: the view session really does plan
+    # matching queries as view scans (cost-based, but this one is an
+    # obvious win — the map is the dominant cost)
+    query = (
+        view_db.scan("det").map("brighten").filter(Attr("label") == "vehicle")
+    )
+    explanation = query.explain()
+    assert any("view-match" in line for line in explanation.rewrites)
+    assert explanation.chosen.kind in {"view-scan", "hash-lookup", "full-scan"}

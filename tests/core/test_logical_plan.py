@@ -281,9 +281,25 @@ class TestStatsDrivenLowering:
         catalog.materialize(iter(patches(n)), "c")
         return catalog
 
-    def test_similarity_join_uses_recorded_dim(self, tmp_path):
-        # patches() builds 4x4x3 data: the recorded embedding dim is 48
+    def test_similarity_join_uses_sampled_match_fraction(self, tmp_path):
+        # patches() data vectors sit ~sqrt(48) apart per index step, so
+        # within threshold 1.0 only identity pairs match — the sampled
+        # pairwise fraction replaces the geometric dim-decay estimate
         with self._catalog(tmp_path) as catalog:
+            optimizer = Optimizer(catalog)
+            plan = logical.SimilarityJoin(
+                logical.Scan("c"), logical.Scan("c"), threshold=1.0
+            )
+            _, explanation = plan_pipeline(optimizer, plan)
+            assert any(
+                "match-fraction" in line and "sampled pairwise distances" in line
+                for line in explanation.estimates
+            )
+
+    def test_similarity_join_dim_fallback_without_samples(self, tmp_path):
+        # below MIN_SAMPLE_VECTORS rows the sampler abstains and the
+        # recorded-dim geometric estimate still applies
+        with self._catalog(tmp_path, n=4) as catalog:
             optimizer = Optimizer(catalog)
             plan = logical.SimilarityJoin(
                 logical.Scan("c"), logical.Scan("c"), threshold=1.0
@@ -294,8 +310,47 @@ class TestStatsDrivenLowering:
                 for line in explanation.estimates
             )
             # and the decision matches planning explicitly at dim 48
-            direct = optimizer.plan_similarity_join(40, 40, 48)
+            direct = optimizer.plan_similarity_join(4, 4, 48)
             assert explanation.chosen.kind == direct.chosen.kind
+
+    def test_clustered_join_estimate_beats_geometric_decay(self, tmp_path):
+        # Two tight clusters far apart: every within-cluster pair joins,
+        # no across-cluster pair does. The geometric dim-decay constant
+        # is blind to that structure and floors at ~1 match per probe;
+        # the sampled pairwise fraction sees it. Clusters are interleaved
+        # in materialization order so the first-K vector sample covers
+        # both.
+        from repro.core.optimizer.lowering import estimate_join_output
+        from repro.core.profile import q_error
+        from repro.core.statistics import sample_match_fraction
+
+        rng = np.random.default_rng(3)
+        clustered = []
+        for i in range(40):
+            center = 0.0 if i % 2 == 0 else 10.0
+            data = center + rng.normal(0.0, 0.01, 8)
+            patch = Patch.from_frame("v", i, data)
+            patch.patch_id = i
+            clustered.append(patch)
+        with Catalog(tmp_path) as catalog:
+            catalog.materialize(iter(clustered), "clustered")
+            optimizer = Optimizer(catalog)
+            plan = logical.SimilarityJoin(
+                logical.Scan("clustered"),
+                logical.Scan("clustered"),
+                threshold=1.0,
+            )
+            operator, _ = plan_pipeline(optimizer, plan)
+            actual = sum(1 for _ in operator)
+            assert actual == 2 * 20 * 20  # all within-cluster pairs
+
+            sample = catalog.statistics_for("clustered").data_sample()
+            fraction = sample_match_fraction(sample, sample, 1.0)
+            sampled_est = estimate_join_output(40, 40, 8, match_fraction=fraction)
+            decay_est = estimate_join_output(40, 40, 8)
+            assert q_error(sampled_est, actual) < q_error(decay_est, actual)
+            assert q_error(sampled_est, actual) < 2.0  # and it is *good*
+            assert q_error(decay_est, actual) > 10.0  # the floor was 20x off
 
     def test_caller_dim_wins_over_recorded(self, tmp_path):
         with self._catalog(tmp_path) as catalog:

@@ -1,0 +1,169 @@
+"""Unit tests for the runtime-instrumentation layer.
+
+:mod:`repro.core.profile` is pure bookkeeping — per-operator counters,
+the profile tree rendering, Q-error math, and the catalog-persisted
+plan-quality log — so these tests exercise it directly, without a
+session. End-to-end ``explain(analyze=True)`` coverage lives in
+``test_explain_analyze.py``.
+"""
+
+import pytest
+
+from repro.core.profile import (
+    MAX_PLANS,
+    PLAN_HISTORY,
+    OperatorProfile,
+    PlanQualityLog,
+    RuntimeProfile,
+    q_error,
+)
+
+
+class TestQError:
+    def test_exact_estimate_is_one(self):
+        assert q_error(10, 10) == 1.0
+
+    def test_symmetric(self):
+        assert q_error(10, 40) == q_error(40, 10) == 4.0
+
+    def test_floors_at_one_row(self):
+        # 0 estimated vs 0 actual is a perfect estimate, not a 0/0
+        assert q_error(0, 0) == 1.0
+        assert q_error(5, 0) == 5.0
+        assert q_error(0, 5) == 5.0
+
+
+class TestOperatorProfile:
+    def test_batch_and_row_counters(self):
+        entry = OperatorProfile("op", est_rows=8)
+        entry.add_batch(5, 0.25)
+        entry.add_batch(3, 0.25)
+        entry.add_rows(2, 0.1)
+        assert entry.rows_out == 10
+        assert entry.batches == 2
+        assert entry.seconds == pytest.approx(0.6)
+        assert entry.q == pytest.approx(10 / 8)
+
+    def test_rows_in_prefers_children(self):
+        child = OperatorProfile("child")
+        child.add_batch(7, 0.0)
+        parent = OperatorProfile("parent", children=[child])
+        parent.add_input(99)  # ignored: children are authoritative
+        assert parent.rows_in == 7
+
+    def test_input_and_index_probes(self):
+        entry = OperatorProfile("scan")
+        entry.add_input(4)
+        entry.add_input(2, index=True)
+        assert entry.rows_in == 6
+        assert entry.index_probes == 2
+
+    def test_describe_renders_q_error_and_extras(self):
+        entry = OperatorProfile("Scan(c)", est_rows=40)
+        entry.add_batch(10, 0.002)
+        entry.add_input(30)
+        entry.add_cache(3, 1)
+        line = entry.describe()
+        assert "Scan(c): est ~40 rows, actual 10 rows, q-error 4.00" in line
+        assert "in 30" in line
+        assert "cache 3 hits / 1 misses" in line
+
+    def test_describe_without_estimate(self):
+        entry = OperatorProfile("Limit(3)")
+        entry.add_rows(3, 0.0)
+        assert "est ? rows" in entry.describe()
+        assert "q-error" not in entry.describe()
+        assert entry.q is None
+
+
+class TestRuntimeProfile:
+    def test_tree_rendering_root_first(self):
+        profile = RuntimeProfile()
+        scan = profile.operator("Scan(c)", est_rows=40)
+        limit = profile.operator("Limit(3)", est_rows=3, children=[scan])
+        scan.add_batch(3, 0.0)
+        limit.add_batch(3, 0.0)
+        profile.finish()
+        lines = profile.lines()
+        assert lines[0].startswith("Limit(3)")
+        assert lines[1].startswith("  Scan(c)")
+        assert profile.roots() == [limit]
+        assert str(profile).startswith("runtime profile (")
+
+    def test_q_errors_collects_estimated_entries(self):
+        profile = RuntimeProfile()
+        a = profile.operator("a", est_rows=10)
+        a.add_rows(10, 0.0)
+        b = profile.operator("b")  # no estimate: not graded
+        b.add_rows(5, 0.0)
+        assert profile.q_errors() == [1.0]
+
+
+class TestPlanQualityLog:
+    def _profile(self, est, actual, *, feedback=None, exhausted=True):
+        profile = RuntimeProfile()
+        entry = profile.operator("op", est_rows=est)
+        entry.add_batch(actual, 0.0)
+        if feedback is not None:
+            entry.set_feedback(*feedback)
+        if exhausted:
+            entry.mark_exhausted()
+        profile.finish()
+        return profile
+
+    def test_record_and_history(self):
+        log = PlanQualityLog()
+        log.record("fp", self._profile(40, 10))
+        log.record("fp", self._profile(40, 12))
+        assert len(log) == 1
+        assert log.history("fp") == [[["op", 40, 10]], [["op", 40, 12]]]
+        assert log.plan_q_errors() == [4.0, pytest.approx(40 / 12)]
+        assert log.dirty
+
+    def test_history_bounded(self):
+        log = PlanQualityLog()
+        for i in range(PLAN_HISTORY + 5):
+            log.record("fp", self._profile(10, i + 1))
+        assert len(log.history("fp")) == PLAN_HISTORY
+
+    def test_plan_eviction(self):
+        log = PlanQualityLog()
+        for i in range(MAX_PLANS + 1):
+            log.record(f"fp{i}", self._profile(1, 1))
+        assert len(log) == MAX_PLANS
+        assert log.history("fp0") == []  # oldest evicted
+
+    def test_correction_upper_median(self):
+        log = PlanQualityLog()
+        for actual in (10, 20, 30):
+            log.record(
+                "fp",
+                self._profile(25, actual, feedback=("c", "key", 100)),
+            )
+        # observed selectivities 0.1 / 0.2 / 0.3 -> median 0.2
+        assert log.correction("c", "key") == pytest.approx(0.2)
+        assert log.correction("c", "other") is None
+        assert log.correction("d", "key") is None
+
+    def test_truncated_runs_record_no_correction(self):
+        # a Limit above the filter stopped the scan early: the observed
+        # selectivity is meaningless and must not poison the feedback
+        log = PlanQualityLog()
+        log.record(
+            "fp",
+            self._profile(25, 10, feedback=("c", "key", 100), exhausted=False),
+        )
+        assert log.correction("c", "key") is None
+        # ...but the plan history still records the (truncated) run
+        assert log.history("fp") == [[["op", 25, 10]]]
+
+    def test_value_round_trip(self):
+        log = PlanQualityLog()
+        log.record("fp", self._profile(40, 10, feedback=("c", "key", 100)))
+        restored = PlanQualityLog.from_value(log.to_value())
+        assert restored.history("fp") == log.history("fp")
+        assert restored.correction("c", "key") == log.correction("c", "key")
+        assert not restored.dirty
+
+    def test_from_value_tolerates_old_snapshots(self):
+        assert len(PlanQualityLog.from_value({})) == 0
