@@ -33,8 +33,15 @@ The minimal end-to-end DeepLens workflow on synthetic CCTV footage:
    included);
 8. aggregate: how many frames contain a vehicle? (the paper's q2) — in
    both forms;
-9. backtrace one detection to its base frame through lineage;
-10. persist the UDF pipeline as a **materialized view**: later queries
+9. metadata-only analytics: scans that never read pixels answer from
+   the **columnar metadata segment** beside the blob heap — zero heap
+   reads, zero pixel decompression, with per-block zone maps skipping
+   provably non-matching blocks. Ask for it explicitly (LensQL
+   ``FROM detections METADATA ONLY``, fluent ``load_data=False``) or
+   let the planner flip the scan itself when nothing above it reads
+   pixel data — both visible in ``explain()``;
+10. backtrace one detection to its base frame through lineage;
+11. persist the UDF pipeline as a **materialized view**: later queries
    whose prefix recomputes it are rewritten to scan the view instead
    (cost-based, visible in explain(), and across sessions — the view's
    plan fingerprint lives in the catalog). Adding patches to the base
@@ -246,6 +253,30 @@ def main() -> None:
         )
         assert sql_answer == n_frames
         print(f"q2 via LensQL: {sql_answer} frames (same plan, same answer)")
+
+        # -- metadata-only analytics ----------------------------------
+        # the q2 aggregates above never read pixels, so the planner
+        # flipped their scans to the columnar metadata segment on its
+        # own — the rewrite note below says so. Asking explicitly works
+        # too: METADATA ONLY in LensQL, load_data=False in the fluent
+        # API — fingerprint-identical, and the plan touches only the
+        # per-attribute arrays beside the blob heap (zone maps skip
+        # whole blocks a range predicate rules out)
+        lean = db.scan("detections", load_data=False).filter(
+            Attr("score") >= 0.5
+        )
+        sql_lean = db.sql_query(
+            "SELECT * FROM detections METADATA ONLY WHERE score >= 0.5"
+        )
+        assert sql_lean.plan_fingerprint() == lean.plan_fingerprint()
+        print("\nmetadata-only plan (METADATA ONLY / load_data=False):")
+        print(f"  chosen: {lean.explain().chosen}")
+        flip_note = next(
+            rewrite
+            for rewrite in vehicles.aggregate_explain("count").rewrites
+            if "metadata-only" in rewrite
+        )
+        print(f"  auto-detected for COUNT(*): {flip_note}")
 
         sample = vehicles.first()
         source, frame = db.lineage.backtrace(sample)

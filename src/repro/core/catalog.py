@@ -34,7 +34,7 @@ import numpy as np
 
 from repro.core.batching import DEFAULT_BATCH_SIZE, chunked
 from repro.core.lineage import LineageStore
-from repro.core.patch import Patch
+from repro.core.patch import ImgRef, LINEAGE_KEY, Patch, _normalize_meta
 from repro.core.profile import PlanQualityLog
 from repro.core.schema import PatchSchema
 from repro.core.statistics import CollectionStatistics
@@ -42,6 +42,7 @@ from repro.errors import IndexError_, QueryError, StorageError
 from repro.indexes import BallTree, BTreeIndex, HashIndex, RTree, rect_from_bbox
 from repro.storage.kvstore import BlobHeap, BlobRef, BPlusTree, Pager
 from repro.storage.kvstore import serialization
+from repro.storage.metadata_segment import CollectionSegment, MetadataSegmentStore
 
 INDEX_KINDS = ("hash", "btree", "rtree", "balltree")
 
@@ -75,6 +76,13 @@ class MaterializedCollection:
         self._tree.insert(patch_id, payload)
         if self._ref_map is not None:
             self._ref_map[patch_id] = payload
+        segment = self.catalog.segments.segment(self.name)
+        if segment.row_count == len(self._tree) - 1:
+            # keep the columnar segment in lockstep; an incomplete one
+            # (pre-segment catalog) instead backfills on first metadata read
+            segment.append(
+                patch_id, patch.img_ref.to_value(), _normalize_meta(patch.metadata)
+            )
         self.catalog.lineage.record(patch)
         self.catalog._maintain_indexes(self.name, patch)
         self.catalog._record_statistics(self.name, patch)
@@ -82,6 +90,8 @@ class MaterializedCollection:
         return patch_id
 
     def get(self, patch_id: int, *, load_data: bool = True) -> Patch:
+        if not load_data:
+            return self.get_many([patch_id], load_data=False)[0]
         if self._ref_map is None:
             self._ref_map = {pid: payload for pid, payload in self._tree.items()}
         payload = self._ref_map.get(patch_id)
@@ -99,11 +109,21 @@ class MaterializedCollection:
         Results align with ``patch_ids``. The heap sorts the underlying
         blob reads by file offset and coalesces adjacent runs, so index
         access paths fetching dozens of ids pay a handful of sequential
-        reads instead of one seek per patch.
+        reads instead of one seek per patch. ``load_data=False`` answers
+        from the columnar metadata segment — zero heap reads.
         """
         ids = list(patch_ids)
         if not ids:
             return []
+        if not load_data:
+            segment = self._metadata_segment()
+            try:
+                rows = segment.get_rows(ids)
+            except KeyError as exc:
+                raise QueryError(
+                    f"patch {exc.args[0]} not in collection {self.name!r}"
+                ) from None
+            return [self._patch_from_metadata(*row) for row in rows]
         if self._ref_map is None:
             self._ref_map = {pid: payload for pid, payload in self._tree.items()}
         chunk: list[tuple[int, bytes]] = []
@@ -119,11 +139,12 @@ class MaterializedCollection:
     def scan(self, *, load_data: bool = True) -> Iterator[Patch]:
         """Iterate every patch in id order.
 
-        ``load_data=False`` projects out the pixel/feature payload — the
-        fast path for metadata-only predicates.
+        Rides :meth:`scan_batches`, so the serial iterator gets the same
+        coalesced heap reads (``load_data=True``) or the same pure
+        segment reads (``load_data=False``) as the batched path.
         """
-        for patch_id, payload in self._tree.items():
-            yield self._load(patch_id, payload, load_data)
+        for batch in self.scan_batches(load_data=load_data):
+            yield from batch
 
     def scan_batches(
         self, size: int = DEFAULT_BATCH_SIZE, *, load_data: bool = True
@@ -134,9 +155,83 @@ class MaterializedCollection:
         each batch resolves its blob refs up front and reads them through
         :meth:`BlobHeap.multi_get`, so a cold scan issues a few coalesced
         reads per ``size`` patches instead of a heap round-trip each.
+        ``load_data=False`` never touches the patch heap at all: batches
+        come out of the columnar metadata segment, skipping the pixel
+        decompression ``Patch.from_record`` used to pay just to throw the
+        data away.
         """
+        if not load_data:
+            yield from self.metadata_batches(size)
+            return
+        yield from self._record_batches(size, load_data)
+
+    def _record_batches(
+        self, size: int, load_data: bool
+    ) -> Iterator[list[Patch]]:
+        """The full-record path: decode heap records batch-wise. This is
+        what every scan used to be — kept callable with
+        ``load_data=False`` as the segment backfill source (and the
+        pre-fix baseline the metadata-scan benchmark measures against)."""
         for chunk in chunked(self._tree.items(), size):
             yield self._load_chunk(chunk, load_data)
+
+    # -- metadata segment (columnar, zone-mapped) -----------------------
+
+    def metadata_batches(
+        self, size: int = DEFAULT_BATCH_SIZE, expr=None
+    ) -> Iterator[list[Patch]]:
+        """Metadata-only batches straight from the columnar segment.
+
+        With ``expr``, sealed blocks whose zone maps prove no row can
+        match are skipped unread; surviving batches still carry every
+        row of their blocks (the caller's Select filters exactly).
+        Patches come back bit-identical to
+        ``Patch.from_record(..., with_data=False)``: empty data array,
+        same metadata, same lineage tuples.
+        """
+        batch: list[Patch] = []
+        for row in self._metadata_segment().scan_rows(expr):
+            batch.append(self._patch_from_metadata(*row))
+            if len(batch) >= size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+    def metadata_block_stats(self, expr=None) -> tuple[int, int, int]:
+        """(kept blocks, total sealed blocks, surviving-row bound) a
+        zone-mapped metadata scan of ``expr`` would read — the planner's
+        block-skipping estimate."""
+        return self._metadata_segment().block_stats(expr)
+
+    def _metadata_segment(self) -> CollectionSegment:
+        """This collection's segment, backfilled first if it predates the
+        columnar format (one full-record pass, then never again)."""
+        segment = self.catalog.segments.segment(self.name)
+        if segment.row_count != len(self._tree):
+            segment.rebuild(
+                (patch.patch_id, patch.img_ref.to_value(),
+                 _normalize_meta(patch.metadata))
+                for batch in self._record_batches(DEFAULT_BATCH_SIZE, False)
+                for patch in batch
+            )
+        return segment
+
+    @staticmethod
+    def _patch_from_metadata(
+        patch_id: int, ref_value: tuple, metadata: dict
+    ) -> Patch:
+        """Rebuild a data-less patch from one segment row, reproducing
+        ``Patch.from_record(..., with_data=False)`` exactly."""
+        metadata[LINEAGE_KEY] = tuple(
+            tuple(step) for step in metadata.get(LINEAGE_KEY, ())
+        )
+        return Patch(
+            img_ref=ImgRef.from_value(tuple(ref_value)),
+            data=np.empty(0, dtype=np.uint8),
+            metadata=metadata,
+            patch_id=patch_id,
+        )
 
     def _load_chunk(
         self, chunk: list[tuple[int, bytes]], load_data: bool
@@ -179,6 +274,11 @@ class Catalog:
         os.makedirs(self.workdir, exist_ok=True)
         self.pager = Pager(os.path.join(self.workdir, "catalog.db"))
         self.heap = BlobHeap(os.path.join(self.workdir, "patches.heap"))
+        #: columnar metadata segments, one per collection, in their own
+        #: heap file — metadata-only scans never touch ``patches.heap``
+        self.segments = MetadataSegmentStore(
+            os.path.join(self.workdir, "metadata.seg")
+        )
         self.lineage = LineageStore(self.pager)
         self._collections: dict[str, MaterializedCollection] = {}
         #: (collection, attr, kind) -> index object
@@ -212,6 +312,7 @@ class Catalog:
         self._plan_log: PlanQualityLog | None = None
         #: heap ref of the persisted log snapshot
         self._plan_log_ref: list | None = meta.get("catalog:plan_log")
+        self.segments.attach(meta.get("catalog:meta_segment", {}))
 
     # -- lifecycle ------------------------------------------------------
 
@@ -219,11 +320,13 @@ class Catalog:
         self._save_meta()
         self.pager.close()
         self.heap.close()
+        self.segments.close()
 
     def sync(self) -> None:
         self._save_meta()
         self.pager.sync()
         self.heap.sync()
+        self.segments.sync()
 
     def __enter__(self) -> "Catalog":
         return self
@@ -250,6 +353,7 @@ class Catalog:
             self._plan_log.dirty = False
         meta = self.pager.get_meta()
         meta["catalog:next_id"] = self._next_id
+        meta["catalog:meta_segment"] = self.segments.flush()
         meta["catalog:collections"] = sorted(self._collections)
         meta["catalog:indexes"] = [list(key) for key in self._registered]
         meta["catalog:multi_value"] = [list(key) for key in sorted(self._multi_value)]
@@ -289,6 +393,8 @@ class Catalog:
             collection = self._collections[name]
             collection._tree.clear()
             collection._ref_map = None
+            # the columnar segment restarts clean alongside the tree
+            self.segments.drop(name)
             # indexes and statistics over the old contents are stale
             self._registered = [
                 key for key in self._registered if key[0] != name

@@ -78,15 +78,16 @@ class LogicalPlan:
     def with_children(self, *new_children: "LogicalPlan") -> "LogicalPlan":
         """Copy of this node with its child slots replaced, in field order."""
         updates: dict[str, LogicalPlan] = {}
-        remaining = list(new_children)
+        position = 0
         for f in fields(self):
             if isinstance(getattr(self, f.name), LogicalPlan):
-                if not remaining:
+                if position >= len(new_children):
                     raise QueryError(
                         f"{type(self).__name__}.with_children: too few children"
                     )
-                updates[f.name] = remaining.pop(0)
-        if remaining:
+                updates[f.name] = new_children[position]
+                position += 1
+        if position < len(new_children):
             raise QueryError(
                 f"{type(self).__name__}.with_children: too many children"
             )

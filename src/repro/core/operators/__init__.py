@@ -33,6 +33,7 @@ from repro.core.operators.scans import (
     IteratorScan,
     Limit,
     MapPatches,
+    MetadataScan,
     OrderBy,
     Project,
     Select,
@@ -53,6 +54,7 @@ __all__ = [
     "IteratorScan",
     "Limit",
     "MapPatches",
+    "MetadataScan",
     "NestedLoopJoin",
     "Operator",
     "OrderBy",

@@ -89,6 +89,33 @@ class CollectionScan(Operator):
             yield [(patch,) for patch in patches]
 
 
+class MetadataScan(Operator):
+    """Metadata-only scan with zone-map block skipping.
+
+    Reads the collection's columnar metadata segment — never the patch
+    heap — and, given ``expr``, skips sealed blocks whose per-attribute
+    min/max zone maps prove no row can match. Surviving blocks are
+    *not* row-filtered here: the Select the planner stacks on top
+    applies ``expr`` exactly, so a conservative zone map can only cost
+    time, never rows.
+    """
+
+    def __init__(
+        self, collection: MaterializedCollection, expr: Expr | None = None
+    ) -> None:
+        self.collection = collection
+        self.expr = expr
+        self.load_data = False
+
+    def __iter__(self) -> Iterator[Row]:
+        for batch in self.iter_batches():
+            yield from batch
+
+    def iter_batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+        for patches in self.collection.metadata_batches(size, expr=self.expr):
+            yield [(patch,) for patch in patches]
+
+
 class _IndexScan(Operator):
     """Shared batched fetch path of the index access scans: the index
     yields patch ids, batches of ids become patches through one coalesced

@@ -52,6 +52,10 @@ class CostModel:
     index_lookup: float = 1.2e-4
     #: per-result fetch from the heap
     fetch_per_patch: float = 1.2e-4
+    #: producing one data-less patch from the columnar metadata segment
+    #: (bulk column decode, no pixel decompression — far under
+    #: ``scan_per_patch``, which pays the full record)
+    metadata_scan_per_patch: float = 4e-6
 
     calibrated: bool = field(default=False, repr=False)
 
@@ -59,6 +63,10 @@ class CostModel:
 
     def full_scan(self, n: int) -> float:
         return n * (self.scan_per_patch + self.filter_per_patch)
+
+    def metadata_scan(self, n: float) -> float:
+        """Metadata-only scan over ``n`` rows of the columnar segment."""
+        return n * (self.metadata_scan_per_patch + self.filter_per_patch)
 
     def udf_map(self, n: float) -> float:
         """Applying a UDF map over ``n`` rows (model inference)."""

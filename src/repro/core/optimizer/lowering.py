@@ -16,7 +16,7 @@ import copy
 import hashlib
 import threading
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Protocol, runtime_checkable
 
 import numpy as np
@@ -40,6 +40,7 @@ from repro.core.operators import (
     IteratorScan,
     Limit,
     MapPatches,
+    MetadataScan,
     NestedLoopJoin,
     Operator,
     OrderBy,
@@ -56,6 +57,7 @@ from repro.core.optimizer.optimizer import (
 from repro.core.optimizer.rewriter import rewrite
 from repro.core.patch import LINEAGE_KEY, Patch
 from repro.core.profile import OperatorProfile
+from repro.core.udf import AttributeKey
 from repro.core.statistics import fallback_estimate, sample_match_fraction
 from repro.errors import QueryError
 
@@ -502,6 +504,80 @@ class AggregateExecution:
         return GroupBy(rows, self.key, self.reducer).execute()
 
 
+def _aggregate_reads_data(node: logical.Aggregate) -> bool:
+    """Whether executing this aggregate can observe its rows' pixel data.
+
+    ``count`` touches nothing; ``distinct_count``/``avg``/``group`` keyed
+    by an :class:`~repro.core.udf.AttributeKey` read only metadata (and
+    ``group`` additionally needs the trivial ``len`` reducer — any other
+    reducer folds whole patch lists and may read anything). Opaque
+    callables are conservatively assumed to read data.
+    """
+    if node.kind == "count":
+        return False
+    if not isinstance(node.key, AttributeKey):
+        return True
+    return node.kind == "group" and node.reducer is not len
+
+
+def apply_metadata_only(
+    plan: logical.LogicalPlan,
+) -> tuple[logical.LogicalPlan, list[str]]:
+    """Flip eligible scans to ``load_data=False`` automatically.
+
+    A top-down pass tracking whether any consumer above each node can
+    *observe* pixel data. Where nothing can — a metadata-only aggregate,
+    or a ``Project`` that drops data — the storage scan underneath is
+    rewritten to skip the blob heap entirely and read the columnar
+    metadata segment instead. Opaque predicates, UDF maps, similarity
+    joins, and rows returned to the caller all count as observers.
+
+    Returns the (possibly unchanged) plan plus explain-trace note lines.
+    """
+    notes: list[str] = []
+
+    def visit(
+        node: logical.LogicalPlan, observed: bool
+    ) -> logical.LogicalPlan:
+        if isinstance(node, logical.Scan):
+            if node.load_data and not observed:
+                notes.append(
+                    f"metadata-only: nothing above Scan({node.collection}) "
+                    f"reads pixel data; scanning the metadata segment "
+                    f"instead of the blob heap"
+                )
+                return replace(node, load_data=False)
+            return node
+        children = node.children()
+        if isinstance(node, logical.Aggregate):
+            flags = (_aggregate_reads_data(node),)
+        elif isinstance(node, logical.Project):
+            # data dropped here is invisible above, so the child only
+            # needs it when the projection itself keeps it for an observer
+            flags = (observed and node.keep_data,)
+        elif isinstance(node, logical.Filter):
+            # an opaque Predicate may read patch.data; structural
+            # comparisons declare their attributes and never do
+            flags = (observed or logical.expr_attrs(node.expr) is None,)
+        elif isinstance(node, (logical.Limit, logical.OrderBy)):
+            flags = (observed,)
+        else:
+            # Map (UDF may read data), SimilarityJoin (features default to
+            # patch.data), and any future node: assume children observed
+            flags = tuple(True for _ in children)
+        new_children = tuple(
+            visit(child, flag) for child, flag in zip(children, flags)
+        )
+        if all(
+            new is old for new, old in zip(new_children, children)
+        ):
+            return node
+        return node.with_children(*new_children)
+
+    # the caller iterates the root's rows, so the root itself is observed
+    return visit(plan, True), notes
+
+
 def plan_pipeline(
     optimizer: Optimizer,
     plan: logical.LogicalPlan,
@@ -535,13 +611,17 @@ def plan_pipeline(
         plan, view_notes, view_decisions = views.apply(
             plan, allow_stale=allow_stale
         )
+    plan, metadata_notes = apply_metadata_only(plan)
     rewritten, applied = rewrite(plan)
     context = execution if execution is not None else ExecutionContext()
     lowering = _Lowering(optimizer, udf_cache, context)
     root = lowering.lower(rewritten)
     explanation = _merge_decisions(view_decisions + lowering.decisions)
     explanation.rewrites = (
-        view_notes + [str(entry) for entry in applied] + lowering.notes
+        view_notes
+        + metadata_notes
+        + [str(entry) for entry in applied]
+        + lowering.notes
     )
     explanation.estimates.extend(lowering.estimates)
     explanation.logical_plan = rewritten.describe()
@@ -697,10 +777,18 @@ class _Lowering:
                         )
                     except QueryError:
                         base_rows = 0
+                    version_of = getattr(
+                        self.optimizer.catalog, "collection_version", None
+                    )
                     entry.set_feedback(
                         current.collection,
                         logical.expr_signature_key(combined),
                         base_rows,
+                        version=(
+                            version_of(current.collection)
+                            if version_of is not None
+                            else 0
+                        ),
                     )
                 operator = ProfiledOperator(
                     _instrument_scan_group(operator, entry), entry
@@ -982,7 +1070,13 @@ def _scan_rooted(operator: Operator) -> bool:
         current = current.child
     return isinstance(
         current,
-        (CollectionScan, IndexLookupScan, IndexRangeScan, IteratorScan),
+        (
+            CollectionScan,
+            IndexLookupScan,
+            IndexRangeScan,
+            IteratorScan,
+            MetadataScan,
+        ),
     )
 
 

@@ -33,6 +33,7 @@ from repro.core.operators import (
     CollectionScan,
     IndexLookupScan,
     IndexRangeScan,
+    MetadataScan,
     Operator,
     Select,
 )
@@ -53,6 +54,8 @@ from repro.vision.backends.device import DEVICE_SPECS
 
 __all__ = [
     "EQ_SELECTIVITY",
+    "FEEDBACK_STALENESS_FRACTION",
+    "FEEDBACK_STALENESS_MIN",
     "NEQ_SELECTIVITY",
     "RANGE_SELECTIVITY",
     "Explanation",
@@ -60,6 +63,12 @@ __all__ = [
     "PlanAccuracy",
     "PlanChoice",
 ]
+
+#: a feedback correction goes stale once the collection has mutated more
+#: than ``max(MIN, FRACTION * rows-at-estimate-time)`` times past the
+#: newest observation — after that, fresh histograms win again
+FEEDBACK_STALENESS_MIN = 16
+FEEDBACK_STALENESS_FRACTION = 0.25
 
 
 @dataclass(frozen=True)
@@ -77,7 +86,13 @@ class PlanChoice:
         if "est_rows" in self.params:
             source = self.params.get("stat_source", "?")
             est = f", ~{self.params['est_rows']:.0f} rows ({source})"
-        return f"PlanChoice({self.kind}, {self.cost_seconds:.4g}s{est}{acc})"
+        zones = ""
+        if "blocks_total" in self.params:
+            zones = (
+                f", skipping {self.params['blocks_skipped']}/"
+                f"{self.params['blocks_total']} blocks"
+            )
+        return f"PlanChoice({self.kind}, {self.cost_seconds:.4g}s{est}{zones}{acc})"
 
 
 @dataclass(frozen=True)
@@ -215,12 +230,34 @@ class Optimizer:
     ) -> float | None:
         """Median observed selectivity of this exact predicate shape, or
         None when never profiled (or the catalog keeps no quality log —
-        tests substitute bare providers)."""
+        tests substitute bare providers).
+
+        Corrections do **not** win forever: each observation carries the
+        collection version it was measured at, and when every recorded
+        observation is older than the staleness threshold (the same
+        mutation-counter notion ``CollectionStatistics.staleness``
+        tracks), the correction is ignored and fresh histograms — which
+        *have* seen the new rows — take over.
+        """
         log_getter = getattr(self.catalog, "plan_quality_log", None)
         if log_getter is None:
             return None
+        current_version = None
+        staleness = None
+        version_of = getattr(self.catalog, "collection_version", None)
+        if version_of is not None:
+            current_version = version_of(collection_name)
+            stats = self.collection_statistics(collection_name)
+            rows = stats.row_count if stats is not None else 0
+            staleness = max(
+                FEEDBACK_STALENESS_MIN,
+                int(rows * FEEDBACK_STALENESS_FRACTION),
+            )
         return log_getter().correction(
-            collection_name, expr_signature_key(expr)
+            collection_name,
+            expr_signature_key(expr),
+            current_version=current_version,
+            staleness=staleness,
         )
 
     def estimate_filter_rows(
@@ -239,13 +276,16 @@ class Optimizer:
     ) -> tuple[Operator, Explanation]:
         """Best access path for ``SELECT * FROM collection WHERE expr``.
 
-        ``load_data=False`` plans a metadata-only scan: the pixel/feature
-        payload is never deserialized — the fast path for queries that
-        only touch metadata.
+        ``load_data=False`` plans against the columnar metadata segment:
+        the base candidate is a ``metadata-scan`` (no heap reads, no
+        pixel decompression), and when the predicate's zone maps prove
+        some blocks cannot match, a cheaper ``zone-map-scan`` candidate
+        skips them outright.
         """
         collection = self.catalog.collection(collection_name)
         n = max(len(collection), 1)
         candidates: list[tuple[PlanChoice, Operator]] = []
+        described = repr(expr) if expr is not None else "scan"
 
         estimate = self.predicate_estimate(collection_name, expr)
         est_rows = estimate.rows(len(collection))
@@ -254,13 +294,44 @@ class Optimizer:
         candidates.append(
             (
                 PlanChoice(
-                    "full-scan",
-                    self.cost.full_scan(n),
+                    "full-scan" if load_data else "metadata-scan",
+                    self.cost.full_scan(n)
+                    if load_data
+                    else self.cost.metadata_scan(n),
                     {"est_rows": est_rows, "stat_source": estimate.source},
                 ),
                 full,
             )
         )
+        estimates = [
+            f"{collection_name!r}: {described} ~ {est_rows:.0f} of "
+            f"{len(collection)} rows ({estimate.source})"
+        ]
+
+        if not load_data and expr is not None:
+            block_stats = getattr(collection, "metadata_block_stats", None)
+            if block_stats is not None:
+                kept, total, surviving = block_stats(expr)
+                if total and kept < total:
+                    candidates.append(
+                        (
+                            PlanChoice(
+                                "zone-map-scan",
+                                self.cost.metadata_scan(surviving),
+                                {
+                                    "est_rows": est_rows,
+                                    "stat_source": estimate.source,
+                                    "blocks_skipped": total - kept,
+                                    "blocks_total": total,
+                                },
+                            ),
+                            Select(MetadataScan(collection, expr), expr),
+                        )
+                    )
+                    estimates.append(
+                        f"{collection_name!r}: zone maps skip {total - kept} "
+                        f"of {total} blocks for {described}"
+                    )
 
         if expr is not None:
             candidates.extend(
@@ -269,14 +340,10 @@ class Optimizer:
 
         candidates.sort(key=lambda pair: pair[0].cost_seconds)
         chosen_choice, chosen_op = candidates[0]
-        described = repr(expr) if expr is not None else "scan"
         return chosen_op, Explanation(
             chosen=chosen_choice,
             candidates=[choice for choice, _ in candidates],
-            estimates=[
-                f"{collection_name!r}: {described} ~ {est_rows:.0f} of "
-                f"{len(collection)} rows ({estimate.source})"
-            ],
+            estimates=estimates,
         )
 
     def _index_candidates(

@@ -99,9 +99,12 @@ class OperatorProfile:
         #: stop the stream early, which must not be logged as the
         #: predicate's true selectivity)
         self.exhausted = False
-        #: (collection, predicate signature key, base row count) for scan
-        #: groups whose actual selectivity should feed the PlanQualityLog
-        self.feedback: tuple[str, str, int] | None = None
+        #: (collection, predicate signature key, base row count,
+        #: collection version) for scan groups whose actual selectivity
+        #: should feed the PlanQualityLog; the version dates each
+        #: observation so corrections can expire once the collection
+        #: mutates past them
+        self.feedback: tuple[str, str, int, int] | None = None
         self._rows_in = 0
         self._lock = threading.Lock()
 
@@ -138,9 +141,9 @@ class OperatorProfile:
             self.exhausted = True
 
     def set_feedback(
-        self, collection: str, expr_key: str, base_rows: int
+        self, collection: str, expr_key: str, base_rows: int, version: int = 0
     ) -> None:
-        self.feedback = (collection, expr_key, base_rows)
+        self.feedback = (collection, expr_key, base_rows, version)
 
     # -- derived ----------------------------------------------------------
 
@@ -260,8 +263,10 @@ class PlanQualityLog:
         #: parameterized fingerprint -> runs; one run is a list of
         #: [label, est_rows, actual_rows] triples in lowering order
         self._plans: dict[str, list[list]] = {}
-        #: (collection, predicate signature key) -> [est_sel, actual_sel]
-        #: observations, oldest first
+        #: (collection, predicate signature key) -> [est_sel, actual_sel,
+        #: collection version] observations, oldest first (entries loaded
+        #: from pre-version logs have only the two selectivities and read
+        #: as version 0)
         self._predicates: dict[tuple[str, str], list[list[float]]] = {}
         self.dirty = False
         self._lock = threading.Lock()
@@ -282,7 +287,8 @@ class PlanQualityLog:
             for entry in profile.entries:
                 if entry.feedback is None or not entry.exhausted:
                     continue
-                collection, expr_key, base_rows = entry.feedback
+                collection, expr_key, base_rows = entry.feedback[:3]
+                version = entry.feedback[3] if len(entry.feedback) > 3 else 0
                 if base_rows <= 0:
                     continue
                 key = (collection, expr_key)
@@ -296,18 +302,41 @@ class PlanQualityLog:
                     [
                         float(entry.est_rows or 0.0) / base_rows,
                         float(entry.rows_out) / base_rows,
+                        float(version),
                     ]
                 )
                 del observations[:-PREDICATE_HISTORY]
             self.dirty = True
 
-    def correction(self, collection: str, expr_key: str) -> float | None:
+    def correction(
+        self,
+        collection: str,
+        expr_key: str,
+        *,
+        current_version: int | None = None,
+        staleness: int | None = None,
+    ) -> float | None:
         """Median observed selectivity of a predicate over a collection,
-        or None when this exact shape was never profiled to completion."""
+        or None when this exact shape was never profiled to completion.
+
+        With ``current_version`` and ``staleness`` set, observations
+        recorded more than ``staleness`` collection mutations ago are
+        considered expired; when **every** observation has expired, the
+        correction abstains (returns None) so fresher statistics decide.
+        Recent observations keep the whole history alive — the median
+        still pools old runs, since the predicate evidently still holds.
+        """
         with self._lock:
             observations = self._predicates.get((collection, expr_key))
             if not observations:
                 return None
+            if current_version is not None and staleness is not None:
+                if all(
+                    current_version - (obs[2] if len(obs) > 2 else 0)
+                    > staleness
+                    for obs in observations
+                ):
+                    return None
             actuals = sorted(obs[1] for obs in observations)
             return actuals[len(actuals) // 2]
 

@@ -134,8 +134,11 @@ class DeepLens:
 
     Orthogonally, ``scan(..., load_data=False)`` still wins whenever the
     pipeline only touches metadata: no worker count beats not reading
-    the pixels at all — the batched heap path then skips payload
-    decoding entirely.
+    the pixels at all. Metadata-only scans read a columnar metadata
+    segment beside the blob heap — zone-mapped attribute blocks, zero
+    heap trips, no pixel decompression — and the planner flips eligible
+    scans (e.g. under ``COUNT(*)``) to this path automatically; the
+    rewrite shows up in ``explain()``.
 
     **The LensQL dialect** (:meth:`sql` / :meth:`sql_query`):
 
@@ -147,8 +150,9 @@ class DeepLens:
                      | DROP VIEW name
                      | CREATE INDEX ON name '(' name ')' [USING kind]
                      | SHOW COLLECTIONS | SHOW VIEWS | SHOW STATS FOR name
-        select      := SELECT items FROM collection [simjoin]
-                       [WHERE expr] [ORDER BY attr [ASC|DESC]] [LIMIT n]
+        select      := SELECT items FROM collection [METADATA ONLY]
+                       [simjoin] [WHERE expr]
+                       [ORDER BY attr [ASC|DESC]] [LIMIT n]
         items       := '*' | item (',' item)*
         item        := attr | udf '(' ')'                 -- registered UDF map
                      | COUNT '(' '*' ')' | COUNT '(' DISTINCT attr ')'
@@ -163,6 +167,10 @@ class DeepLens:
         op          := = | == | != | <> | < | <= | > | >=
         literal     := 'string' | number | -number | TRUE | FALSE | NULL
 
+    ``FROM c METADATA ONLY`` scans the columnar metadata segment instead
+    of the blob heap (rows come back data-less) and builds the same plan
+    as ``scan(c, load_data=False)`` — fingerprint-identical, so the two
+    forms share views and plan-quality history.
     ``SELECT udf()`` applies a registered UDF as a map below the WHERE
     clause (its declared ``provides`` attributes join the projection);
     ``SIMILARITY JOIN ... WITHIN t`` lowers to the same
@@ -785,11 +793,13 @@ class QueryBuilder:
         return [row for batch in operator.iter_batches(size) for row in batch]
 
     def count(self, *, batch_size: int | None = PLANNER_CHOSEN) -> int:
-        operator, explanation = self.plan()
-        if batch_size is None:
-            return operator.count()
-        size = self._resolve_batch_size(batch_size, explanation)
-        return sum(len(batch) for batch in operator.iter_batches(size))
+        # planned as a terminal Aggregate(count) — not a row collection —
+        # so the planner can flip the scan underneath to the metadata
+        # segment (counting never needs pixel data)
+        aggregate, explanation, _ = self._plan_aggregate("count")
+        return aggregate.execute(
+            batch_size=self._resolve_batch_size(batch_size, explanation)
+        )
 
     def _plan_aggregate(
         self,

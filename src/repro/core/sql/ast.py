@@ -265,12 +265,16 @@ class Select(Node):
     where: SqlExpr | None = None
     order_by: OrderSpec | None = None
     limit: int | None = None
+    #: scan the columnar metadata segment, never the pixel blob heap
+    metadata_only: bool = False
 
     def to_sql(self) -> str:
         parts = [
             "SELECT " + ", ".join(item.to_sql() for item in self.items),
             f"FROM {self.source.to_sql()}",
         ]
+        if self.metadata_only:
+            parts.append("METADATA ONLY")
         if self.join is not None:
             parts.append(self.join.to_sql())
         if self.where is not None:

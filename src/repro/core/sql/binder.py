@@ -305,8 +305,17 @@ class Binder:
                 "AVG/COUNT(DISTINCT) over pair rows is not supported yet",
                 select.items[0],
             )
+        if select.metadata_only and joined:
+            # join features default to patch.data, and a feature UDF gets
+            # data-less patches — either way the pairing would be garbage
+            raise self._error(
+                "METADATA ONLY scans carry no pixel data to join on; "
+                "drop METADATA ONLY or join over full scans",
+                select.join,
+            )
         builder = self.session.scan(
-            self._collection(select.source.name, select.source)
+            self._collection(select.source.name, select.source),
+            load_data=not select.metadata_only,
         )
 
         # UDF maps, in select-list order, below everything else
@@ -317,6 +326,12 @@ class Binder:
                         "UDF calls are not supported in similarity-join "
                         "selects (rows are pairs); join over a subquery "
                         "that applies the UDF instead",
+                        item,
+                    )
+                if select.metadata_only:
+                    raise self._error(
+                        f"UDF {item.name!r} would run over data-less "
+                        f"patches under METADATA ONLY; drop one of the two",
                         item,
                     )
                 self._udf(item.name, item)

@@ -11,8 +11,8 @@ One statement per call. The grammar (also documented on
                  | DROP VIEW name
                  | CREATE INDEX ON name '(' name ')' [USING name]
                  | SHOW COLLECTIONS | SHOW VIEWS | SHOW STATS FOR name
-    select      := SELECT items FROM name [simjoin] [WHERE expr]
-                   [ORDER BY name [ASC|DESC]] [LIMIT int]
+    select      := SELECT items FROM name [METADATA ONLY] [simjoin]
+                   [WHERE expr] [ORDER BY name [ASC|DESC]] [LIMIT int]
     items       := '*' | item (',' item)*
     item        := column | name '(' ')'
                  | COUNT '(' '*' ')' | COUNT '(' DISTINCT name ')'
@@ -212,6 +212,10 @@ class _Parser:
         source = ast.TableRef(
             self._name("collection name"), pos=self._pos(source_token)
         )
+        metadata_only = False
+        if self._accept(KEYWORD, "METADATA"):
+            self._expect(KEYWORD, "ONLY")
+            metadata_only = True
         join = None
         if self.current.matches(KEYWORD, "SIMILARITY"):
             join = self._similarity_join()
@@ -233,7 +237,14 @@ class _Parser:
         if self._accept(KEYWORD, "LIMIT"):
             limit = self._int("LIMIT")
         return ast.Select(
-            items, source, join, where, order_by, limit, pos=self._pos(start)
+            items,
+            source,
+            join,
+            where,
+            order_by,
+            limit,
+            metadata_only,
+            pos=self._pos(start),
         )
 
     def _select_items(self) -> tuple[ast.SelectItem, ...]:

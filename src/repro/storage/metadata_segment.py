@@ -1,0 +1,564 @@
+"""Columnar metadata segment: per-attribute arrays with zone maps.
+
+The blob heap stores each patch as one record — pixels and metadata
+interleaved — so even ``load_data=False`` readers used to pay the full
+zlib decompress + record parse per patch. This module is the other half
+of the storage split (Deep Lake's tensor-layout insight applied to the
+patch store): every collection keeps a **columnar segment** beside the
+heap holding only the metadata, written in blocks of ``BLOCK_ROWS``
+rows with
+
+* one compressed column per attribute (values + a presence mask, so a
+  missing key and an explicit ``None`` stay distinct — metadata-only
+  reads must be bit-identical to ``Patch.from_record``), and
+* a per-block, per-attribute min/max **zone map** used for block
+  skipping: a range or equality predicate whose value band provably
+  misses a block never decompresses it.
+
+The segment lives in its *own* heap file (``metadata.seg``) — a
+metadata-only scan performs zero reads against the patch heap, which is
+the whole point (and what the profile counters assert in CI).
+
+Zone-map pruning is deliberately conservative. It mirrors the
+expression DSL's semantics exactly: ordered comparisons are ``False``
+on ``None``; ``==``/``!=`` are plain equality (``== None`` matches a
+missing attribute); mixed-type or non-scalar columns (and any column
+containing NaN, which breaks min/max ordering) simply opt out of
+pruning rather than risk dropping a matching row.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+import numpy as np
+
+from repro.storage.kvstore import BlobHeap, BlobRef, serialization
+
+#: rows per sealed block — one zone-map entry and one column read each
+BLOCK_ROWS = 1024
+#: columns smaller than this are stored raw (zlib header overhead wins)
+COLUMN_COMPRESS_MIN = 64
+
+GROUP_NUMERIC = "num"
+GROUP_STRING = "str"
+
+
+def _value_group(value: Any) -> str | None:
+    """Ordering group of one value: values of the same group compare
+    safely with ``<``; anything else opts out of zone-map pruning."""
+    if isinstance(value, (bool, int, float)):
+        if isinstance(value, float) and value != value:  # NaN breaks min/max
+            return None
+        return GROUP_NUMERIC
+    if isinstance(value, str):
+        return GROUP_STRING
+    return None
+
+
+@dataclass
+class ZoneMap:
+    """Min/max summary of one attribute over one sealed block."""
+
+    lo: Any = None
+    hi: Any = None
+    #: ordering group of lo/hi; None means the block holds mixed or
+    #: unorderable values and range pruning is disabled
+    group: str | None = None
+    #: non-None values in the block (0 = attribute all-None/missing)
+    n_values: int = 0
+    #: True when at least one row reads the attribute as None/missing
+    has_none: bool = False
+
+    def to_value(self) -> list:
+        return [self.lo, self.hi, self.group, self.n_values, self.has_none]
+
+    @classmethod
+    def from_value(cls, value: list) -> "ZoneMap":
+        lo, hi, group, n_values, has_none = value
+        return cls(lo, hi, group, int(n_values), bool(has_none))
+
+
+#: zone map of an attribute no row in the block carries: every read is
+#: None, so ``has_none`` must hold or ``== None`` probes would wrongly
+#: prune the block
+_ABSENT = ZoneMap(has_none=True)
+
+
+def zone_of(values: list, present: list[bool]) -> ZoneMap:
+    """Summarize one column of a block (``present[i]`` False means the
+    attribute was missing from row ``i``'s metadata)."""
+    zone = ZoneMap()
+    mixed = False
+    for value, is_present in zip(values, present):
+        if not is_present or value is None:
+            zone.has_none = True
+            continue
+        zone.n_values += 1
+        group = _value_group(value)
+        if group is None or (zone.group is not None and group != zone.group):
+            mixed = True
+            continue
+        zone.group = group
+        if zone.lo is None or value < zone.lo:
+            zone.lo = value
+        if zone.hi is None or value > zone.hi:
+            zone.hi = value
+    if mixed:
+        zone.group = None
+        zone.lo = zone.hi = None
+    return zone
+
+
+def _cmp_may_match(zone: ZoneMap, op: str, value: Any) -> bool:
+    """Can any row summarized by ``zone`` satisfy ``attr <op> value``?
+    ``False`` only on proof; any doubt keeps the block."""
+    if op == "==":
+        if value is None:
+            return zone.has_none
+        if zone.n_values == 0:
+            return False
+        if zone.group is None or _value_group(value) != zone.group:
+            return True
+        return not (value < zone.lo or value > zone.hi)
+    if op == "!=":
+        if value is None:
+            # None != None is False; only non-None rows match
+            return zone.n_values > 0
+        if zone.has_none:
+            return True  # a None row satisfies any != non-None
+        if (
+            zone.group is not None
+            and _value_group(value) == zone.group
+            and zone.lo == zone.hi
+            and zone.lo == value
+        ):
+            return False  # constant block equal to the probe
+        return True
+    # ordered comparisons are False on None, so an all-None block
+    # cannot match regardless of the probe
+    if zone.n_values == 0:
+        return False
+    if zone.group is None or _value_group(value) != zone.group:
+        return True
+    if op == "<":
+        return zone.lo < value
+    if op == "<=":
+        return zone.lo <= value
+    if op == ">":
+        return zone.hi > value
+    if op == ">=":
+        return zone.hi >= value
+    return True  # in/contains and anything future: never prune
+
+
+def _between_may_match(zone: ZoneMap, low: Any, high: Any) -> bool:
+    if zone.n_values == 0:
+        return False  # Between is False on None
+    if zone.group is None:
+        return True
+    if low is not None and _value_group(low) == zone.group and zone.hi < low:
+        return False
+    if high is not None and _value_group(high) == zone.group and zone.lo > high:
+        return False
+    return True
+
+
+def block_may_match(zones: dict[str, ZoneMap], expr: Any) -> bool:
+    """Zone-map test for one sealed block: False means *no* row in the
+    block can satisfy ``expr``. Only top-level conjuncts of the two
+    statically analyzable shapes (comparisons, BETWEEN) prune; every
+    other conjunct — OR, NOT, opaque predicates — conservatively keeps
+    the block."""
+    from repro.core.expressions import Between, Comparison
+
+    conjuncts = expr.conjuncts() if hasattr(expr, "conjuncts") else [expr]
+    for conjunct in conjuncts:
+        try:
+            if isinstance(conjunct, Comparison):
+                zone = zones.get(conjunct.attr, _ABSENT)
+                if not _cmp_may_match(zone, conjunct.op, conjunct.value):
+                    return False
+            elif isinstance(conjunct, Between):
+                zone = zones.get(conjunct.attr, _ABSENT)
+                if not _between_may_match(zone, conjunct.lo, conjunct.hi):
+                    return False
+        except (TypeError, ValueError):
+            continue  # exotic probe value: keep the block
+    return True
+
+
+def _pack_values(values: list) -> list:
+    """Typed encoding of one value run. Homogeneous runs — the common
+    case for a column, and for each ``ImgRef`` field — become one
+    vector (an ndarray, or a joined string plus lengths) so decode is a
+    single serializer value instead of a tagged scalar per row; anything
+    mixed falls back to the general per-value encoding."""
+    kinds = set(map(type, values))
+    if kinds == {int}:
+        try:
+            return ["i", np.array(values, dtype=np.int64)]
+        except OverflowError:
+            return ["o", list(values)]
+    if kinds == {float}:
+        return ["f", np.array(values, dtype=np.float64)]
+    if kinds == {str}:
+        lengths = np.array([len(value) for value in values], dtype=np.int64)
+        return ["s", "".join(values), lengths]
+    if kinds == {type(None)}:
+        return ["n", len(values)]
+    if kinds == {tuple}:
+        width = len(values[0])
+        if width and all(len(value) == width for value in values):
+            # same-shape tuples (lineage steps, refs) recurse columnwise
+            return ["t", width, [
+                _pack_values([value[i] for value in values])
+                for i in range(width)
+            ]]
+    return ["o", list(values)]
+
+
+def _unpack_values(packed: list) -> list:
+    kind = packed[0]
+    if kind == "o":
+        return packed[1]
+    if kind == "n":
+        return [None] * packed[1]
+    if kind == "s":
+        joined, out, pos = packed[1], [], 0
+        for length in packed[2].tolist():
+            out.append(joined[pos : pos + length])
+            pos += length
+        return out
+    if kind == "t":
+        return list(zip(*(_unpack_values(run) for run in packed[2])))
+    return packed[1].tolist()  # "i"/"f": back to plain int/float
+
+
+def _pack_column(values: list, present: list[bool]) -> bytes:
+    """One column as bytes: ``[mask, typed values]`` serialized, zlib'd
+    when it pays. The mask is None when every row carries the attribute
+    (the common case for schema attrs — saves the per-row byte)."""
+    mask = None if all(present) else [1 if p else 0 for p in present]
+    raw = serialization.dumps([mask, _pack_values(values)], compress_arrays=False)
+    if len(raw) >= COLUMN_COMPRESS_MIN:
+        squeezed = zlib.compress(raw, 6)
+        if len(squeezed) < len(raw):
+            return b"z" + squeezed
+    return b"r" + raw
+
+
+def _unpack_column(blob: bytes) -> tuple[list | None, list]:
+    raw = zlib.decompress(blob[1:]) if blob[:1] == b"z" else blob[1:]
+    mask, packed = serialization.loads(raw)
+    return mask, _unpack_values(packed)
+
+
+@dataclass
+class _Block:
+    """One sealed, immutable run of rows: a blob ref plus its summary."""
+
+    ref: BlobRef
+    n_rows: int
+    min_id: int
+    max_id: int
+    zones: dict[str, ZoneMap]
+
+    def to_value(self) -> list:
+        return [
+            list(self.ref.to_tuple()),
+            self.n_rows,
+            self.min_id,
+            self.max_id,
+            [[attr, zone.to_value()] for attr, zone in self.zones.items()],
+        ]
+
+    @classmethod
+    def from_value(cls, value: list) -> "_Block":
+        ref, n_rows, min_id, max_id, zones = value
+        return cls(
+            ref=BlobRef.from_tuple(tuple(ref)),
+            n_rows=int(n_rows),
+            min_id=int(min_id),
+            max_id=int(max_id),
+            zones={attr: ZoneMap.from_value(z) for attr, z in zones},
+        )
+
+
+#: one segment row: (patch_id, img_ref value tuple, metadata dict)
+Row = tuple[int, tuple, dict]
+
+
+class CollectionSegment:
+    """One collection's columnar metadata: sealed blocks plus an open
+    tail of rows not yet worth a block.
+
+    Tail rows are kept pre-serialized so appends snapshot the metadata
+    exactly like ``Patch.to_record`` does — a caller mutating the patch
+    after ``add`` cannot desynchronize the two stores — and so scans
+    hand out fresh objects, never shared mutable state.
+    """
+
+    def __init__(
+        self, heap: BlobHeap, name: str, *, block_rows: int | None = None
+    ) -> None:
+        self._heap = heap
+        self.name = name
+        self.block_rows = block_rows or BLOCK_ROWS
+        self._blocks: list[_Block] = []
+        #: (patch_id, ref value tuple, serialized metadata)
+        self._tail: list[tuple[int, tuple, bytes]] = []
+        self._lock = threading.RLock()
+        self.dirty = False
+
+    @property
+    def row_count(self) -> int:
+        with self._lock:
+            return sum(b.n_rows for b in self._blocks) + len(self._tail)
+
+    # -- writes ---------------------------------------------------------
+
+    def append(self, patch_id: int, ref_value: tuple, metadata: dict) -> None:
+        """Add one row (metadata already normalized by the caller)."""
+        payload = serialization.dumps(metadata, compress_arrays=False)
+        with self._lock:
+            self._tail.append((patch_id, tuple(ref_value), payload))
+            if len(self._tail) >= self.block_rows:
+                self._seal_tail()
+            self.dirty = True
+
+    def rebuild(self, rows: Iterable[tuple[int, tuple, dict]]) -> None:
+        """Replace all contents (backfill of a pre-segment catalog, or a
+        collection re-materialization)."""
+        with self._lock:
+            self._blocks = []
+            self._tail = []
+            self.dirty = True
+            for patch_id, ref_value, metadata in rows:
+                self.append(patch_id, ref_value, metadata)
+
+    def _seal_tail(self) -> None:
+        # caller holds the lock
+        rows = [
+            (patch_id, ref_value, serialization.loads(payload))
+            for patch_id, ref_value, payload in self._tail
+        ]
+        attrs: list[str] = []
+        for _, _, metadata in rows:
+            for attr in metadata:
+                if attr not in attrs:
+                    attrs.append(attr)
+        columns: dict[str, bytes] = {}
+        zones: dict[str, ZoneMap] = {}
+        for attr in attrs:
+            present = [attr in metadata for _, _, metadata in rows]
+            values = [metadata.get(attr) for _, _, metadata in rows]
+            columns[attr] = _pack_column(values, present)
+            zones[attr] = zone_of(values, present)
+        ref_values = [ref_value for _, ref_value, _ in rows]
+        width = len(ref_values[0])
+        if all(len(ref_value) == width for ref_value in ref_values):
+            # refs columnar too: one typed run per ImgRef field
+            refs = ["cols", width, [
+                _pack_values([ref_value[i] for ref_value in ref_values])
+                for i in range(width)
+            ]]
+        else:
+            refs = ["rows", 0, [list(ref_value) for ref_value in ref_values]]
+        payload = serialization.dumps(
+            {
+                "ids": np.array([patch_id for patch_id, _, _ in rows], dtype=np.int64),
+                "refs": refs,
+                "attrs": attrs,
+                "cols": columns,
+            },
+            compress_arrays=False,
+        )
+        ref = self._heap.put(payload, compress=False)  # columns already packed
+        self._blocks.append(
+            _Block(ref, len(rows), rows[0][0], rows[-1][0], zones)
+        )
+        self._tail = []
+
+    # -- reads ----------------------------------------------------------
+
+    def _decode_block(self, block: _Block) -> list[Row]:
+        value = serialization.loads(self._heap.get(block.ref))
+        ids = value["ids"].tolist()
+        shape, width, packed = value["refs"]
+        if shape == "cols":
+            runs = [_unpack_values(run) for run in packed]
+            refs = list(zip(*runs)) if width else [()] * len(ids)
+        else:
+            refs = [tuple(ref_value) for ref_value in packed]
+        attrs = value["attrs"]
+        unpacked = [(attr, _unpack_column(value["cols"][attr])) for attr in attrs]
+        rows: list[Row] = []
+        for i, (patch_id, ref_value) in enumerate(zip(ids, refs)):
+            metadata = {}
+            for attr, (mask, values) in unpacked:
+                if mask is None or mask[i]:
+                    metadata[attr] = values[i]
+            rows.append((patch_id, ref_value, metadata))
+        return rows
+
+    def scan_rows(self, expr: Any = None) -> Iterator[Row]:
+        """All rows in id order; with ``expr``, sealed blocks whose zone
+        maps prove no row can match are skipped *without being read*.
+        Surviving blocks are NOT row-filtered — the caller's Select
+        applies the predicate exactly."""
+        with self._lock:
+            blocks = list(self._blocks)
+            tail = list(self._tail)
+        for block in blocks:
+            if expr is not None and not block_may_match(block.zones, expr):
+                continue
+            yield from self._decode_block(block)
+        for patch_id, ref_value, payload in tail:
+            yield (patch_id, ref_value, serialization.loads(payload))
+
+    def get_rows(self, patch_ids: Iterable[int]) -> list[Row]:
+        """Point access; results align with ``patch_ids``. Raises
+        ``KeyError(patch_id)`` for ids not in the segment."""
+        ids = list(patch_ids)
+        with self._lock:
+            blocks = list(self._blocks)
+            tail = list(self._tail)
+        max_ids = [block.max_id for block in blocks]
+        wanted: dict[int, set[int]] = {}  # block index -> ids wanted there
+        tail_ids: set[int] = set()
+        for patch_id in ids:
+            position = bisect_left(max_ids, patch_id)
+            if position < len(blocks) and blocks[position].min_id <= patch_id:
+                wanted.setdefault(position, set()).add(patch_id)
+            else:
+                tail_ids.add(patch_id)
+        found: dict[int, Row] = {}
+        for position, targets in wanted.items():
+            for row in self._decode_block(blocks[position]):
+                if row[0] in targets:
+                    found[row[0]] = row
+        for patch_id, ref_value, payload in tail:
+            if patch_id in tail_ids:
+                found[patch_id] = (
+                    patch_id,
+                    ref_value,
+                    serialization.loads(payload),
+                )
+        out = []
+        for patch_id in ids:
+            row = found.get(patch_id)
+            if row is None:
+                raise KeyError(patch_id)
+            out.append(row)
+        return out
+
+    def block_stats(self, expr: Any = None) -> tuple[int, int, int]:
+        """(kept blocks, total sealed blocks, surviving-row bound) for the
+        planner: how much of the segment a zone-mapped scan would read.
+        Tail rows always survive (they have no zone maps yet)."""
+        with self._lock:
+            blocks = list(self._blocks)
+            tail_rows = len(self._tail)
+        kept = [
+            block
+            for block in blocks
+            if expr is None or block_may_match(block.zones, expr)
+        ]
+        rows = sum(block.n_rows for block in kept) + tail_rows
+        return len(kept), len(blocks), rows
+
+    # -- persistence ----------------------------------------------------
+
+    def to_value(self) -> dict:
+        with self._lock:
+            return {
+                "block_rows": self.block_rows,
+                "blocks": [block.to_value() for block in self._blocks],
+                "tail": [
+                    [patch_id, list(ref_value), payload]
+                    for patch_id, ref_value, payload in self._tail
+                ],
+            }
+
+    @classmethod
+    def from_value(cls, heap: BlobHeap, name: str, value: dict) -> "CollectionSegment":
+        segment = cls(heap, name, block_rows=int(value["block_rows"]))
+        segment._blocks = [_Block.from_value(entry) for entry in value["blocks"]]
+        segment._tail = [
+            (int(patch_id), tuple(ref_value), payload)
+            for patch_id, ref_value, payload in value["tail"]
+        ]
+        return segment
+
+
+class MetadataSegmentStore:
+    """All collections' segments over one ``metadata.seg`` heap file.
+
+    The catalog hands descriptor refs in via :meth:`attach` (from pager
+    meta) and flushes dirty segments back out through :meth:`flush` —
+    the same snapshot idiom statistics use. Like them, rewrites append
+    (old descriptor/block blobs are never reclaimed); segments are tiny
+    next to pixels, so compaction stays a non-goal for now.
+    """
+
+    def __init__(self, path: str) -> None:
+        self._heap = BlobHeap(path)
+        self._segments: dict[str, CollectionSegment] = {}
+        self._refs: dict[str, list] = {}
+        self._lock = threading.RLock()
+
+    def attach(self, refs: dict[str, list]) -> None:
+        with self._lock:
+            self._refs = {name: list(ref) for name, ref in refs.items()}
+
+    def segment(self, name: str) -> CollectionSegment:
+        """The named collection's segment, loading the persisted
+        descriptor on first use (an empty segment otherwise — the lazy
+        backfill trigger for pre-segment catalogs)."""
+        with self._lock:
+            segment = self._segments.get(name)
+            if segment is None:
+                ref = self._refs.get(name)
+                if ref is not None:
+                    descriptor = serialization.loads(
+                        self._heap.get(BlobRef.from_tuple(tuple(ref)))
+                    )
+                    segment = CollectionSegment.from_value(
+                        self._heap, name, descriptor
+                    )
+                else:
+                    segment = CollectionSegment(self._heap, name)
+                self._segments[name] = segment
+            return segment
+
+    def drop(self, name: str) -> None:
+        """Forget a collection's segment (re-materialization starts clean)."""
+        with self._lock:
+            self._segments.pop(name, None)
+            self._refs.pop(name, None)
+
+    def flush(self) -> dict[str, list]:
+        """Persist dirty segments; returns the descriptor-ref mapping the
+        catalog stores in pager meta."""
+        with self._lock:
+            for name, segment in self._segments.items():
+                if not segment.dirty:
+                    continue
+                payload = serialization.dumps(
+                    segment.to_value(), compress_arrays=False
+                )
+                ref = self._heap.put(payload, compress=True)
+                self._refs[name] = list(ref.to_tuple())
+                segment.dirty = False
+            return dict(self._refs)
+
+    def sync(self) -> None:
+        self._heap.sync()
+
+    def close(self) -> None:
+        self._heap.close()

@@ -139,12 +139,14 @@ def query_shapes(draw):
     return where, order, limit
 
 
-def build(session, shape, *, mapped=False):
+def build(session, shape, *, mapped=False, load_data=True):
     """The same random query via both frontends: a fluent builder and
     the LensQL text."""
     where, order, limit = shape
-    query = session.scan("det")
+    query = session.scan("det", load_data=load_data)
     sql = "SELECT brighten() FROM det" if mapped else "SELECT * FROM det"
+    if not load_data:
+        sql += " METADATA ONLY"
     if mapped:
         query = query.map("brighten")
     if where is not None:
@@ -194,6 +196,31 @@ def test_view_served_matches_recomputed(db, view_db, shape):
     assert semantic_signature(with_view.patches()) == semantic_signature(
         without_view.patches()
     )
+
+
+@given(shape=query_shapes())
+@settings(max_examples=30, deadline=None)
+def test_metadata_only_matches_full_scan(db, shape):
+    """The columnar-segment path must agree with the full-record path on
+    everything but pixel data — same rows, same order, bit-identical
+    ids, refs, and metadata — through both frontends."""
+    lean_query, lean_sql = build(db, shape, load_data=False)
+    full_query, _ = build(db, shape)
+    assert (
+        db.sql_query(lean_sql).plan_fingerprint()
+        == lean_query.plan_fingerprint()
+    )
+
+    def lean_signature(patches):
+        return [
+            (p.patch_id, p.img_ref.to_value(), sorted(p.metadata.items()))
+            for p in patches
+        ]
+
+    lean = lean_query.patches()
+    assert all(p.data.size == 0 for p in lean)
+    assert lean_signature(lean) == lean_signature(full_query.patches())
+    assert lean_signature(db.sql(lean_sql)) == lean_signature(lean)
 
 
 def test_view_reuse_actually_happens(view_db):
