@@ -1,0 +1,133 @@
+"""Observability — the metrics registry must be cheap enough to leave on.
+
+Telemetry is on by default, so its cost is paid by every query: the
+registry's counters are batched where the hot paths are (one update per
+batch pull or heap run, not per row), and a disabled registry hands out
+shared no-op instruments. Running the Table-1 workload twice — once
+under the default metrics-on session, once with the registry disabled —
+the metrics-on total must stay within 5% of the disabled run.
+
+Emits ``BENCH_observability.json`` at the repo root with the measured
+overhead and the number of live series, for CI trend tracking.
+
+Each variant builds its *own* database (identical dataset, identical
+seed) rather than sharing a workdir: the sessions would otherwise
+contend on the catalog, and the metrics-on run's feedback corrections
+would change the disabled run's plans.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.bench_plan_quality import table1_queries
+from benchmarks.conftest import SEED, write_result
+from repro.bench import build_traffic_workload
+from repro.core import DeepLens
+from repro.datasets import TrafficCamDataset
+
+SCALE = float(os.environ.get("REPRO_BENCH_OBS_SCALE", "0.008"))
+ROUNDS = 7
+OVERHEAD_BUDGET = 0.05
+
+RESULT_JSON = Path(__file__).parent.parent / "BENCH_observability.json"
+
+
+@pytest.fixture(scope="module")
+def ab_sessions(tmp_path_factory):
+    dataset = TrafficCamDataset(scale=SCALE, seed=SEED)
+    db_on = DeepLens(tmp_path_factory.mktemp("obs-on-db"))
+    workload_on = build_traffic_workload(db_on, dataset)
+    db_on.create_index("detections", "label", "hash")
+    db_off = DeepLens(
+        tmp_path_factory.mktemp("obs-off-db"), metrics_enabled=False
+    )
+    workload_off = build_traffic_workload(db_off, dataset)
+    db_off.create_index("detections", "label", "hash")
+    yield workload_on, workload_off
+    db_on.close()
+    db_off.close()
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="observability")
+def test_metrics_overhead_under_budget(ab_sessions):
+    workload_on, workload_off = ab_sessions
+    queries_on = table1_queries(workload_on.db, workload_on.detections)
+    queries_off = table1_queries(workload_off.db, workload_off.detections)
+
+    # warm both sessions (page cache, statistics, lazy loads), then take
+    # the min-of-N of each query — the steady-state cost
+    for query in queries_on.values():
+        query.patches()
+    for query in queries_off.values():
+        query.patches()
+
+    # interleave the two sessions within every round so transient
+    # machine noise lands on both sides of the comparison
+    on_best = {name: float("inf") for name in queries_on}
+    off_best = {name: float("inf") for name in queries_off}
+    for _ in range(ROUNDS):
+        for name in queries_on:
+            on_best[name] = min(on_best[name], _timed(queries_on[name].patches))
+            off_best[name] = min(
+                off_best[name], _timed(queries_off[name].patches)
+            )
+    on_total = sum(on_best.values())
+    off_total = sum(off_best.values())
+    overhead = on_total / off_total - 1.0
+
+    # the instrumented session really measured the workload ...
+    counters = workload_on.db.metrics()["counters"]
+    assert counters["deeplens_queries_total"] >= len(queries_on) * (ROUNDS + 1)
+    assert counters["deeplens_optimizer_plans_total"] > 0
+    series = sum(len(v) for v in workload_on.db.metrics().values())
+    # ... and the disabled registry recorded nothing at all
+    assert workload_off.db.metrics()["counters"] == {}
+
+    payload = {
+        "workloads": {
+            "traffic-table1": {
+                "scale": SCALE,
+                "rows": len(workload_on.detections),
+                "queries": len(queries_on),
+                "series": series,
+                "overhead_fraction": round(overhead, 4),
+            }
+        }
+    }
+    RESULT_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        f"workload: {len(workload_on.detections)} detections "
+        f"(scale {SCALE}), {len(queries_on)} queries, min of {ROUNDS} runs",
+        "",
+        "| query | metrics on (ms) | registry disabled (ms) |",
+        "|---|---|---|",
+    ]
+    for name in queries_on:
+        lines.append(
+            f"| {name} | {on_best[name] * 1000:.2f} "
+            f"| {off_best[name] * 1000:.2f} |"
+        )
+    lines += [
+        "",
+        f"metrics-on overhead: {overhead * 100:.1f}% "
+        f"(budget {OVERHEAD_BUDGET * 100:.0f}%), {series} live series",
+        f"written: {RESULT_JSON.name}",
+    ]
+    write_result(
+        "observability", "Metrics-registry overhead on Table-1", lines
+    )
+
+    assert overhead < OVERHEAD_BUDGET

@@ -48,7 +48,17 @@ The minimal end-to-end DeepLens workflow on synthetic CCTV footage:
    marks the view *stale* through lineage versioning; ``refresh_view``
    re-runs only the defining plan. Independently, ``cache=True`` UDF
    results persist through the catalog, so cached inference survives
-   reopening the database.
+   reopening the database;
+12. observability: every session owns a **metrics registry** — counters,
+   gauges, and histograms threaded through the pager, the blob heap,
+   the metadata segment, the UDF cache, the optimizer, and the
+   executor, on by default. Each query runs under a **tracing span**
+   (parse -> bind -> rewrite -> lower -> execute, surviving the worker
+   pool) exported as JSON; queries over a configurable threshold land
+   in a **slow-query log** persisted through the catalog. Read it all
+   from Python (``db.metrics()``, ``db.trace_json()``,
+   ``db.metrics_text()`` for Prometheus scrapes) or from LensQL
+   (``SHOW METRICS``, ``SHOW SLOW QUERIES``).
 
 Run: ``python examples/quickstart.py``
 """
@@ -315,6 +325,38 @@ def main() -> None:
         )
         db.refresh_view("scored")
         print(f"after refresh_view: view stale = {db.view_is_stale('scored')}")
+
+        # -- observability --------------------------------------------
+        # everything above ran under the session's metrics registry:
+        # storage, cache, optimizer, and executor counters accumulated
+        # as a side effect, at near-zero cost. Snapshot them from
+        # Python, render the Prometheus scrape text, or query them as
+        # rows through LensQL; the last query's span tree (parse ->
+        # bind -> rewrite -> lower -> execute) exports as JSON
+        counters = db.metrics()["counters"]
+        print("\ntelemetry (a few of the session's counters):")
+        for name in (
+            "deeplens_queries_total",
+            'deeplens_pager_page_reads_total{result="hit"}',
+            'deeplens_udf_cache_lookups_total{result="hit"}',
+            "deeplens_zonemap_blocks_skipped_total",
+        ):
+            print(f"  {name} = {counters.get(name, 0)}")
+        scrape = db.metrics_text()
+        print(f"Prometheus render: {len(scrape.splitlines())} lines")
+        db.sql("SELECT COUNT(*) FROM detections WHERE label = 'vehicle'")
+        import json
+
+        trace = json.loads(db.trace_json())
+        print(
+            "last query's span tree: "
+            + " -> ".join(child["name"] for child in trace["children"])
+        )
+        # queries slower than the threshold land in a slow-query log
+        # persisted through the catalog (it survives reopening the
+        # database); SHOW SLOW QUERIES reads it back as rows
+        slow = db.sql("SHOW SLOW QUERIES")
+        print(f"slow-query log: {len(slow)} entries over threshold")
 
 
 if __name__ == "__main__":

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.core.batching import DEFAULT_BATCH_SIZE, chunked
 from repro.core.lineage import LineageStore
+from repro.core.metrics import SlowQueryLog
 from repro.core.patch import ImgRef, LINEAGE_KEY, Patch, _normalize_meta
 from repro.core.profile import PlanQualityLog
 from repro.core.schema import PatchSchema
@@ -178,19 +179,21 @@ class MaterializedCollection:
     # -- metadata segment (columnar, zone-mapped) -----------------------
 
     def metadata_batches(
-        self, size: int = DEFAULT_BATCH_SIZE, expr=None
+        self, size: int = DEFAULT_BATCH_SIZE, expr=None, on_blocks=None
     ) -> Iterator[list[Patch]]:
         """Metadata-only batches straight from the columnar segment.
 
         With ``expr``, sealed blocks whose zone maps prove no row can
         match are skipped unread; surviving batches still carry every
         row of their blocks (the caller's Select filters exactly).
+        ``on_blocks(skipped, scanned)`` reports the zone-map actuals to
+        the executing operator's profile as the scan finishes.
         Patches come back bit-identical to
         ``Patch.from_record(..., with_data=False)``: empty data array,
         same metadata, same lineage tuples.
         """
         batch: list[Patch] = []
-        for row in self._metadata_segment().scan_rows(expr):
+        for row in self._metadata_segment().scan_rows(expr, on_blocks):
             batch.append(self._patch_from_metadata(*row))
             if len(batch) >= size:
                 yield batch
@@ -269,15 +272,23 @@ class MaterializedCollection:
 class Catalog:
     """Database directory: patch heap, collections, indexes, lineage."""
 
-    def __init__(self, workdir: str | os.PathLike) -> None:
+    def __init__(self, workdir: str | os.PathLike, *, metrics=None) -> None:
         self.workdir = os.fspath(workdir)
         os.makedirs(self.workdir, exist_ok=True)
-        self.pager = Pager(os.path.join(self.workdir, "catalog.db"))
-        self.heap = BlobHeap(os.path.join(self.workdir, "patches.heap"))
+        #: the session's metrics registry (None-safe: storage layers
+        #: substitute the shared null registry), threaded into the
+        #: pager, both heaps, and every metadata segment
+        self.metrics = metrics
+        self.pager = Pager(
+            os.path.join(self.workdir, "catalog.db"), metrics=metrics
+        )
+        self.heap = BlobHeap(
+            os.path.join(self.workdir, "patches.heap"), metrics=metrics
+        )
         #: columnar metadata segments, one per collection, in their own
         #: heap file — metadata-only scans never touch ``patches.heap``
         self.segments = MetadataSegmentStore(
-            os.path.join(self.workdir, "metadata.seg")
+            os.path.join(self.workdir, "metadata.seg"), metrics=metrics
         )
         self.lineage = LineageStore(self.pager)
         self._collections: dict[str, MaterializedCollection] = {}
@@ -312,6 +323,9 @@ class Catalog:
         self._plan_log: PlanQualityLog | None = None
         #: heap ref of the persisted log snapshot
         self._plan_log_ref: list | None = meta.get("catalog:plan_log")
+        #: lazily-loaded slow-query log — same snapshot idiom
+        self._slow_log: SlowQueryLog | None = None
+        self._slow_log_ref: list | None = meta.get("catalog:slow_log")
         self.segments.attach(meta.get("catalog:meta_segment", {}))
 
     # -- lifecycle ------------------------------------------------------
@@ -351,6 +365,12 @@ class Catalog:
             )
             self._plan_log_ref = list(self.heap.put(payload, compress=True).to_tuple())
             self._plan_log.dirty = False
+        if self._slow_log is not None and self._slow_log.dirty:
+            payload = serialization.dumps(
+                self._slow_log.to_value(), compress_arrays=False
+            )
+            self._slow_log_ref = list(self.heap.put(payload, compress=True).to_tuple())
+            self._slow_log.dirty = False
         meta = self.pager.get_meta()
         meta["catalog:next_id"] = self._next_id
         meta["catalog:meta_segment"] = self.segments.flush()
@@ -362,6 +382,8 @@ class Catalog:
         meta["catalog:fresh_versions"] = dict(self._fresh_versions)
         if self._plan_log_ref is not None:
             meta["catalog:plan_log"] = self._plan_log_ref
+        if self._slow_log_ref is not None:
+            meta["catalog:slow_log"] = self._slow_log_ref
         self.pager.set_meta(meta)
 
     def _tree_for(self, name: str) -> BPlusTree:
@@ -464,6 +486,20 @@ class Catalog:
             else:
                 self._plan_log = PlanQualityLog()
         return self._plan_log
+
+    def slow_query_log(self) -> SlowQueryLog:
+        """The catalog's slow-query log: bounded history of queries whose
+        wall time crossed the threshold, with span trees and counter
+        deltas. Same lazy-load / dirty-flush lifecycle as the plan log."""
+        if self._slow_log is None:
+            if self._slow_log_ref is not None:
+                ref = BlobRef.from_tuple(tuple(self._slow_log_ref))
+                self._slow_log = SlowQueryLog.from_value(
+                    serialization.loads(self.heap.get(ref))
+                )
+            else:
+                self._slow_log = SlowQueryLog()
+        return self._slow_log
 
     # -- cardinality statistics -----------------------------------------
 

@@ -29,9 +29,11 @@ Python UDFs is a recorded seam, not built here.
 
 from __future__ import annotations
 
+import contextvars
 import math
 import queue
 import threading
+import time
 
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -47,6 +49,7 @@ from repro.core.operators.base import (
 from repro.errors import QueryError
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.metrics import MetricsRegistry
     from repro.core.profile import RuntimeProfile
 
 T = TypeVar("T")
@@ -76,12 +79,19 @@ class ExecutionContext:
     ``profile`` carries a :class:`~repro.core.profile.RuntimeProfile`
     when this plan should be instrumented (``explain(analyze=True)``);
     it rides along without affecting equality or planning decisions.
+    ``metrics`` rides along the same way: the session's
+    :class:`~repro.core.metrics.MetricsRegistry`, so the executor's
+    fan-out loop and prefetch stage can report batches, worker wall
+    time, and queue depth without any global state.
     """
 
     workers: int = 1
     batch_size: int | None = None
     prefetch_batches: int = 2
     profile: "RuntimeProfile | None" = field(
+        default=None, compare=False, repr=False
+    )
+    metrics: "MetricsRegistry | None" = field(
         default=None, compare=False, repr=False
     )
 
@@ -124,6 +134,12 @@ class ExecutionContext:
     ) -> "ExecutionContext":
         """A copy instrumented with the given runtime profile."""
         return replace(self, profile=profile)
+
+    def with_metrics(
+        self, metrics: "MetricsRegistry | None"
+    ) -> "ExecutionContext":
+        """A copy reporting into the given metrics registry."""
+        return replace(self, metrics=metrics)
 
 
 @dataclass(frozen=True)
@@ -188,6 +204,7 @@ def run_ordered(
     *,
     workers: int,
     prefetch: int = 0,
+    metrics: "MetricsRegistry | None" = None,
 ) -> Iterator[R]:
     """Map ``fn`` over ``items`` on a thread pool, yielding in order.
 
@@ -200,6 +217,12 @@ def run_ordered(
     so a worker can never touch shared state (the UDF cache, the
     catalog) after the session moves on. ``items`` is advanced only on
     the driver thread, so non-thread-safe sources are fine below this.
+
+    Each submission runs in a *copy* of the driver's context, so the
+    tracing span active here is the parent of any span a worker opens
+    (each copy is private to its task — a shared context cannot be
+    entered by two threads at once). With ``metrics``, the pool reports
+    dispatched batches and accumulated worker wall time per call.
     """
     if workers < 1:
         raise QueryError(f"workers must be positive, got {workers}")
@@ -207,6 +230,26 @@ def run_ordered(
     pool = ThreadPoolExecutor(
         max_workers=workers, thread_name_prefix="deeplens-exec"
     )
+    batches_total = worker_seconds = None
+    if metrics is not None:
+        batches_total = metrics.counter(
+            "deeplens_executor_batches_total",
+            "batches dispatched through the ordered worker pool",
+        )
+        worker_seconds = metrics.counter(
+            "deeplens_executor_worker_seconds_total",
+            "wall time accumulated inside pool workers",
+        )
+
+    def call(item: T) -> R:
+        if worker_seconds is None:
+            return fn(item)
+        start = time.perf_counter()
+        try:
+            return fn(item)
+        finally:
+            worker_seconds.inc(time.perf_counter() - start)
+
     futures: deque[Future] = deque()
     try:
         exhausted = False
@@ -217,7 +260,10 @@ def run_ordered(
                 except StopIteration:
                     exhausted = True
                     break
-                futures.append(pool.submit(fn, item))
+                context = contextvars.copy_context()
+                futures.append(pool.submit(context.run, call, item))
+                if batches_total is not None:
+                    batches_total.inc()
             if not futures:
                 break
             yield futures.popleft().result()
@@ -251,12 +297,19 @@ class PrefetchBatches(Operator):
     type.
     """
 
-    def __init__(self, child: Operator, depth: int = 2) -> None:
+    def __init__(
+        self,
+        child: Operator,
+        depth: int = 2,
+        *,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
         if depth < 1:
             raise QueryError(f"prefetch depth must be positive, got {depth}")
         self.child = child
         self.depth = depth
         self.arity = child.arity
+        self.metrics = metrics
 
     def __iter__(self) -> Iterator[Row]:
         for batch in self.iter_batches(DEFAULT_BATCH_SIZE):
@@ -265,14 +318,28 @@ class PrefetchBatches(Operator):
     def iter_batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
         buffer: queue.Queue = queue.Queue(maxsize=self.depth)
         stop = threading.Event()
+        high_water = (
+            self.metrics.gauge(
+                "deeplens_prefetch_queue_depth_highwater",
+                "deepest the scan-side prefetch queue has been",
+            )
+            if self.metrics is not None
+            else None
+        )
 
         def offer(item) -> bool:
             """Put unless the consumer is gone; False means stop."""
             while not stop.is_set():
                 try:
                     buffer.put(item, timeout=0.05)
+                    if high_water is not None:
+                        # qsize is approximate under concurrency, which
+                        # is fine for a high-water mark
+                        high_water.max_of(buffer.qsize())
                     return True
                 except queue.Full:
+                    if high_water is not None:
+                        high_water.max_of(self.depth)
                     continue
             return False
 
@@ -285,8 +352,14 @@ class PrefetchBatches(Operator):
             except BaseException as exc:  # re-raised consumer-side
                 offer(_ProducerFailure(exc))
 
+        # the producer runs in a copy of the consumer's context, so any
+        # span it opens while decoding attaches to the active trace
+        producer_context = contextvars.copy_context()
         producer = threading.Thread(
-            target=produce, name="deeplens-prefetch", daemon=True
+            target=producer_context.run,
+            args=(produce,),
+            name="deeplens-prefetch",
+            daemon=True,
         )
         producer.start()
         try:

@@ -129,10 +129,22 @@ class MaterializationManager:
         optimizer: Optimizer,
         udf_cache: UDFCache | None = None,
         execution: ExecutionContext | None = None,
+        metrics=None,
     ) -> None:
         self.catalog = catalog
         self.optimizer = optimizer
         self.udf_cache = udf_cache
+        if metrics is None:
+            from repro.core.metrics import NULL_REGISTRY
+
+            metrics = NULL_REGISTRY
+        #: view-match attempts by outcome — how often registered views
+        #: actually pay off at plan time
+        self._metric_view_matches = metrics.counter(
+            "deeplens_optimizer_view_matches_total",
+            "materialized-view match attempts by outcome",
+            labels=("outcome",),
+        )
         #: engine configuration for view builds/refreshes (the session's
         #: context, so a workers=4 session rebuilds views in parallel too)
         self.execution = execution if execution is not None else ExecutionContext()
@@ -393,6 +405,7 @@ class MaterializationManager:
                 continue  # backing collection dropped out from under us
             stale = self.stale_bases(definition.name)
             if stale and not allow_stale:
+                self._metric_view_matches.labels(outcome="stale").inc()
                 notes.append(
                     f"view-match: view {definition.name!r} matches this "
                     f"prefix but is stale (base {', '.join(map(repr, stale))} "
@@ -440,6 +453,9 @@ class MaterializationManager:
             )
         )
         if ranked[0] is not view_choice:
+            self._metric_view_matches.labels(
+                outcome="recompute-cheaper"
+            ).inc()
             notes.append(
                 f"view-match: view {definition.name!r} matches this prefix "
                 f"but recomputation is cheaper "
@@ -447,6 +463,7 @@ class MaterializationManager:
                 f"{view_choice.cost_seconds:.4g}s)"
             )
             return None
+        self._metric_view_matches.labels(outcome="rewritten").inc()
         suffix = " (stale tolerated)" if stale else ""
         notes.append(
             f"view-match: rewrote pipeline prefix to scan materialized view "
@@ -523,8 +540,10 @@ class PersistentUDFCache(UDFCache):
     #: name of the backing B+ tree inside the catalog's pager
     TREE_NAME = "udf:results"
 
-    def __init__(self, catalog: Catalog, max_entries: int = 100_000) -> None:
-        super().__init__(max_entries)
+    def __init__(
+        self, catalog: Catalog, max_entries: int = 100_000, *, metrics=None
+    ) -> None:
+        super().__init__(max_entries, metrics=metrics)
         self.catalog = catalog
         self._tree = catalog._tree_for(self.TREE_NAME)
         #: serializes reads/inserts on the results tree (and the
@@ -588,6 +607,7 @@ class PersistentUDFCache(UDFCache):
                     list(ref.to_tuple()), compress_arrays=False
                 ),
             )
+        self._metric_spills.inc()
 
     @staticmethod
     def _encode(value: Any) -> bytes | None:

@@ -106,13 +106,19 @@ class MetadataScan(Operator):
         self.collection = collection
         self.expr = expr
         self.load_data = False
+        #: optional ``(skipped, scanned)`` callback the lowerer wires to
+        #: the operator's profile entry, grading the zone-map skip
+        #: estimate against what the scan actually skipped
+        self.on_blocks: Callable[[int, int], None] | None = None
 
     def __iter__(self) -> Iterator[Row]:
         for batch in self.iter_batches():
             yield from batch
 
     def iter_batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
-        for patches in self.collection.metadata_batches(size, expr=self.expr):
+        for patches in self.collection.metadata_batches(
+            size, expr=self.expr, on_blocks=self.on_blocks
+        ):
             yield [(patch,) for patch in patches]
 
 
@@ -311,6 +317,7 @@ class MapPatches(Operator):
                 self._apply,
                 workers=workers,
                 prefetch=self.execution.prefetch_batches,
+                metrics=self.execution.metrics,
             )
         else:
             batch_results = (

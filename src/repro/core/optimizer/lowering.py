@@ -28,6 +28,7 @@ from repro.core.executor import (
     resolve_execution,
 )
 from repro.core.expressions import And, Expr
+from repro.core.metrics import NULL_REGISTRY, span
 from repro.core.operators import (
     DEFAULT_BATCH_SIZE,
     BallTreeSimilarityJoin,
@@ -163,11 +164,30 @@ class UDFCache:
     is never computed (or spilled) twice.
     """
 
-    def __init__(self, max_entries: int = 100_000) -> None:
+    def __init__(self, max_entries: int = 100_000, *, metrics=None) -> None:
         if max_entries < 1:
             raise QueryError(
                 f"max_entries must be positive, got {max_entries}"
             )
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        lookups = registry.counter(
+            "deeplens_udf_cache_lookups_total",
+            "UDF-cache lookups by result",
+            labels=("result",),
+        )
+        self._metric_hits = lookups.labels(result="hit")
+        self._metric_misses = lookups.labels(result="miss")
+        self._metric_disk_hits = lookups.labels(result="disk_hit")
+        self._metric_waits = registry.counter(
+            "deeplens_udf_cache_singleflight_waits_total",
+            "waits on another worker's in-flight computation",
+        )
+        #: incremented by PersistentUDFCache._spill (the base tier has
+        #: nowhere to spill, so the counter stays 0 here)
+        self._metric_spills = registry.counter(
+            "deeplens_udf_cache_spills_total",
+            "fresh results spilled to the persistent tier",
+        )
         self._store: dict[Any, Any] = {}
         self.max_entries = max_entries
         self.hits = 0
@@ -299,6 +319,7 @@ class UDFCache:
                     except KeyError:
                         waiter = self._claim(key)
                 if hit is not _NO_HIT:
+                    self._metric_hits.inc()
                     if counters is not None:
                         counters.add_cache(1, 0)
                     # isolate (deep-copy) outside the mutex: stored
@@ -310,6 +331,7 @@ class UDFCache:
                     break
                 # another worker owns this key: wait for it, then
                 # re-check the store (it may have failed — then we claim)
+                self._metric_waits.inc()
                 waiter.wait()
             # we own the claim; release it no matter what below raises,
             # or every waiter on this key would hang forever
@@ -327,6 +349,7 @@ class UDFCache:
                     else:
                         self.hits += 1
                     self._put(key, isolated)
+                (self._metric_misses if fresh else self._metric_disk_hits).inc()
                 if counters is not None:
                     counters.add_cache(0 if fresh else 1, 1 if fresh else 0)
                 if fresh:
@@ -392,6 +415,8 @@ class UDFCache:
                                     waiting[position] = event
                     # deep-copies of hits happen outside the mutex (the
                     # stored values are never mutated)
+                    if memory_hits:
+                        self._metric_hits.inc(len(memory_hits))
                     if counters is not None and memory_hits:
                         counters.add_cache(len(memory_hits), 0)
                     for position, value in memory_hits.items():
@@ -438,6 +463,10 @@ class UDFCache:
                                 results[position] = value
                                 if keys[position] is not None:
                                     self._put(keys[position], isolated[position])
+                        if served:
+                            self._metric_disk_hits.inc(len(served))
+                        if missing:
+                            self._metric_misses.inc(len(missing))
                         if counters is not None:
                             counters.add_cache(len(served), len(missing))
                         for position in missing:
@@ -450,6 +479,8 @@ class UDFCache:
                 # own share, so two batches owning disjoint keys can never
                 # deadlock on each other), then re-check the store — on an
                 # owner failure the next round claims the key itself
+                if waiting:
+                    self._metric_waits.inc(len(waiting))
                 for event in waiting.values():
                     event.wait()
                 pending = sorted(waiting)
@@ -605,17 +636,31 @@ def plan_pipeline(
     estimates — lands on ``Explanation.execution`` so ``explain()``
     reports it per plan.
     """
+    metrics = getattr(optimizer, "metrics", None) or NULL_REGISTRY
     view_notes: list[str] = []
     view_decisions: list[Explanation] = []
-    if views is not None:
-        plan, view_notes, view_decisions = views.apply(
-            plan, allow_stale=allow_stale
+    with span("rewrite"):
+        if views is not None:
+            plan, view_notes, view_decisions = views.apply(
+                plan, allow_stale=allow_stale
+            )
+        plan, metadata_notes = apply_metadata_only(plan)
+        rewritten, applied = rewrite(plan)
+    metrics.counter(
+        "deeplens_optimizer_plans_total", "physical plans built"
+    ).inc()
+    if applied:
+        rewrites = metrics.counter(
+            "deeplens_optimizer_rewrites_total",
+            "logical rewrite rules fired",
+            labels=("rule",),
         )
-    plan, metadata_notes = apply_metadata_only(plan)
-    rewritten, applied = rewrite(plan)
+        for entry in applied:
+            rewrites.labels(rule=entry.rule).inc()
     context = execution if execution is not None else ExecutionContext()
     lowering = _Lowering(optimizer, udf_cache, context)
-    root = lowering.lower(rewritten)
+    with span("lower"):
+        root = lowering.lower(rewritten)
     explanation = _merge_decisions(view_decisions + lowering.decisions)
     explanation.rewrites = (
         view_notes
@@ -790,6 +835,17 @@ class _Lowering:
                             else 0
                         ),
                     )
+                if explanation.chosen.kind == "zone-map-scan":
+                    # grade the zone-map skip estimate like a cardinality:
+                    # the scan reports (skipped, scanned) actuals into the
+                    # entry as it finishes
+                    scan = _find_metadata_scan(operator)
+                    if scan is not None:
+                        scan.on_blocks = entry.add_blocks
+                        entry.set_block_estimate(
+                            explanation.chosen.params["blocks_skipped"],
+                            explanation.chosen.params["blocks_total"],
+                        )
                 operator = ProfiledOperator(
                     _instrument_scan_group(operator, entry), entry
                 )
@@ -849,7 +905,11 @@ class _Lowering:
             # scan chain gets one (an outer map's child is a MapPatches,
             # which _scan_rooted rejects), so one plan spawns one
             # prefetch thread, not one per stage.
-            child = PrefetchBatches(child, depth=self.execution.prefetch_batches)
+            child = PrefetchBatches(
+                child,
+                depth=self.execution.prefetch_batches,
+                metrics=self.execution.metrics,
+            )
             self.notes.append(
                 f"prefetch: storage scan decodes "
                 f"{self.execution.prefetch_batches} batches ahead of map "
@@ -1078,6 +1138,16 @@ def _scan_rooted(operator: Operator) -> bool:
             MetadataScan,
         ),
     )
+
+
+def _find_metadata_scan(operator: Operator) -> MetadataScan | None:
+    """The MetadataScan at the base of a lowered scan group, if any."""
+    current: Operator | None = operator
+    while current is not None:
+        if isinstance(current, MetadataScan):
+            return current
+        current = getattr(current, "child", None)
+    return None
 
 
 def _instrument_scan_group(

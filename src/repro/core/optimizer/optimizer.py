@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.core.catalog import Catalog
 from repro.core.executor import ExecutionPlan
+from repro.core.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.core.expressions import And, Comparison, Expr, extract_bounds
 from repro.core.logical import expr_signature_key
 from repro.core.operators import (
@@ -186,12 +187,21 @@ class Optimizer:
         catalog: Catalog,
         cost_model: CostModel | None = None,
         statistics: StatisticsProvider | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.catalog = catalog
         self.cost = cost_model or CostModel()
         self.statistics: StatisticsProvider = (
             statistics if statistics is not None else catalog
         )
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        feedback = self.metrics.counter(
+            "deeplens_optimizer_feedback_total",
+            "feedback-correction decisions by outcome",
+            labels=("outcome",),
+        )
+        self._metric_feedback_applied = feedback.labels(outcome="applied")
+        self._metric_feedback_abstained = feedback.labels(outcome="abstained")
 
     # -- cardinality estimation ------------------------------------------
 
@@ -253,12 +263,23 @@ class Optimizer:
                 FEEDBACK_STALENESS_MIN,
                 int(rows * FEEDBACK_STALENESS_FRACTION),
             )
-        return log_getter().correction(
+        log = log_getter()
+        expr_key = expr_signature_key(expr)
+        correction = log.correction(
             collection_name,
-            expr_signature_key(expr),
+            expr_key,
             current_version=current_version,
             staleness=staleness,
         )
+        # count decisions, not lookups: "applied" when an observation
+        # overrode the model, "abstained" only when history existed but
+        # the correction declined (staleness) — never-profiled predicates
+        # are not decisions at all
+        if correction is not None:
+            self._metric_feedback_applied.inc()
+        elif log.has_predicate_history(collection_name, expr_key):
+            self._metric_feedback_abstained.inc()
+        return correction
 
     def estimate_filter_rows(
         self, collection_name: str, expr: Expr | None

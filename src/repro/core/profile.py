@@ -72,6 +72,10 @@ class OperatorProfile:
         "cache_hits",
         "cache_misses",
         "index_probes",
+        "blocks_skipped",
+        "blocks_scanned",
+        "est_blocks_skipped",
+        "est_blocks_total",
         "exhausted",
         "feedback",
         "_rows_in",
@@ -94,6 +98,13 @@ class OperatorProfile:
         self.cache_hits = 0
         self.cache_misses = 0
         self.index_probes = 0
+        #: zone-map actuals, reported by the executing metadata scan —
+        #: the planner's skip *estimate* rides in ``est_blocks_skipped``
+        #: so the two can be graded against each other like a cardinality
+        self.blocks_skipped = 0
+        self.blocks_scanned = 0
+        self.est_blocks_skipped: float | None = None
+        self.est_blocks_total: float | None = None
         #: True once the operator's stream ran dry — only then is
         #: ``rows_out`` the full result cardinality (a limit above may
         #: stop the stream early, which must not be logged as the
@@ -136,6 +147,15 @@ class OperatorProfile:
             self.cache_hits += hits
             self.cache_misses += misses
 
+    def add_blocks(self, skipped: int, scanned: int) -> None:
+        with self._lock:
+            self.blocks_skipped += skipped
+            self.blocks_scanned += scanned
+
+    def set_block_estimate(self, skipped: float, total: float) -> None:
+        self.est_blocks_skipped = float(skipped)
+        self.est_blocks_total = float(total)
+
     def mark_exhausted(self) -> None:
         with self._lock:
             self.exhausted = True
@@ -163,6 +183,15 @@ class OperatorProfile:
             return None
         return q_error(self.est_rows, self.rows_out)
 
+    @property
+    def blocks_q(self) -> float | None:
+        """Q-error of the zone-map skip estimate, graded like a
+        cardinality (floored at one block), None when the planner made
+        no skip estimate for this operator."""
+        if self.est_blocks_skipped is None:
+            return None
+        return q_error(self.est_blocks_skipped, self.blocks_skipped)
+
     def describe(self) -> str:
         est = "?" if self.est_rows is None else f"~{self.est_rows:.0f}"
         q = self.q
@@ -180,6 +209,19 @@ class OperatorProfile:
             )
         if self.index_probes:
             parts.append(f"index probes {self.index_probes}")
+        if (
+            self.blocks_skipped
+            or self.blocks_scanned
+            or self.est_blocks_skipped is not None
+        ):
+            total = self.blocks_skipped + self.blocks_scanned
+            segment = f"zone-map {self.blocks_skipped}/{total} blocks skipped"
+            if self.est_blocks_skipped is not None:
+                segment += (
+                    f" (est {self.est_blocks_skipped:.0f}, "
+                    f"q-error {self.blocks_q:.2f})"
+                )
+            parts.append(segment)
         return " | ".join(parts)
 
 
@@ -224,6 +266,14 @@ class RuntimeProfile:
     def q_errors(self) -> list[float]:
         """Every per-operator Q-error with a recorded estimate."""
         return [entry.q for entry in self.entries if entry.q is not None]
+
+    def block_q_errors(self) -> list[float]:
+        """Every zone-map skip-estimate Q-error with a recorded estimate."""
+        return [
+            entry.blocks_q
+            for entry in self.entries
+            if entry.blocks_q is not None
+        ]
 
     def lines(self) -> list[str]:
         """Tree-rendered per-operator lines, outermost operator first."""
@@ -279,7 +329,13 @@ class PlanQualityLog:
             if entry.est_rows is not None
         ]
         with self._lock:
-            if fingerprint not in self._plans and len(self._plans) >= MAX_PLANS:
+            if fingerprint in self._plans:
+                # refresh recency: dict order is the eviction order, so
+                # re-inserting makes eviction drop the *least-recently-
+                # updated* fingerprint — a hot recurring query can no
+                # longer be evicted by a burst of one-off queries
+                self._plans[fingerprint] = self._plans.pop(fingerprint)
+            elif len(self._plans) >= MAX_PLANS:
                 self._plans.pop(next(iter(self._plans)))
             history = self._plans.setdefault(fingerprint, [])
             history.append(run)
@@ -292,10 +348,10 @@ class PlanQualityLog:
                 if base_rows <= 0:
                     continue
                 key = (collection, expr_key)
-                if (
-                    key not in self._predicates
-                    and len(self._predicates) >= MAX_PREDICATES
-                ):
+                if key in self._predicates:
+                    # same least-recently-updated discipline as plans
+                    self._predicates[key] = self._predicates.pop(key)
+                elif len(self._predicates) >= MAX_PREDICATES:
                     self._predicates.pop(next(iter(self._predicates)))
                 observations = self._predicates.setdefault(key, [])
                 observations.append(
@@ -339,6 +395,12 @@ class PlanQualityLog:
                     return None
             actuals = sorted(obs[1] for obs in observations)
             return actuals[len(actuals) // 2]
+
+    def has_predicate_history(self, collection: str, expr_key: str) -> bool:
+        """Whether this predicate shape was ever profiled to completion
+        (distinguishes a :meth:`correction` abstention from no history)."""
+        with self._lock:
+            return bool(self._predicates.get((collection, expr_key)))
 
     def history(self, fingerprint: str) -> list[list]:
         """Recorded runs for one parameterized plan fingerprint."""

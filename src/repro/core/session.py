@@ -71,7 +71,10 @@ parallel executor behave identically across both frontends::
 
 from __future__ import annotations
 
+import json
 import os
+import time
+from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Iterator
 
 import numpy as np
@@ -85,6 +88,14 @@ from repro.core.materialization import (
     MaterializationManager,
     PersistentUDFCache,
     ViewDefinition,
+)
+from repro.core.metrics import (
+    MetricsRegistry,
+    SlowQueryLog,
+    Span,
+    current_span,
+    span,
+    trace,
 )
 from repro.core.operators import DEFAULT_BATCH_SIZE, Operator
 from repro.core.optimizer import (
@@ -150,6 +161,7 @@ class DeepLens:
                      | DROP VIEW name
                      | CREATE INDEX ON name '(' name ')' [USING kind]
                      | SHOW COLLECTIONS | SHOW VIEWS | SHOW STATS FOR name
+                     | SHOW METRICS | SHOW SLOW QUERIES
         select      := SELECT items FROM collection [METADATA ONLY]
                        [simjoin] [WHERE expr]
                        [ORDER BY attr [ASC|DESC]] [LIMIT n]
@@ -179,6 +191,14 @@ class DeepLens:
     are case-insensitive; identifiers may be double-quoted; ``--``
     starts a line comment. Equivalent SQL and fluent pipelines produce
     fingerprint-identical logical plans.
+
+    ``SHOW METRICS`` returns the session's telemetry — one row per
+    counter/gauge series, histograms flattened to ``_count``/``_sum``/
+    quantile rows — and ``SHOW SLOW QUERIES`` returns the catalog-
+    persisted slow-query log (SQL text, fingerprint, seconds, span tree,
+    counter deltas), oldest first. See :meth:`metrics`,
+    :meth:`metrics_text` (Prometheus text format), :meth:`trace_json`,
+    and :meth:`slow_query_log` for the programmatic surfaces.
     """
 
     def __init__(
@@ -186,20 +206,54 @@ class DeepLens:
         workdir: str | os.PathLike,
         *,
         execution: ExecutionContext | None = None,
+        metrics_enabled: bool = True,
+        slow_query_threshold: float | None = None,
+        clock: Callable[[], float] | None = None,
     ) -> None:
         self.workdir = os.fspath(workdir)
         os.makedirs(self.workdir, exist_ok=True)
+        #: engine-wide telemetry: every layer below reports into this
+        #: registry. ``metrics_enabled=False`` swaps in no-op instruments
+        #: (the A/B baseline the observability benchmark measures).
+        self.metrics_registry = MetricsRegistry(enabled=metrics_enabled)
+        #: clock behind query root spans and the slow-query threshold —
+        #: injectable so threshold tests never sleep
+        self._clock: Callable[[], float] = (
+            clock if clock is not None else time.perf_counter
+        )
+        self._slow_query_threshold = slow_query_threshold
+        self._metric_queries = self.metrics_registry.counter(
+            "deeplens_queries_total", "queries executed"
+        )
+        self._metric_slow_queries = self.metrics_registry.counter(
+            "deeplens_slow_queries_total",
+            "queries recorded in the slow-query log",
+        )
+        #: span tree of the most recent top-level query (JSON-able dict)
+        self._last_trace: dict | None = None
         #: session-wide execution configuration (workers, batch size,
         #: prefetch); queries override it via ``with_execution``
-        self.execution = execution if execution is not None else ExecutionContext()
-        self.catalog = Catalog(os.path.join(self.workdir, "catalog"))
-        self.optimizer = Optimizer(self.catalog, CostModel())
+        base_execution = execution if execution is not None else ExecutionContext()
+        self.execution = base_execution.with_metrics(self.metrics_registry)
+        self.catalog = Catalog(
+            os.path.join(self.workdir, "catalog"),
+            metrics=self.metrics_registry,
+        )
+        self.optimizer = Optimizer(
+            self.catalog, CostModel(), metrics=self.metrics_registry
+        )
         #: lineage-keyed memo for cache=True query UDFs — LRU in memory,
         #: spilled through the catalog so results survive sessions
-        self.udf_cache: UDFCache = PersistentUDFCache(self.catalog)
+        self.udf_cache: UDFCache = PersistentUDFCache(
+            self.catalog, metrics=self.metrics_registry
+        )
         #: materialized-view registry + the planner's view-matching hook
         self.materialization = MaterializationManager(
-            self.catalog, self.optimizer, self.udf_cache, self.execution
+            self.catalog,
+            self.optimizer,
+            self.udf_cache,
+            self.execution,
+            metrics=self.metrics_registry,
         )
         #: named-UDF registry shared by LensQL and the fluent API,
         #: auto-seeded with the built-in vision-model UDFs
@@ -382,6 +436,75 @@ class DeepLens:
             logical.plan_parameterized_fingerprint(plan), profile
         )
 
+    # -- telemetry --------------------------------------------------------
+
+    def metrics(self) -> dict:
+        """Point-in-time snapshot of every engine counter, gauge, and
+        histogram summary — plain dicts, safe to hold and diff."""
+        return self.metrics_registry.snapshot()
+
+    def metrics_text(self) -> str:
+        """The session's metrics in Prometheus text exposition format —
+        the payload a ``/metrics`` endpoint would serve unchanged."""
+        return self.metrics_registry.render_prometheus()
+
+    def trace_json(self) -> str | None:
+        """The span tree of the most recent top-level query as JSON
+        (parse -> bind -> rewrite -> lower -> execute), or None before
+        the first query."""
+        if self._last_trace is None:
+            return None
+        return json.dumps(self._last_trace)
+
+    def slow_query_log(self) -> SlowQueryLog:
+        """The catalog-persisted slow-query log. Entries survive reopen;
+        a ``slow_query_threshold`` passed to this session overrides the
+        persisted threshold for queries run here."""
+        log = self.catalog.slow_query_log()
+        if self._slow_query_threshold is not None:
+            log.threshold_seconds = float(self._slow_query_threshold)
+        return log
+
+    @contextmanager
+    def _query_scope(self, *, sql: str | None = None) -> Iterator[Span | None]:
+        """Root-trace scope around one user-level query.
+
+        Opens the ``query`` root span, counts the query, diffs counter
+        totals across the execution, and feeds the slow-query log when
+        the root span crosses the threshold. Nested entries (a terminal
+        driven by ``sql()``, a view build inside a query) detect the
+        already-open trace and become transparent — one root per
+        user-level query.
+        """
+        if current_span() is not None:
+            yield None
+            return
+        before = self.metrics_registry.counter_totals()
+        with trace("query", clock=self._clock) as root:
+            if sql is not None:
+                root.attrs["sql"] = sql
+            try:
+                yield root
+            finally:
+                root.finish()
+                after = self.metrics_registry.counter_totals()
+                deltas = {
+                    name: value - before.get(name, 0)
+                    for name, value in after.items()
+                    if value != before.get(name, 0)
+                }
+                self._metric_queries.inc()
+                self._last_trace = root.to_dict()
+                recorded = self.slow_query_log().record(
+                    sql=root.attrs.get("sql"),
+                    fingerprint=root.attrs.get("fingerprint"),
+                    seconds=root.duration_s,
+                    span=self._last_trace,
+                    counters=deltas,
+                )
+                if recorded:
+                    self._metric_slow_queries.inc()
+
     # -- UDF registry -----------------------------------------------------
 
     def register_udf(
@@ -437,7 +560,8 @@ class DeepLens:
         :class:`~repro.errors.BindError` — both positioned, with a
         caret-annotated excerpt.
         """
-        return self._bind_sql(text).execute()
+        with self._query_scope(sql=text):
+            return self._bind_sql(text).execute()
 
     def sql_query(self, text: str) -> "QueryBuilder":
         """Compile a LensQL ``SELECT`` into its :class:`QueryBuilder`
@@ -465,7 +589,10 @@ class DeepLens:
     def _bind_sql(self, text: str):
         from repro.core.sql import Binder, parse
 
-        return Binder(self, text).bind(parse(text))
+        with span("parse"):
+            statement = parse(text)
+        with span("bind"):
+            return Binder(self, text).bind(statement)
 
     # -- querying -----------------------------------------------------------
 
@@ -712,27 +839,30 @@ class QueryBuilder:
         if not analyze:
             _, explanation = self.plan()
             return explanation
-        profile = RuntimeProfile()
-        operator, explanation = plan_pipeline(
-            self.session.optimizer,
-            self._plan,
-            udf_cache=self.session.udf_cache,
-            views=self.session.materialization,
-            allow_stale=self._allow_stale,
-            execution=self.execution_context().with_profile(profile),
-        )
-        assert isinstance(operator, Operator)
-        size = (
-            explanation.execution.batch_size
-            if explanation.execution is not None
-            else DEFAULT_BATCH_SIZE
-        )
-        for _ in operator.iter_batches(size):
-            pass
-        profile.finish()
-        explanation.profile = profile
-        self.session._record_plan_quality(self._plan, profile)
-        return explanation
+        with self.session._query_scope() as root:
+            profile = RuntimeProfile()
+            operator, explanation = plan_pipeline(
+                self.session.optimizer,
+                self._plan,
+                udf_cache=self.session.udf_cache,
+                views=self.session.materialization,
+                allow_stale=self._allow_stale,
+                execution=self.execution_context().with_profile(profile),
+            )
+            assert isinstance(operator, Operator)
+            self._annotate(root, self._plan)
+            size = (
+                explanation.execution.batch_size
+                if explanation.execution is not None
+                else DEFAULT_BATCH_SIZE
+            )
+            with span("execute"):
+                for _ in operator.iter_batches(size):
+                    pass
+            profile.finish()
+            explanation.profile = profile
+            self.session._record_plan_quality(self._plan, profile)
+            return explanation
 
     def logical_plan(self) -> logical.LogicalPlan:
         """The (un-rewritten) logical plan built so far."""
@@ -752,6 +882,17 @@ class QueryBuilder:
         return operator
 
     @staticmethod
+    def _annotate(root: "Span | None", plan: logical.LogicalPlan) -> None:
+        """Stamp the parameterized plan fingerprint onto the query's root
+        span (the one this terminal opened, or — when a ``sql()`` scope
+        is already open — the active span) for the slow-query log."""
+        target = root if root is not None else current_span()
+        if target is not None and "fingerprint" not in target.attrs:
+            target.attrs["fingerprint"] = (
+                logical.plan_parameterized_fingerprint(plan)
+            )
+
+    @staticmethod
     def _resolve_batch_size(requested: Any, explanation: Explanation) -> int:
         """The batch size a terminal actually runs at: the planner's
         cardinality-driven pick when the caller left the default
@@ -769,37 +910,48 @@ class QueryBuilder:
         ``batch_size=None`` forces the row-at-a-time path; omitted, the
         planner's batch-size choice applies (see ``explain()``); an
         explicit value is honored exactly."""
-        operator, explanation = self.plan()
-        if operator.arity != 1:
-            raise QueryError(
-                f"patches() needs arity-1 rows; this operator yields "
-                f"{operator.arity}-tuples — use rows()"
-            )
-        if batch_size is None:
-            return operator.patches()
-        size = self._resolve_batch_size(batch_size, explanation)
-        return [
-            row[0]
-            for batch in operator.iter_batches(size)
-            for row in batch
-        ]
+        with self.session._query_scope() as root:
+            operator, explanation = self.plan()
+            if operator.arity != 1:
+                raise QueryError(
+                    f"patches() needs arity-1 rows; this operator yields "
+                    f"{operator.arity}-tuples — use rows()"
+                )
+            self._annotate(root, self._plan)
+            with span("execute"):
+                if batch_size is None:
+                    return operator.patches()
+                size = self._resolve_batch_size(batch_size, explanation)
+                return [
+                    row[0]
+                    for batch in operator.iter_batches(size)
+                    for row in batch
+                ]
 
     def rows(self, *, batch_size: int | None = PLANNER_CHOSEN) -> list[Row]:
         """Collect rows of any arity (pairs after a similarity join)."""
-        operator, explanation = self.plan()
-        if batch_size is None:
-            return operator.collect()
-        size = self._resolve_batch_size(batch_size, explanation)
-        return [row for batch in operator.iter_batches(size) for row in batch]
+        with self.session._query_scope() as root:
+            operator, explanation = self.plan()
+            self._annotate(root, self._plan)
+            with span("execute"):
+                if batch_size is None:
+                    return operator.collect()
+                size = self._resolve_batch_size(batch_size, explanation)
+                return [
+                    row for batch in operator.iter_batches(size) for row in batch
+                ]
 
     def count(self, *, batch_size: int | None = PLANNER_CHOSEN) -> int:
         # planned as a terminal Aggregate(count) — not a row collection —
         # so the planner can flip the scan underneath to the metadata
         # segment (counting never needs pixel data)
-        aggregate, explanation, _ = self._plan_aggregate("count")
-        return aggregate.execute(
-            batch_size=self._resolve_batch_size(batch_size, explanation)
-        )
+        with self.session._query_scope() as root:
+            aggregate, explanation, plan = self._plan_aggregate("count")
+            self._annotate(root, plan)
+            with span("execute"):
+                return aggregate.execute(
+                    batch_size=self._resolve_batch_size(batch_size, explanation)
+                )
 
     def _plan_aggregate(
         self,
@@ -834,12 +986,17 @@ class QueryBuilder:
         (needs ``key``; empty input yields None), or ``group`` (needs
         ``key``; ``reducer`` folds each group's rows).
         """
-        aggregate, explanation, _ = self._plan_aggregate(
-            kind, key=key, reducer=reducer
-        )
-        return aggregate.execute(
-            batch_size=self._resolve_batch_size(PLANNER_CHOSEN, explanation)
-        )
+        with self.session._query_scope() as root:
+            aggregate, explanation, plan = self._plan_aggregate(
+                kind, key=key, reducer=reducer
+            )
+            self._annotate(root, plan)
+            with span("execute"):
+                return aggregate.execute(
+                    batch_size=self._resolve_batch_size(
+                        PLANNER_CHOSEN, explanation
+                    )
+                )
 
     def aggregate_explain(
         self,
@@ -858,20 +1015,25 @@ class QueryBuilder:
                 kind, key=key, reducer=reducer
             )
             return explanation
-        profile = RuntimeProfile()
-        aggregate, explanation, plan = self._plan_aggregate(
-            kind,
-            key=key,
-            reducer=reducer,
-            execution=self.execution_context().with_profile(profile),
-        )
-        aggregate.execute(
-            batch_size=self._resolve_batch_size(PLANNER_CHOSEN, explanation)
-        )
-        profile.finish()
-        explanation.profile = profile
-        self.session._record_plan_quality(plan, profile)
-        return explanation
+        with self.session._query_scope() as root:
+            profile = RuntimeProfile()
+            aggregate, explanation, plan = self._plan_aggregate(
+                kind,
+                key=key,
+                reducer=reducer,
+                execution=self.execution_context().with_profile(profile),
+            )
+            self._annotate(root, plan)
+            with span("execute"):
+                aggregate.execute(
+                    batch_size=self._resolve_batch_size(
+                        PLANNER_CHOSEN, explanation
+                    )
+                )
+            profile.finish()
+            explanation.profile = profile
+            self.session._record_plan_quality(plan, profile)
+            return explanation
 
     def distinct_count(self, key: Callable[[Patch], object]) -> int:
         return self.aggregate("distinct_count", key=key)
@@ -881,14 +1043,17 @@ class QueryBuilder:
         return self.aggregate("avg", key=key)
 
     def first(self) -> Patch:
-        operator = self.operator()
-        if operator.arity != 1:
+        with self.session._query_scope() as root:
+            operator = self.operator()
+            if operator.arity != 1:
+                raise QueryError(
+                    f"first() needs arity-1 rows; this operator yields "
+                    f"{operator.arity}-tuples — use rows()"
+                )
+            self._annotate(root, self._plan)
+            with span("execute"):
+                for (patch,) in operator:
+                    return patch
             raise QueryError(
-                f"first() needs arity-1 rows; this operator yields "
-                f"{operator.arity}-tuples — use rows()"
+                f"query over {self.collection_name!r} returned no patches"
             )
-        for (patch,) in operator:
-            return patch
-        raise QueryError(
-            f"query over {self.collection_name!r} returned no patches"
-        )

@@ -343,12 +343,12 @@ class CreateIndex(Node):
 
 @dataclass(frozen=True)
 class Show(Node):
-    what: str  # "collections" | "views" | "stats"
+    what: str  # "collections" | "views" | "stats" | "metrics" | "slow_queries"
     target: str | None = None
 
     def to_sql(self) -> str:
         suffix = f" FOR {_ident(self.target)}" if self.target else ""
-        return f"SHOW {self.what.upper()}{suffix}"
+        return f"SHOW {self.what.upper().replace('_', ' ')}{suffix}"
 
 
 Statement = Union[

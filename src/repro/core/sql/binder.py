@@ -165,6 +165,25 @@ class BoundShow:
                     }
                 )
             return out
+        if self.what == "metrics":
+            snapshot = self.session.metrics_registry.snapshot()
+            out = []
+            for series, value in sorted(snapshot["counters"].items()):
+                out.append({"metric": series, "type": "counter", "value": value})
+            for series, value in sorted(snapshot["gauges"].items()):
+                out.append({"metric": series, "type": "gauge", "value": value})
+            for series, summary in sorted(snapshot["histograms"].items()):
+                for suffix in ("count", "sum", "p50", "p95", "p99"):
+                    out.append(
+                        {
+                            "metric": f"{series}_{suffix}",
+                            "type": "histogram",
+                            "value": summary[suffix],
+                        }
+                    )
+            return out
+        if self.what == "slow_queries":
+            return [dict(entry) for entry in self.session.slow_query_log().entries()]
         stats = self.session.catalog.statistics_for(self.target)
         if stats is None:
             return []

@@ -32,7 +32,7 @@ KEYWORDS = frozenset(
         "INDEX", "ON", "USING", "REPLACE", "SHOW", "COLLECTIONS",
         "VIEWS", "STATS", "FOR", "SIMILARITY", "JOIN", "WITHIN", "TOP",
         "DIM", "EXCLUDE", "SELF", "COUNT", "AVG", "DISTINCT", "TRUE",
-        "FALSE", "NULL", "METADATA", "ONLY",
+        "FALSE", "NULL", "METADATA", "ONLY", "METRICS", "SLOW", "QUERIES",
     }
 )
 

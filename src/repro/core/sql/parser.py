@@ -192,14 +192,19 @@ class _Parser:
             return ast.Show("collections", pos=self._pos(start))
         if self._accept(KEYWORD, "VIEWS"):
             return ast.Show("views", pos=self._pos(start))
+        if self._accept(KEYWORD, "METRICS"):
+            return ast.Show("metrics", pos=self._pos(start))
+        if self._accept(KEYWORD, "SLOW"):
+            self._expect(KEYWORD, "QUERIES")
+            return ast.Show("slow_queries", pos=self._pos(start))
         if self._accept(KEYWORD, "STATS"):
             self._expect(KEYWORD, "FOR")
             return ast.Show(
                 "stats", self._name("collection name"), pos=self._pos(start)
             )
         raise self._error(
-            f"expected COLLECTIONS, VIEWS, or STATS after SHOW, got "
-            f"{self._describe(self.current)}"
+            f"expected COLLECTIONS, VIEWS, METRICS, SLOW QUERIES, or STATS "
+            f"after SHOW, got {self._describe(self.current)}"
         )
 
     # -- select ----------------------------------------------------------

@@ -54,8 +54,43 @@ class BlobHeap:
     with worker threads spilling UDF results without corrupting either.
     """
 
-    def __init__(self, path: str | os.PathLike) -> None:
+    def __init__(
+        self, path: str | os.PathLike, *, metrics=None, store: str = "blob"
+    ) -> None:
         self.path = os.fspath(path)
+        if metrics is None:
+            # runtime import: repro.core imports this package at load
+            from repro.core.metrics import NULL_REGISTRY
+
+            metrics = NULL_REGISTRY
+        # ``store`` labels this heap's series (the patch heap vs the
+        # metadata segment's heap share the same metric families)
+        self._metric_reads = metrics.counter(
+            "deeplens_heap_reads_total", "blobs read", labels=("store",)
+        ).labels(store=store)
+        self._metric_read_bytes = metrics.counter(
+            "deeplens_heap_read_bytes_total",
+            "bytes read from the heap file (coalesced gaps included)",
+            labels=("store",),
+        ).labels(store=store)
+        self._metric_writes = metrics.counter(
+            "deeplens_heap_writes_total", "blobs appended", labels=("store",)
+        ).labels(store=store)
+        self._metric_write_bytes = metrics.counter(
+            "deeplens_heap_write_bytes_total",
+            "payload bytes appended",
+            labels=("store",),
+        ).labels(store=store)
+        self._metric_runs = metrics.counter(
+            "deeplens_heap_coalesced_runs_total",
+            "coalesced multi_get read runs issued",
+            labels=("store",),
+        ).labels(store=store)
+        self._metric_run_bytes = metrics.histogram(
+            "deeplens_heap_run_bytes",
+            "size of coalesced multi_get read runs",
+            labels=("store",),
+        ).labels(store=store)
         self._lock = threading.RLock()
         exists = os.path.exists(self.path) and os.path.getsize(self.path) > 0
         self._file = open(self.path, "r+b" if exists else "w+b")
@@ -101,6 +136,8 @@ class BlobHeap:
             self._file.write(struct.pack(_REC_HEADER, len(payload), flags))
             self._file.write(payload)
             self._end = offset + _REC_HEADER_SIZE + len(payload)
+        self._metric_writes.inc()
+        self._metric_write_bytes.inc(len(payload))
         return BlobRef(offset=offset, length=len(payload))
 
     def get(self, ref: BlobRef) -> bytes:
@@ -118,6 +155,8 @@ class BlobHeap:
                     f"{length}, ref says {ref.length}"
                 )
             payload = self._file.read(length)
+        self._metric_reads.inc()
+        self._metric_read_bytes.inc(_REC_HEADER_SIZE + length)
         if len(payload) != length:
             raise StorageError(f"short read of blob at {ref.offset}")
         if flags & _FLAG_COMPRESSED:
@@ -184,6 +223,12 @@ class BlobHeap:
         buffer = self._file.read(run_end - run_start)
         if len(buffer) != run_end - run_start:
             raise StorageError(f"short read of blob run at {run_start}")
+        # one locked inc per coalesced run, not per blob — the hot
+        # batched-read path pays a few instrument touches per batch
+        self._metric_runs.inc()
+        self._metric_run_bytes.observe(len(buffer))
+        self._metric_reads.inc(len(run))
+        self._metric_read_bytes.inc(len(buffer))
         for position in run:
             ref = refs[position]
             base = ref.offset - run_start

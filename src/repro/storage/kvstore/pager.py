@@ -44,6 +44,9 @@ class Pager:
         page size always wins.
     cache_pages:
         Number of pages held in the write-back LRU cache.
+    metrics:
+        Optional :class:`~repro.core.metrics.MetricsRegistry`; page
+        reads (hit/miss), writes, and LRU evictions report into it.
     """
 
     def __init__(
@@ -51,8 +54,30 @@ class Pager:
         path: str | os.PathLike,
         page_size: int = DEFAULT_PAGE_SIZE,
         cache_pages: int = 256,
+        *,
+        metrics=None,
     ) -> None:
         self.path = os.fspath(path)
+        if metrics is None:
+            # runtime import: the metrics module lives in repro.core,
+            # which imports this package at module load
+            from repro.core.metrics import NULL_REGISTRY
+
+            metrics = NULL_REGISTRY
+        page_reads = metrics.counter(
+            "deeplens_pager_page_reads_total",
+            "page reads by LRU outcome",
+            labels=("result",),
+        )
+        self._metric_read_hits = page_reads.labels(result="hit")
+        self._metric_read_misses = page_reads.labels(result="miss")
+        self._metric_writes = metrics.counter(
+            "deeplens_pager_page_writes_total", "page images written"
+        )
+        self._metric_evictions = metrics.counter(
+            "deeplens_pager_page_evictions_total",
+            "pages evicted from the LRU cache",
+        )
         # serializes every page/file/cache operation: page-granularity
         # atomicity is what concurrent clients get (a prefetch thread
         # scanning one B+ tree while workers insert into another), and
@@ -150,7 +175,9 @@ class Pager:
             self._validate_id(page_id)
             if page_id in self._cache:
                 self._cache.move_to_end(page_id)
+                self._metric_read_hits.inc()
                 return bytearray(self._cache[page_id])
+            self._metric_read_misses.inc()
             self._file.seek(page_id * self.page_size)
             data = self._file.read(self.page_size)
             if len(data) < self.page_size:
@@ -170,6 +197,7 @@ class Pager:
                     f"{self.page_size}"
                 )
             image = bytearray(data.ljust(self.page_size, b"\x00"))
+            self._metric_writes.inc()
             self._cache_put(page_id, image, dirty=True)
 
     # -- client metadata ----------------------------------------------------
@@ -206,6 +234,7 @@ class Pager:
             self._dirty.add(page_id)
         while len(self._cache) > self._cache_pages:
             victim, victim_image = self._cache.popitem(last=False)
+            self._metric_evictions.inc()
             if victim in self._dirty:
                 self._write_through(victim, victim_image)
                 self._dirty.discard(victim)

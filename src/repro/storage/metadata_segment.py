@@ -304,11 +304,29 @@ class CollectionSegment:
     """
 
     def __init__(
-        self, heap: BlobHeap, name: str, *, block_rows: int | None = None
+        self,
+        heap: BlobHeap,
+        name: str,
+        *,
+        block_rows: int | None = None,
+        metrics=None,
     ) -> None:
         self._heap = heap
         self.name = name
         self.block_rows = block_rows or BLOCK_ROWS
+        if metrics is None:
+            # runtime import: repro.core imports this module at load
+            from repro.core.metrics import NULL_REGISTRY
+
+            metrics = NULL_REGISTRY
+        self._metric_blocks_scanned = metrics.counter(
+            "deeplens_zonemap_blocks_scanned_total",
+            "sealed metadata blocks decoded by scans",
+        )
+        self._metric_blocks_skipped = metrics.counter(
+            "deeplens_zonemap_blocks_skipped_total",
+            "sealed metadata blocks zone-map pruning never read",
+        )
         self._blocks: list[_Block] = []
         #: (patch_id, ref value tuple, serialized metadata)
         self._tail: list[tuple[int, tuple, bytes]] = []
@@ -406,20 +424,40 @@ class CollectionSegment:
             rows.append((patch_id, ref_value, metadata))
         return rows
 
-    def scan_rows(self, expr: Any = None) -> Iterator[Row]:
+    def scan_rows(self, expr: Any = None, on_blocks=None) -> Iterator[Row]:
         """All rows in id order; with ``expr``, sealed blocks whose zone
         maps prove no row can match are skipped *without being read*.
         Surviving blocks are NOT row-filtered — the caller's Select
-        applies the predicate exactly."""
+        applies the predicate exactly.
+
+        ``on_blocks(skipped, scanned)``, when given, receives the scan's
+        zone-map actuals as the stream finishes (partial counts when an
+        early-exiting consumer closes the generator) — how the executing
+        operator's profile learns what pruning really did, graded against
+        the planner's ``block_stats`` estimate.
+        """
         with self._lock:
             blocks = list(self._blocks)
             tail = list(self._tail)
-        for block in blocks:
-            if expr is not None and not block_may_match(block.zones, expr):
-                continue
-            yield from self._decode_block(block)
-        for patch_id, ref_value, payload in tail:
-            yield (patch_id, ref_value, serialization.loads(payload))
+        skipped = scanned = 0
+        try:
+            for block in blocks:
+                if expr is not None and not block_may_match(block.zones, expr):
+                    skipped += 1
+                    continue
+                scanned += 1
+                yield from self._decode_block(block)
+            for patch_id, ref_value, payload in tail:
+                yield (patch_id, ref_value, serialization.loads(payload))
+        finally:
+            # aggregated per scan, not per block; also runs when the
+            # consumer abandons the generator early
+            if skipped:
+                self._metric_blocks_skipped.inc(skipped)
+            if scanned:
+                self._metric_blocks_scanned.inc(scanned)
+            if on_blocks is not None:
+                on_blocks(skipped, scanned)
 
     def get_rows(self, patch_ids: Iterable[int]) -> list[Row]:
         """Point access; results align with ``patch_ids``. Raises
@@ -486,8 +524,12 @@ class CollectionSegment:
             }
 
     @classmethod
-    def from_value(cls, heap: BlobHeap, name: str, value: dict) -> "CollectionSegment":
-        segment = cls(heap, name, block_rows=int(value["block_rows"]))
+    def from_value(
+        cls, heap: BlobHeap, name: str, value: dict, *, metrics=None
+    ) -> "CollectionSegment":
+        segment = cls(
+            heap, name, block_rows=int(value["block_rows"]), metrics=metrics
+        )
         segment._blocks = [_Block.from_value(entry) for entry in value["blocks"]]
         segment._tail = [
             (int(patch_id), tuple(ref_value), payload)
@@ -506,8 +548,9 @@ class MetadataSegmentStore:
     next to pixels, so compaction stays a non-goal for now.
     """
 
-    def __init__(self, path: str) -> None:
-        self._heap = BlobHeap(path)
+    def __init__(self, path: str, *, metrics=None) -> None:
+        self._heap = BlobHeap(path, metrics=metrics, store="segment")
+        self._metrics = metrics
         self._segments: dict[str, CollectionSegment] = {}
         self._refs: dict[str, list] = {}
         self._lock = threading.RLock()
@@ -529,10 +572,12 @@ class MetadataSegmentStore:
                         self._heap.get(BlobRef.from_tuple(tuple(ref)))
                     )
                     segment = CollectionSegment.from_value(
-                        self._heap, name, descriptor
+                        self._heap, name, descriptor, metrics=self._metrics
                     )
                 else:
-                    segment = CollectionSegment(self._heap, name)
+                    segment = CollectionSegment(
+                        self._heap, name, metrics=self._metrics
+                    )
                 self._segments[name] = segment
             return segment
 

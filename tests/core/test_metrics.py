@@ -1,0 +1,360 @@
+"""Unit tests for the telemetry primitives in :mod:`repro.core.metrics`.
+
+Three surfaces, each pinned independently of the engine:
+
+* the **registry** — counters/gauges/histograms, labeled families,
+  name-collision rejection, snapshots, and a Prometheus text render
+  that every line of must pass a format validator;
+* **spans** — nesting through the contextvars variable, propagation
+  into worker threads via copied contexts (the executor's mechanism),
+  no-op behavior outside a trace, injectable clocks;
+* the **slow-query log** — threshold filtering with fake durations
+  (the log never reads a clock), bounding, and value round-trips.
+"""
+
+import contextvars
+import json
+import re
+import threading
+
+import pytest
+
+from repro.core.metrics import (
+    DEFAULT_SLOW_QUERY_THRESHOLD,
+    NULL_REGISTRY,
+    Histogram,
+    MetricsRegistry,
+    SlowQueryLog,
+    current_span,
+    span,
+    trace,
+)
+
+# -- the registry --------------------------------------------------------------
+
+
+class TestInstruments:
+    def test_counter_counts(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "help text")
+        counter.inc()
+        counter.inc(4)
+        counter.inc(0.5)  # float increments carry accumulated wall time
+        assert counter.value == 5.5
+
+    def test_counter_exact_under_threads(self):
+        counter = MetricsRegistry().counter("c_total")
+
+        def hammer():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 80_000  # exact, not approximately
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.dec(3)
+        gauge.inc()
+        assert gauge.value == 8
+        gauge.max_of(5)  # below: no-op
+        assert gauge.value == 8
+        gauge.max_of(11)  # high-water
+        assert gauge.value == 11
+
+    def test_histogram_summary_and_quantiles(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in range(1, 101):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 100
+        assert summary["sum"] == 5050
+        assert summary["p50"] == pytest.approx(50, abs=1)
+        assert summary["p95"] == pytest.approx(95, abs=1)
+        assert summary["p99"] == pytest.approx(99, abs=1)
+
+    def test_histogram_sample_is_bounded_and_sliding(self):
+        histogram = MetricsRegistry().histogram("h")
+        for _ in range(Histogram.SAMPLE_SIZE):
+            histogram.observe(0)
+        for _ in range(Histogram.SAMPLE_SIZE):
+            histogram.observe(1000)
+        # count/sum track everything; quantiles track the recent window
+        assert histogram.count == 2 * Histogram.SAMPLE_SIZE
+        assert len(histogram._sample) == Histogram.SAMPLE_SIZE
+        assert histogram.quantile(0.5) == 1000.0
+
+    def test_family_labels(self):
+        registry = MetricsRegistry()
+        family = registry.counter("reads_total", labels=("result",))
+        family.labels(result="hit").inc(3)
+        family.labels(result="miss").inc()
+        assert family.labels(result="hit").value == 3
+        assert registry.counter_totals() == {
+            'reads_total{result="hit"}': 3,
+            'reads_total{result="miss"}': 1,
+        }
+
+    def test_family_rejects_wrong_labels(self):
+        family = MetricsRegistry().counter("c", labels=("result",))
+        with pytest.raises(ValueError, match="needs labels"):
+            family.labels(outcome="hit")
+        with pytest.raises(ValueError, match="needs labels"):
+            family.labels(result="hit", extra="x")
+
+
+class TestRegistry:
+    def test_refetch_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help")
+        second = registry.counter("c_total", "different help is fine")
+        assert first is second
+
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("name")
+
+    def test_label_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("name", labels=("a",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("name", labels=("b",))
+
+    def test_snapshot_is_a_plain_copy(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(7)
+        registry.histogram("h").observe(1.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 2}
+        assert snapshot["gauges"] == {"g": 7}
+        assert snapshot["histograms"]["h"]["count"] == 1
+        registry.counter("c").inc()  # the snapshot must not move
+        assert snapshot["counters"] == {"c": 2}
+
+    def test_disabled_registry_is_inert(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("c", labels=("result",))
+        counter.labels(result="hit").inc(100)
+        registry.gauge("g").max_of(9)
+        registry.histogram("h").observe(1)
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        assert registry.counter_totals() == {}
+        assert registry.render_prometheus() == ""
+        # every disabled instrument is the one shared no-op
+        assert registry.counter("x") is registry.histogram("y")
+        assert NULL_REGISTRY.counter("z").value == 0
+
+
+#: one Prometheus exposition sample line: metric name, optional
+#: {label="value",...} block, a space, a parseable float
+_SAMPLE_NAME = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\\n]*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\\n]*")*\})?$'
+)
+
+
+def validate_prometheus_text(text: str) -> int:
+    """Assert every line is well-formed; return the sample-line count."""
+    assert text.endswith("\n")
+    samples = 0
+    typed: set[str] = set()
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert kind in ("counter", "gauge", "summary")
+            assert name not in typed, f"duplicate TYPE for {name}"
+            typed.add(name)
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        assert _SAMPLE_NAME.match(name_part), line
+        float(value_part)  # raises if the value is malformed
+        samples += 1
+    return samples
+
+
+class TestPrometheusRender:
+    def test_lines_validate(self):
+        registry = MetricsRegistry()
+        registry.counter("reads_total", "reads", labels=("result",)).labels(
+            result="hit"
+        ).inc(3)
+        registry.gauge("depth", "queue depth").set(2)
+        registry.histogram("run_bytes", "run sizes", labels=("store",)).labels(
+            store="blob"
+        ).observe(4096)
+        text = registry.render_prometheus()
+        # 1 counter series + 1 gauge + (3 quantiles + sum + count)
+        assert validate_prometheus_text(text) == 7
+
+    def test_histogram_renders_as_summary(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", "a histogram").observe(10)
+        text = registry.render_prometheus()
+        assert "# TYPE h summary" in text
+        assert 'h{quantile="0.5"} 10' in text
+        assert "h_sum 10" in text
+        assert "h_count 1" in text
+
+    def test_help_and_type_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "what it counts").inc()
+        text = registry.render_prometheus()
+        assert "# HELP c_total what it counts" in text
+        assert "# TYPE c_total counter" in text
+        assert "c_total 1" in text
+
+
+# -- tracing spans -------------------------------------------------------------
+
+
+class StepClock:
+    """Deterministic clock: each read advances by a fixed step."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class TestSpans:
+    def test_span_outside_trace_is_noop(self):
+        assert current_span() is None
+        with span("orphan") as opened:
+            assert opened is None
+        assert current_span() is None
+
+    def test_trace_nests_children(self):
+        with trace("query") as root:
+            assert current_span() is root
+            with span("parse") as parse:
+                assert current_span() is parse
+            with span("execute"):
+                with span("scan"):
+                    pass
+        assert current_span() is None
+        tree = root.to_dict()
+        assert tree["name"] == "query"
+        assert [c["name"] for c in tree["children"]] == ["parse", "execute"]
+        assert tree["children"][1]["children"][0]["name"] == "scan"
+
+    def test_injected_clock_times_spans(self):
+        clock = StepClock(step=1.0)
+        with trace("query", clock=clock) as root:
+            with span("child") as child:
+                pass
+        # child: start at t, finish at t+1 -> exactly one step
+        assert child.duration_s == 1.0
+        assert root.end is not None and root.duration_s >= 2.0
+
+    def test_attrs_export_and_json(self):
+        with trace("query", clock=StepClock()) as root:
+            root.attrs["sql"] = "SELECT 1"
+        parsed = json.loads(root.to_json())
+        assert parsed["attrs"] == {"sql": "SELECT 1"}
+        assert parsed["seconds"] > 0
+
+    def test_copied_context_carries_span_into_thread(self):
+        """The executor's propagation mechanism: a worker running under
+        ``copy_context`` attaches children to the submitting span."""
+        results = []
+
+        def worker():
+            with span("in-thread") as child:
+                results.append(child)
+
+        with trace("query") as root:
+            context = contextvars.copy_context()
+            thread = threading.Thread(target=context.run, args=(worker,))
+            thread.start()
+            thread.join()
+        assert results[0] is not None
+        assert results[0] in root.children
+
+    def test_plain_thread_has_no_span(self):
+        seen = []
+
+        with trace("query"):
+            thread = threading.Thread(target=lambda: seen.append(current_span()))
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+
+# -- the slow-query log --------------------------------------------------------
+
+
+class TestSlowQueryLog:
+    def test_threshold_filters(self):
+        log = SlowQueryLog(threshold_seconds=0.5)
+        assert not log.record(sql="fast", fingerprint=None, seconds=0.49)
+        assert log.record(sql="slow", fingerprint="fp", seconds=0.5)
+        assert len(log) == 1
+        entry = log.entries()[0]
+        assert entry["sql"] == "slow"
+        assert entry["fingerprint"] == "fp"
+        assert entry["seconds"] == 0.5
+        assert log.dirty
+
+    def test_default_threshold(self):
+        log = SlowQueryLog()
+        assert log.threshold_seconds == DEFAULT_SLOW_QUERY_THRESHOLD == 1.0
+
+    def test_carries_span_and_counters(self):
+        log = SlowQueryLog(threshold_seconds=0.0)
+        log.record(
+            sql=None,
+            fingerprint="fp",
+            seconds=2.0,
+            span={"name": "query", "seconds": 2.0, "children": []},
+            counters={"deeplens_queries_total": 1},
+        )
+        entry = log.entries()[0]
+        assert entry["span"]["name"] == "query"
+        assert entry["counters"] == {"deeplens_queries_total": 1}
+
+    def test_bounded_oldest_first(self):
+        log = SlowQueryLog(threshold_seconds=0.0)
+        for i in range(SlowQueryLog.MAX_ENTRIES + 10):
+            log.record(sql=f"q{i}", fingerprint=None, seconds=1.0)
+        entries = log.entries()
+        assert len(entries) == SlowQueryLog.MAX_ENTRIES
+        assert entries[0]["sql"] == "q10"  # oldest surviving
+        assert entries[-1]["sql"] == f"q{SlowQueryLog.MAX_ENTRIES + 9}"
+
+    def test_value_round_trip(self):
+        log = SlowQueryLog(threshold_seconds=0.25)
+        log.record(sql="s", fingerprint="fp", seconds=0.3)
+        restored = SlowQueryLog.from_value(log.to_value())
+        assert restored.threshold_seconds == 0.25
+        assert restored.entries() == log.entries()
+        assert not restored.dirty
+
+    def test_from_value_tolerates_old_snapshots(self):
+        log = SlowQueryLog.from_value({})
+        assert len(log) == 0
+        assert log.threshold_seconds == DEFAULT_SLOW_QUERY_THRESHOLD
+
+    def test_clear(self):
+        log = SlowQueryLog(threshold_seconds=0.0)
+        log.record(sql="s", fingerprint=None, seconds=1.0)
+        log.dirty = False
+        log.clear()
+        assert len(log) == 0 and log.dirty

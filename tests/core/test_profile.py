@@ -133,6 +133,26 @@ class TestPlanQualityLog:
         assert len(log) == MAX_PLANS
         assert log.history("fp0") == []  # oldest evicted
 
+    def test_eviction_is_least_recently_updated(self):
+        # a hot recurring plan refreshes its recency on every record,
+        # so a burst of one-off fingerprints evicts cold entries first
+        log = PlanQualityLog()
+        for i in range(MAX_PLANS):
+            log.record(f"fp{i}", self._profile(1, 1))
+        log.record("fp0", self._profile(1, 2))  # fp0 is hot again
+        log.record("newcomer", self._profile(1, 1))
+        assert len(log.history("fp0")) == 2  # survived the eviction
+        assert log.history("fp1") == []  # the least-recently-updated went
+
+    def test_has_predicate_history(self):
+        # distinguishes "never profiled" from a correction() abstention
+        log = PlanQualityLog()
+        assert not log.has_predicate_history("c", "key")
+        log.record("fp", self._profile(25, 10, feedback=("c", "key", 100)))
+        assert log.has_predicate_history("c", "key")
+        assert not log.has_predicate_history("c", "other")
+        assert not log.has_predicate_history("d", "key")
+
     def test_correction_upper_median(self):
         log = PlanQualityLog()
         for actual in (10, 20, 30):
