@@ -1,0 +1,115 @@
+"""Durability — the commit journal must be cheap enough to leave on.
+
+Crash consistency is on by default, so every catalog mutation pays the
+journal: a BEGIN snapshot per transaction, before-images for overwritten
+pages, and a truncate at each commit barrier. Running the Table-1 ETL
+(ingest + materialize the detections collection) once per durability
+mode, the journaled ``"flush"`` run must stay within 15% of the
+``durability="none"`` baseline (journal disabled entirely — the
+pre-crash-safety behavior). The default ``"fsync"`` mode is reported for
+reference but not asserted: its cost is the hardware's fsync latency,
+not the journal bookkeeping.
+
+Emits ``BENCH_durability.json`` at the repo root with the measured
+overhead, for CI trend tracking. Each run builds its own database from
+the same seeded dataset; rounds interleave the modes so machine noise
+lands on every side of the comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import SEED, write_result
+from repro.bench import build_traffic_workload
+from repro.core import DeepLens
+from repro.datasets import TrafficCamDataset
+
+SCALE = float(os.environ.get("REPRO_BENCH_DUR_SCALE", "0.008"))
+ROUNDS = int(os.environ.get("REPRO_BENCH_DUR_ROUNDS", "3"))
+MODES = ("none", "flush", "fsync")
+OVERHEAD_BUDGET = 0.15
+
+RESULT_JSON = Path(__file__).parent.parent / "BENCH_durability.json"
+
+
+def _etl_seconds(workdir, durability):
+    """One full Table-1 ingest into a fresh database; returns the ETL
+    wall time plus the stats the report shows."""
+    db = DeepLens(workdir, durability=durability)
+    try:
+        dataset = TrafficCamDataset(scale=SCALE, seed=SEED)
+        workload = build_traffic_workload(db, dataset)
+        counters = db.metrics()["counters"]
+        return (
+            workload.etl_seconds,
+            len(workload.detections),
+            counters.get("deeplens_journal_commits_total", 0),
+            counters.get("deeplens_journal_page_images_total", 0),
+        )
+    finally:
+        db.close()
+
+
+@pytest.mark.benchmark(group="durability")
+def test_journaled_commit_overhead_under_budget(tmp_path_factory):
+    best = {mode: float("inf") for mode in MODES}
+    rows = 0
+    commits = {mode: 0 for mode in MODES}
+    images = {mode: 0 for mode in MODES}
+    for round_no in range(ROUNDS):
+        for mode in MODES:
+            workdir = tmp_path_factory.mktemp(f"dur-{mode}-{round_no}")
+            seconds, rows, commits[mode], images[mode] = _etl_seconds(
+                workdir, mode
+            )
+            best[mode] = min(best[mode], seconds)
+
+    overhead_flush = best["flush"] / best["none"] - 1.0
+    overhead_fsync = best["fsync"] / best["none"] - 1.0
+
+    # the journaled runs really committed through the journal ...
+    assert commits["flush"] > 0 and commits["fsync"] > 0
+    # ... and the baseline never touched it
+    assert commits["none"] == 0
+
+    payload = {
+        "workloads": {
+            "traffic-table1-ingest": {
+                "scale": SCALE,
+                "rows": rows,
+                "rounds": ROUNDS,
+                "seconds": {m: round(best[m], 4) for m in MODES},
+                "journal_commits": commits["flush"],
+                "journal_page_images": images["flush"],
+                "overhead_fraction_flush": round(overhead_flush, 4),
+                "overhead_fraction_fsync": round(overhead_fsync, 4),
+            }
+        }
+    }
+    RESULT_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        f"workload: Table-1 ingest, {rows} detections (scale {SCALE}), "
+        f"min of {ROUNDS} rounds",
+        "",
+        "| durability | ETL (s) | vs none |",
+        "|---|---|---|",
+        f"| none (no journal) | {best['none']:.3f} | — |",
+        f"| flush (journaled) | {best['flush']:.3f} "
+        f"| {overhead_flush * 100:+.1f}% |",
+        f"| fsync (journaled, durable) | {best['fsync']:.3f} "
+        f"| {overhead_fsync * 100:+.1f}% |",
+        "",
+        f"journal: {commits['flush']} commits, "
+        f"{images['flush']} page before-images",
+        f"flush overhead budget: {OVERHEAD_BUDGET * 100:.0f}%",
+        f"written: {RESULT_JSON.name}",
+    ]
+    write_result("durability", "Commit-journal overhead on Table-1 ingest", lines)
+
+    assert overhead_flush < OVERHEAD_BUDGET

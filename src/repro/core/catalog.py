@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import os
 import struct
+import zlib
 from typing import Any, Callable, Iterable, Iterator
 
 import numpy as np
@@ -39,13 +40,22 @@ from repro.core.patch import ImgRef, LINEAGE_KEY, Patch, _normalize_meta
 from repro.core.profile import PlanQualityLog
 from repro.core.schema import PatchSchema
 from repro.core.statistics import CollectionStatistics
-from repro.errors import IndexError_, QueryError, StorageError
+from repro.errors import CorruptionError, IndexError_, QueryError, StorageError
 from repro.indexes import BallTree, BTreeIndex, HashIndex, RTree, rect_from_bbox
+from repro.storage.journal import CommitJournal
 from repro.storage.kvstore import BlobHeap, BlobRef, BPlusTree, Pager
 from repro.storage.kvstore import serialization
 from repro.storage.metadata_segment import CollectionSegment, MetadataSegmentStore
 
 INDEX_KINDS = ("hash", "btree", "rtree", "balltree")
+
+#: bound on the persisted recovery-event history in catalog meta
+RECOVERY_LOG_MAX = 64
+
+#: how often a metadata read may quarantine + rebuild its segment before
+#: giving up — a rebuilt segment failing again means the blob heap itself
+#: (the source of truth) is damaged, which rebuilding cannot fix
+_MAX_SEGMENT_REBUILDS = 3
 
 
 class MaterializedCollection:
@@ -117,9 +127,8 @@ class MaterializedCollection:
         if not ids:
             return []
         if not load_data:
-            segment = self._metadata_segment()
             try:
-                rows = segment.get_rows(ids)
+                rows = self._segment_rows(ids)
             except KeyError as exc:
                 raise QueryError(
                     f"patch {exc.args[0]} not in collection {self.name!r}"
@@ -191,15 +200,34 @@ class MaterializedCollection:
         Patches come back bit-identical to
         ``Patch.from_record(..., with_data=False)``: empty data array,
         same metadata, same lineage tuples.
+
+        The segment is derived state: a corrupt block does not fail the
+        scan. It is quarantined, the segment rebuilds from the blob heap,
+        and the scan resumes after the last row already delivered (rows
+        are id-ordered, so no duplicates and no gaps).
         """
-        batch: list[Patch] = []
-        for row in self._metadata_segment().scan_rows(expr, on_blocks):
-            batch.append(self._patch_from_metadata(*row))
-            if len(batch) >= size:
-                yield batch
-                batch = []
-        if batch:
-            yield batch
+        last_yielded: int | None = None
+        rebuilds = 0
+        while True:
+            segment = self._metadata_segment()
+            batch: list[Patch] = []
+            try:
+                for row in segment.scan_rows(
+                    expr, on_blocks, after_id=last_yielded
+                ):
+                    batch.append(self._patch_from_metadata(*row))
+                    if len(batch) >= size:
+                        yield batch
+                        last_yielded = batch[-1].patch_id
+                        batch = []
+                if batch:
+                    yield batch
+                return
+            except CorruptionError as exc:
+                rebuilds += 1
+                if rebuilds > _MAX_SEGMENT_REBUILDS:
+                    raise
+                self.catalog._quarantine_segment(self.name, exc)
 
     def metadata_block_stats(self, expr=None) -> tuple[int, int, int]:
         """(kept blocks, total sealed blocks, surviving-row bound) a
@@ -207,11 +235,23 @@ class MaterializedCollection:
         block-skipping estimate."""
         return self._metadata_segment().block_stats(expr)
 
+    def _segment_rows(self, ids: list[int]) -> list:
+        """Point rows from the segment, with one quarantine + rebuild
+        retry on corruption (a second failure means the blob heap itself
+        is damaged and propagates)."""
+        try:
+            return self._metadata_segment().get_rows(ids)
+        except CorruptionError as exc:
+            self.catalog._quarantine_segment(self.name, exc)
+            return self._metadata_segment().get_rows(ids)
+
     def _metadata_segment(self) -> CollectionSegment:
-        """This collection's segment, backfilled first if it predates the
-        columnar format (one full-record pass, then never again)."""
+        """This collection's segment, rebuilt from the blob heap (the
+        source of truth) whenever it is incomplete: a pre-segment catalog
+        backfilling lazily, or a quarantined corrupt segment."""
         segment = self.catalog.segments.segment(self.name)
         if segment.row_count != len(self._tree):
+            self.catalog._metric_segment_rebuilds.inc()
             segment.rebuild(
                 (patch.patch_id, patch.img_ref.to_value(),
                  _normalize_meta(patch.metadata))
@@ -270,32 +310,120 @@ class MaterializedCollection:
 
 
 class Catalog:
-    """Database directory: patch heap, collections, indexes, lineage."""
+    """Database directory: patch heap, collections, indexes, lineage.
 
-    def __init__(self, workdir: str | os.PathLike, *, metrics=None) -> None:
+    Crash consistency: all four storage files (``catalog.db``,
+    ``patches.heap``, ``metadata.seg``, and ``journal.log``) mutate as
+    one atomic group. The first mutating write after a commit opens a
+    transaction in the :class:`~repro.storage.journal.CommitJournal`;
+    :meth:`sync`, :meth:`close`, :meth:`materialize`, and
+    :meth:`create_index` are the commit barriers. ``__init__`` runs
+    journal recovery *before* opening any store, so a catalog that
+    crashed mid-mutation reopens in its last committed state.
+    """
+
+    def __init__(
+        self,
+        workdir: str | os.PathLike,
+        *,
+        metrics=None,
+        durability: str = "fsync",
+        fs=None,
+    ) -> None:
+        if durability not in ("fsync", "flush", "none"):
+            raise StorageError(
+                f"unknown durability mode {durability!r}: "
+                'expected "fsync", "flush", or "none"'
+            )
         self.workdir = os.fspath(workdir)
         os.makedirs(self.workdir, exist_ok=True)
         #: the session's metrics registry (None-safe: storage layers
         #: substitute the shared null registry), threaded into the
         #: pager, both heaps, and every metadata segment
         self.metrics = metrics
+        self.durability = durability
+        self._fs = fs
+        registry = metrics
+        if registry is None:
+            from repro.core.metrics import NULL_REGISTRY
+
+            registry = NULL_REGISTRY
+        self._metric_replays = registry.counter(
+            "deeplens_journal_replays_total",
+            "half-applied transactions rolled back at catalog open",
+        )
+        self._metric_segment_rebuilds = registry.counter(
+            "deeplens_segment_rebuilds_total",
+            "metadata segments rebuilt from the blob heap",
+        )
+        #: recovery/repair events observed by THIS catalog instance —
+        #: what db.recovery_report() shows; also appended to the bounded
+        #: history persisted in catalog meta
+        self.recovery_events: list[dict] = []
+        self._recovery_log: list[dict] = []
+        #: ``durability="none"`` disables journaling entirely (the
+        #: pre-crash-safety behavior; the durability benchmark baseline)
+        self._journal: CommitJournal | None = None
+        replay_report = None
+        if durability != "none":
+            self._journal = CommitJournal(
+                os.path.join(self.workdir, "journal.log"),
+                durability=durability,
+                fs=fs,
+                metrics=metrics,
+            )
+            # recovery MUST precede opening the stores: it rewrites their
+            # files directly (including a possibly-torn pager header)
+            replay_report = self._journal.recover()
         self.pager = Pager(
-            os.path.join(self.workdir, "catalog.db"), metrics=metrics
+            os.path.join(self.workdir, "catalog.db"),
+            metrics=metrics,
+            journal=self._journal,
+            fs=fs,
+            durability=durability,
         )
         self.heap = BlobHeap(
-            os.path.join(self.workdir, "patches.heap"), metrics=metrics
+            os.path.join(self.workdir, "patches.heap"),
+            metrics=metrics,
+            journal=self._journal,
+            fs=fs,
+            durability=durability,
         )
         #: columnar metadata segments, one per collection, in their own
         #: heap file — metadata-only scans never touch ``patches.heap``
         self.segments = MetadataSegmentStore(
-            os.path.join(self.workdir, "metadata.seg"), metrics=metrics
+            os.path.join(self.workdir, "metadata.seg"),
+            metrics=metrics,
+            journal=self._journal,
+            fs=fs,
+            durability=durability,
+            on_corruption=self._on_segment_corruption,
         )
+        if self._journal is not None:
+            self._journal.register_begin_provider(self._begin_state)
+        # the empty-meta sanity check must run before ANY meta writer
+        # (LineageStore re-creates its B+ trees into an empty meta dict,
+        # which would mask a torn meta page as a legitimately empty
+        # catalog and silently orphan every collection)
+        if not self.pager.get_meta() and (
+            self.pager.page_count > 2 or self.heap.size_bytes > 16
+        ):
+            raise CorruptionError(
+                "catalog meta page is empty but the catalog contains data; "
+                "the meta page was torn or zeroed",
+                file=self.pager.path,
+                offset=self.pager._meta_page * self.pager.page_size,
+            )
         self.lineage = LineageStore(self.pager)
         self._collections: dict[str, MaterializedCollection] = {}
         #: (collection, attr, kind) -> index object
         self._indexes: dict[tuple[str, str, str], Any] = {}
         self._trees: dict[str, BPlusTree] = {}
         meta = self.pager.get_meta()
+        self._recovery_log = [dict(e) for e in meta.get("catalog:recovery_log", [])]
+        if replay_report is not None:
+            self._metric_replays.inc()
+            self._record_recovery_event("journal_replay", **replay_report)
         self._next_id = meta.get("catalog:next_id", 0)
         for name in meta.get("catalog:collections", []):
             self._collections[name] = MaterializedCollection(self, name)
@@ -331,16 +459,23 @@ class Catalog:
     # -- lifecycle ------------------------------------------------------
 
     def close(self) -> None:
-        self._save_meta()
+        self.sync()
         self.pager.close()
         self.heap.close()
         self.segments.close()
+        if self._journal is not None:
+            self._journal.close()
 
     def sync(self) -> None:
+        """Flush everything durably, then commit: the catalog's
+        transaction barrier. Data files are synced *before* the journal
+        truncates — the truncation is the commit point."""
         self._save_meta()
         self.pager.sync()
         self.heap.sync()
         self.segments.sync()
+        if self._journal is not None:
+            self._journal.commit()
 
     def __enter__(self) -> "Catalog":
         return self
@@ -384,7 +519,60 @@ class Catalog:
             meta["catalog:plan_log"] = self._plan_log_ref
         if self._slow_log_ref is not None:
             meta["catalog:slow_log"] = self._slow_log_ref
+        if self._recovery_log:
+            meta["catalog:recovery_log"] = [dict(e) for e in self._recovery_log]
         self.pager.set_meta(meta)
+
+    # -- recovery & repair observability ---------------------------------
+
+    def _begin_state(self) -> dict:
+        """The commit journal's BEGIN snapshot: everything rollback needs
+        that cannot be reconstructed after the files mutate. Called with
+        no pager/heap locks held, so only plain attributes are read."""
+        return {
+            "op": "catalog-mutation",
+            "pager": os.path.basename(self.pager.path),
+            "page_size": self.pager.page_size,
+            "pre_page_count": self.pager.page_count,
+            "header": self.pager.packed_header(),
+            "heap_ends": {
+                os.path.basename(self.heap.path): self.heap.size_bytes,
+                os.path.basename(self.segments.heap_path):
+                    self.segments.heap_size_bytes,
+            },
+        }
+
+    def _record_recovery_event(self, kind: str, **details) -> None:
+        event = {"kind": kind}
+        for key, value in details.items():
+            event[key] = value if isinstance(value, (int, str, dict)) else str(value)
+        self.recovery_events.append(event)
+        self._recovery_log.append(event)
+        del self._recovery_log[:-RECOVERY_LOG_MAX]
+
+    def recovery_report(self) -> dict:
+        """What storage repair has happened: ``events`` covers this
+        catalog instance (journal rollback at open, quarantined segments
+        or snapshots repaired at runtime); ``history`` is the bounded
+        persisted log across opens."""
+        return {
+            "events": [dict(e) for e in self.recovery_events],
+            "history": [dict(e) for e in self._recovery_log],
+        }
+
+    def _on_segment_corruption(self, name: str, exc: CorruptionError) -> None:
+        """MetadataSegmentStore's descriptor-quarantine hook."""
+        self._record_recovery_event(
+            "segment_quarantined", collection=name, detail=str(exc)
+        )
+
+    def _quarantine_segment(self, name: str, exc: CorruptionError) -> None:
+        """Discard a corrupt segment so the next metadata read rebuilds
+        it from the blob heap (the source of truth)."""
+        self.segments.drop(name)
+        self._record_recovery_event(
+            "segment_quarantined", collection=name, detail=str(exc)
+        )
 
     def _tree_for(self, name: str) -> BPlusTree:
         if name not in self._trees:
@@ -437,7 +625,8 @@ class Catalog:
         # mutations against this baseline (statistics staleness flag, view
         # invalidation)
         self._fresh_versions[name] = self._versions.get(name, 0)
-        self._save_meta()
+        # commit barrier: the whole materialization lands atomically
+        self.sync()
         return collection
 
     def collection(self, name: str) -> MaterializedCollection:
@@ -472,32 +661,76 @@ class Catalog:
 
     # -- plan quality (EXPLAIN ANALYZE feedback) --------------------------
 
+    def _load_snapshot(self, ref_value: list, what: str, loader):
+        """Load + decode one heap-persisted snapshot through ``loader``
+        (a ``from_value`` classmethod); every failure — checksum, short
+        read, undecodable content, a shape ``loader`` rejects — surfaces
+        as one positioned :class:`CorruptionError` so callers can
+        quarantine."""
+        ref = BlobRef.from_tuple(tuple(ref_value))
+        try:
+            return loader(serialization.loads(self.heap.get(ref)))
+        except CorruptionError:
+            raise
+        except (
+            StorageError,
+            zlib.error,
+            struct.error,
+            ValueError,
+            KeyError,
+            TypeError,
+            IndexError,
+            AttributeError,
+        ) as exc:
+            raise CorruptionError(
+                f"undecodable {what} snapshot: {exc}",
+                file=self.heap.path,
+                offset=ref.offset,
+            ) from exc
+
     def plan_quality_log(self) -> PlanQualityLog:
         """The catalog's plan-quality log: estimate-vs-actual history per
         parameterized plan fingerprint plus per-predicate observed
         selectivities. Lazily loaded from its persisted snapshot; flushed
-        back (when dirty) by :meth:`_save_meta` like statistics."""
+        back (when dirty) by :meth:`_save_meta` like statistics. A corrupt
+        snapshot is dropped (it is advisory history), recorded as a
+        recovery event, and the log restarts empty."""
         if self._plan_log is None:
             if self._plan_log_ref is not None:
-                ref = BlobRef.from_tuple(tuple(self._plan_log_ref))
-                self._plan_log = PlanQualityLog.from_value(
-                    serialization.loads(self.heap.get(ref))
-                )
-            else:
+                try:
+                    self._plan_log = self._load_snapshot(
+                        self._plan_log_ref,
+                        "plan-quality log",
+                        PlanQualityLog.from_value,
+                    )
+                except CorruptionError as exc:
+                    self._plan_log_ref = None
+                    self._record_recovery_event(
+                        "plan_log_reset", detail=str(exc)
+                    )
+            if self._plan_log is None:
                 self._plan_log = PlanQualityLog()
         return self._plan_log
 
     def slow_query_log(self) -> SlowQueryLog:
         """The catalog's slow-query log: bounded history of queries whose
         wall time crossed the threshold, with span trees and counter
-        deltas. Same lazy-load / dirty-flush lifecycle as the plan log."""
+        deltas. Same lazy-load / dirty-flush (and corruption-reset)
+        lifecycle as the plan log."""
         if self._slow_log is None:
             if self._slow_log_ref is not None:
-                ref = BlobRef.from_tuple(tuple(self._slow_log_ref))
-                self._slow_log = SlowQueryLog.from_value(
-                    serialization.loads(self.heap.get(ref))
-                )
-            else:
+                try:
+                    self._slow_log = self._load_snapshot(
+                        self._slow_log_ref,
+                        "slow-query log",
+                        SlowQueryLog.from_value,
+                    )
+                except CorruptionError as exc:
+                    self._slow_log_ref = None
+                    self._record_recovery_event(
+                        "slow_log_reset", detail=str(exc)
+                    )
+            if self._slow_log is None:
                 self._slow_log = SlowQueryLog()
         return self._slow_log
 
@@ -511,14 +744,30 @@ class Catalog:
         Returns None for collections without statistics (unknown names,
         or databases materialized before statistics existed) — the
         optimizer then falls back to its fixed selectivity constants.
+
+        A corrupt snapshot never fails the query: statistics are derived
+        state, so the snapshot is quarantined and rebuilt from a full
+        scan of the collection (or dropped to the fallback constants when
+        the collection itself is gone).
         """
         stats = self._stats.get(collection_name)
         if stats is None and collection_name in self._stats_refs:
-            ref = BlobRef.from_tuple(tuple(self._stats_refs[collection_name]))
-            stats = CollectionStatistics.from_value(
-                serialization.loads(self.heap.get(ref))
-            )
-            self._stats[collection_name] = stats
+            try:
+                stats = self._load_snapshot(
+                    self._stats_refs[collection_name],
+                    f"statistics[{collection_name}]",
+                    CollectionStatistics.from_value,
+                )
+                self._stats[collection_name] = stats
+            except CorruptionError as exc:
+                self._stats_refs.pop(collection_name, None)
+                self._record_recovery_event(
+                    "stats_rebuilt", collection=collection_name, detail=str(exc)
+                )
+                if collection_name in self._collections:
+                    stats = self.rebuild_statistics(collection_name)
+                else:
+                    return None
         if stats is not None:
             stats.staleness = self.mutations_since_fresh(collection_name)
         return stats
@@ -597,7 +846,8 @@ class Catalog:
         if key not in self._registered:
             self._registered.append(key)
         self._multi_value.add(key) if multi_value else None
-        self._save_meta()
+        # commit barrier: index pages + registration land atomically
+        self.sync()
         return index
 
     def get_index(self, collection_name: str, attr: str, kind: str):

@@ -177,6 +177,9 @@ class MaterializationManager:
             for name, definition in sorted(self._defs.items())
         }
         self.catalog.pager.set_meta(meta)
+        # Commit here so a view definition can never be lost between the
+        # materialize of its backing collection and the next sync barrier.
+        self.catalog.sync()
 
     # -- materialization ------------------------------------------------
 

@@ -199,6 +199,33 @@ class DeepLens:
     counter deltas), oldest first. See :meth:`metrics`,
     :meth:`metrics_text` (Prometheus text format), :meth:`trace_json`,
     and :meth:`slow_query_log` for the programmatic surfaces.
+
+    **Durability & recovery.** Every catalog mutation (``add``,
+    ``materialize``, index builds, view refreshes, stats snapshots) runs
+    as an atomic multi-file commit: before any committed page or heap
+    byte is overwritten, the pre-state is captured in a checksummed
+    commit journal (``catalog/journal.log``). If the process dies
+    mid-mutation, the next open replays the journal — restoring page
+    before-images and truncating the append-only heaps back to their
+    recorded ends — so the store reopens in exactly the pre-mutation
+    state (all-or-nothing, never a mix). Every pager page, blob-heap
+    record, and metadata-segment block also carries a CRC32 checksum
+    verified on read; silent corruption raises
+    :class:`~repro.errors.CorruptionError` naming the file and offset.
+    Corruption in *derived* files degrades gracefully: a bad
+    ``metadata.seg`` block or stale statistics snapshot is quarantined
+    and rebuilt from the blob heap (the source of truth), and the
+    rebuild is counted in :meth:`metrics` (``deeplens_segment_rebuilds_
+    total``, ``deeplens_corruption_detected_total``). Corruption in the
+    blob heap itself — primary data — is surfaced, never papered over.
+
+    The ``durability`` knob picks the sync policy at each commit
+    barrier: ``"fsync"`` (default — flush + ``os.fsync``, survives
+    power loss), ``"flush"`` (flush to the OS only, survives process
+    crash but not power loss), or ``"none"`` (no journal at all — the
+    pre-journal behavior, for benchmarks and throwaway stores).
+    :meth:`recovery_report` shows what the last open repaired, plus a
+    bounded history of past repairs persisted in the catalog.
     """
 
     def __init__(
@@ -209,6 +236,8 @@ class DeepLens:
         metrics_enabled: bool = True,
         slow_query_threshold: float | None = None,
         clock: Callable[[], float] | None = None,
+        durability: str = "fsync",
+        fs=None,
     ) -> None:
         self.workdir = os.fspath(workdir)
         os.makedirs(self.workdir, exist_ok=True)
@@ -238,6 +267,8 @@ class DeepLens:
         self.catalog = Catalog(
             os.path.join(self.workdir, "catalog"),
             metrics=self.metrics_registry,
+            durability=durability,
+            fs=fs,
         )
         self.optimizer = Optimizer(
             self.catalog, CostModel(), metrics=self.metrics_registry
@@ -447,6 +478,14 @@ class DeepLens:
         """The session's metrics in Prometheus text exposition format —
         the payload a ``/metrics`` endpoint would serve unchanged."""
         return self.metrics_registry.render_prometheus()
+
+    def recovery_report(self) -> dict:
+        """What opening this store repaired: ``{"events": [...],
+        "history": [...]}``. ``events`` are repairs performed by *this*
+        session (journal replays, quarantined segments, rebuilt stats);
+        ``history`` is the bounded repair log persisted in the catalog
+        across sessions."""
+        return self.catalog.recovery_report()
 
     def trace_json(self) -> str | None:
         """The span tree of the most recent top-level query as JSON

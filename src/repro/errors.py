@@ -20,6 +20,33 @@ class PageError(StorageError):
     """An invalid page id, page overflow, or corrupted page image."""
 
 
+class CorruptionError(StorageError):
+    """On-disk bytes failed validation: a checksum mismatch, a torn or
+    truncated structure, or undecodable content.
+
+    ``file`` and ``offset`` position the damage so operators can inspect
+    (or restore) the right region instead of chasing an opaque
+    ``struct``/``zlib`` traceback. ``str()`` renders both when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        file: str | None = None,
+        offset: int | None = None,
+    ) -> None:
+        self.file = file
+        self.offset = offset
+        location = ""
+        if file is not None:
+            location = f" [{file}"
+            if offset is not None:
+                location += f" @ offset {offset}"
+            location += "]"
+        super().__init__(f"{message}{location}")
+
+
 class KeyNotFoundError(StorageError, KeyError):
     """A point lookup referenced a key that is not present."""
 

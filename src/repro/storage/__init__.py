@@ -1,1 +1,12 @@
 """Storage layer: embedded KV substrate, video codecs, and storage formats."""
+
+from repro.storage.faultfs import OS_OPS, FaultInjector, FileOps, SimulatedCrash
+from repro.storage.journal import CommitJournal
+
+__all__ = [
+    "OS_OPS",
+    "CommitJournal",
+    "FaultInjector",
+    "FileOps",
+    "SimulatedCrash",
+]

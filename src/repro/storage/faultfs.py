@@ -1,0 +1,204 @@
+"""Injectable file-ops layer for deterministic storage fault testing.
+
+Every component of the storage engine (:class:`~repro.storage.kvstore.pager.
+Pager`, :class:`~repro.storage.kvstore.heap.BlobHeap`,
+:class:`~repro.storage.metadata_segment.MetadataSegmentStore`,
+:class:`~repro.storage.journal.CommitJournal`) opens and syncs files through
+a :class:`FileOps` object instead of calling ``open``/``os.fsync`` directly.
+Production uses the module-level :data:`OS_OPS` singleton; tests substitute a
+:class:`FaultInjector` that counts *mutating* file operations (writes and
+truncates) across every file it opened and fails the Nth one in a chosen
+way:
+
+``kill``
+    Raise :class:`SimulatedCrash` before the bytes hit the file — and on
+    every later mutation too, modelling a process that died mid-commit.
+``torn``
+    Write only a prefix of the requested bytes, then behave like ``kill``:
+    a torn sector write at power loss.
+``bitflip``
+    Write the bytes with one bit flipped and *continue normally* — silent
+    media corruption that only checksum verification can catch later.
+``eio``
+    Raise ``OSError(EIO)`` for this one operation, then continue: a
+    transient I/O error the caller sees synchronously.
+
+The op counter is deterministic (no randomness, no clocks), so a test can
+enumerate "crash at op 1, op 2, ... op N" exhaustively and assert that a
+reopen after every crash point recovers to a consistent state.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import threading
+
+
+class SimulatedCrash(Exception):
+    """The fault injector killed the simulated process at this operation.
+
+    Deliberately *not* a :class:`~repro.errors.DeepLensError`: library code
+    catching its own error hierarchy must never swallow a simulated crash,
+    exactly as it could not swallow real power loss.
+    """
+
+
+class FileOps:
+    """Real file operations; the production (and default) implementation."""
+
+    def open(self, path: str | os.PathLike, mode: str):
+        """Open ``path``; the handle supports the usual file protocol."""
+        return open(path, mode)
+
+    def sync_file(self, file, durability: str = "fsync") -> None:
+        """Flush ``file`` and, when ``durability == "fsync"``, fsync it."""
+        file.flush()
+        if durability == "fsync":
+            os.fsync(file.fileno())
+
+
+#: shared production instance — stateless, safe to use everywhere
+OS_OPS = FileOps()
+
+
+class FaultInjector(FileOps):
+    """A :class:`FileOps` that fails the ``fail_at``-th mutating operation.
+
+    Parameters
+    ----------
+    fail_at:
+        1-based index of the mutating op (write or truncate) to fail;
+        ``None`` counts ops without ever failing (used to size a workload
+        before enumerating its crash points).
+    mode:
+        One of ``"kill"``, ``"torn"``, ``"bitflip"``, ``"eio"``.
+    """
+
+    MODES = ("kill", "torn", "bitflip", "eio")
+
+    def __init__(self, fail_at: int | None = None, mode: str = "kill") -> None:
+        if mode not in self.MODES:
+            raise ValueError(f"unknown fault mode {mode!r}; use one of {self.MODES}")
+        self.fail_at = fail_at
+        self.mode = mode
+        self.ops = 0
+        self.crashed = False
+        self.fired = False
+        self._lock = threading.RLock()
+        self._files: list[_FaultFile] = []
+
+    def open(self, path: str | os.PathLike, mode: str):
+        with self._lock:
+            if self.crashed:
+                raise SimulatedCrash(f"open({os.fspath(path)!r}) after crash")
+            wrapped = _FaultFile(open(path, mode), self)
+            self._files.append(wrapped)
+            return wrapped
+
+    def sync_file(self, file, durability: str = "fsync") -> None:
+        # fsync/flush are not counted as ops: the crash model is "which
+        # *written bytes* made it to disk", and a barrier writes nothing
+        with self._lock:
+            if self.crashed:
+                raise SimulatedCrash("sync after crash")
+        raw = file._raw if isinstance(file, _FaultFile) else file
+        raw.flush()
+        if durability == "fsync":
+            os.fsync(raw.fileno())
+
+    def close_all(self) -> None:
+        """Close every file the injector opened (post-crash cleanup, so a
+        reopened store never shares OS handles with the 'dead' one)."""
+        with self._lock:
+            for wrapped in self._files:
+                try:
+                    wrapped._raw.close()
+                except OSError:
+                    pass
+            self._files.clear()
+
+    # -- called by _FaultFile on each mutating op -----------------------
+
+    def _on_mutation(self) -> str:
+        """Count one write/truncate; return the action to take for it."""
+        with self._lock:
+            if self.crashed:
+                raise SimulatedCrash("mutation after crash")
+            self.ops += 1
+            if self.fail_at is None or self.ops != self.fail_at:
+                return "pass"
+            self.fired = True
+            if self.mode == "kill":
+                self.crashed = True
+                raise SimulatedCrash(f"killed at op {self.ops}")
+            if self.mode == "eio":
+                raise OSError(errno.EIO, f"injected EIO at op {self.ops}")
+            return self.mode  # "torn" | "bitflip": handled by the file
+
+
+class _FaultFile:
+    """File wrapper routing mutations through the injector's fault plan."""
+
+    def __init__(self, raw, injector: FaultInjector) -> None:
+        self._raw = raw
+        self._injector = injector
+
+    def write(self, data) -> int:
+        action = self._injector._on_mutation()
+        data = bytes(data)
+        if action == "torn":
+            # half the bytes land, then the process dies
+            self._raw.write(data[: len(data) // 2])
+            self._raw.flush()
+            self._injector.crashed = True
+            raise SimulatedCrash("torn write")
+        if action == "bitflip":
+            flipped = bytearray(data)
+            if flipped:
+                flipped[len(flipped) // 2] ^= 0x01
+            return self._raw.write(bytes(flipped))
+        return self._raw.write(data)
+
+    def truncate(self, size=None) -> int:
+        action = self._injector._on_mutation()
+        if action in ("torn", "bitflip"):
+            # a truncate has no byte payload to tear or flip; treat torn
+            # as a kill-before-apply and bitflip as a no-fault pass
+            if action == "torn":
+                self._injector.crashed = True
+                raise SimulatedCrash("crash at truncate")
+        if size is None:
+            return self._raw.truncate()
+        return self._raw.truncate(size)
+
+    # -- non-mutating passthrough ---------------------------------------
+
+    def read(self, *args):
+        return self._raw.read(*args)
+
+    def seek(self, *args):
+        return self._raw.seek(*args)
+
+    def tell(self):
+        return self._raw.tell()
+
+    def flush(self):
+        return self._raw.flush()
+
+    def fileno(self):
+        return self._raw.fileno()
+
+    def close(self):
+        return self._raw.close()
+
+    @property
+    def closed(self):
+        return self._raw.closed
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self._raw.close()
+        return False

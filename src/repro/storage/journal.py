@@ -1,0 +1,315 @@
+"""Rollback commit journal: atomic multi-file catalog mutations.
+
+The catalog mutates four files together — the pager (``catalog.db``), the
+patch blob heap (``patches.heap``), the metadata segment heap
+(``metadata.seg``), and through the pager every B+-tree — and a crash
+between any two of those writes used to leave them mutually inconsistent.
+The :class:`CommitJournal` makes the group atomic with the classic
+rollback-journal protocol (the SQLite design, fitted to our mix of
+update-in-place and append-only files):
+
+1. **Begin** — lazily, at the first mutating write of a transaction, a
+   BEGIN record snapshots the pre-state that cannot be reconstructed
+   afterwards: the pager's raw header bytes and page count, and each
+   append-only heap's end offset. The record is CRC-framed and fsynced
+   before any data file is touched.
+2. **Journal before-images** — before an existing pager page is
+   overwritten *on disk* (write-through or sync), its current on-disk
+   image is appended to the journal and the journal is synced: the
+   write-ahead rule. Pages allocated after BEGIN need no image — rollback
+   truncates them away. Append-only heaps need no images at all — their
+   pre-state is just the recorded end offset.
+3. **Commit** — after every data file is flushed/fsynced, the journal is
+   truncated back to its header and synced. The truncation is the commit
+   point: an empty journal means "everything on disk is committed".
+4. **Recover** — on open, a non-empty journal means a crash mid-commit.
+   Every CRC-valid before-image is written back, the pager header is
+   restored, the pager file and each heap are truncated to their recorded
+   pre-sizes, data files are fsynced, and the journal is truncated. The
+   procedure is idempotent: a crash during recovery just recovers again.
+
+A torn tail record is safe by construction: records are CRC-framed, and the
+write-ahead rule means a before-image that never fully reached the journal
+belongs to an overwrite that never happened.
+
+Thread-safety: ``ensure_active``/``record_page`` are called from worker
+threads (UDF cache spills append blobs and insert tree keys mid-query), so
+all journal state lives behind one re-entrant lock, with a lock-free fast
+path for the common "transaction already active" case.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import zlib
+
+from repro.errors import StorageError
+from repro.storage.faultfs import OS_OPS
+from repro.storage.kvstore import serialization
+
+MAGIC = b"DLJN0001"
+_HEADER_SIZE = 16
+_REC_FRAME = ">BI"  # record type, payload length
+_REC_FRAME_SIZE = struct.calcsize(_REC_FRAME)
+_CRC_SIZE = 4
+_TYPE_BEGIN = 0x42  # 'B'
+_TYPE_PAGE = 0x50  # 'P'
+
+
+class CommitJournal:
+    """Write-ahead rollback journal for one catalog directory.
+
+    Parameters
+    ----------
+    path:
+        The ``journal.log`` file.
+    durability:
+        ``"fsync"`` fsyncs the journal at every barrier; ``"flush"``
+        only flushes (fast, survives process death but not power loss).
+    fs:
+        A :class:`~repro.storage.faultfs.FileOps`; tests inject faults here.
+    metrics:
+        Optional :class:`~repro.core.metrics.MetricsRegistry`.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        durability: str = "fsync",
+        fs=None,
+        metrics=None,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.durability = durability
+        self._fs = fs if fs is not None else OS_OPS
+        if metrics is None:
+            # runtime import: repro.core imports the storage package at load
+            from repro.core.metrics import NULL_REGISTRY
+
+            metrics = NULL_REGISTRY
+        self._metric_commits = metrics.counter(
+            "deeplens_journal_commits_total", "journaled commits completed"
+        )
+        self._metric_pages = metrics.counter(
+            "deeplens_journal_page_images_total",
+            "page before-images written to the journal",
+        )
+        self._lock = threading.RLock()
+        self._provider = None
+        self._active = False
+        self._pre_page_count = 0
+        self._pages: set[int] = set()
+        self._closed = False
+        exists = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        self._file = self._fs.open(self.path, "r+b" if exists else "w+b")
+        if not exists:
+            self._file.write(MAGIC.ljust(_HEADER_SIZE, b"\x00"))
+            self._fs.sync_file(self._file, self.durability)
+
+    # -- wiring ---------------------------------------------------------
+
+    def register_begin_provider(self, provider) -> None:
+        """``provider()`` must return the BEGIN snapshot dict: ``op``,
+        ``pager`` (basename), ``page_size``, ``pre_page_count``,
+        ``header`` (raw bytes), and ``heap_ends`` ({basename: offset}).
+
+        It is called with no journal/pager/heap locks held beyond the
+        journal's own, so it must read component state lock-free.
+        """
+        self._provider = provider
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    # -- transaction protocol -------------------------------------------
+
+    def ensure_active(self) -> None:
+        """Open a transaction (write + sync the BEGIN record) if none is.
+
+        Called by ``Pager.write`` and ``BlobHeap.put`` before their first
+        mutation; a plain-attribute fast path keeps the per-write cost of
+        an already-open transaction to one attribute read.
+        """
+        if self._active or self._provider is None:
+            return
+        with self._lock:
+            if self._active or self._closed:
+                return
+            state = self._provider()
+            payload = serialization.dumps(state, compress_arrays=False)
+            self._append_record(_TYPE_BEGIN, payload)
+            self._fs.sync_file(self._file, self.durability)
+            self._pre_page_count = int(state["pre_page_count"])
+            self._pages = set()
+            self._active = True
+
+    def needs_page(self, page_id: int) -> bool:
+        """True if ``page_id``'s on-disk image must be journaled before an
+        overwrite: a page that existed at BEGIN and has no image yet."""
+        return (
+            self._active
+            and page_id < self._pre_page_count
+            and page_id not in self._pages
+        )
+
+    def record_page(self, page_id: int, image: bytes, *, sync: bool = True) -> None:
+        """Append one before-image; syncs by default (write-ahead rule)."""
+        with self._lock:
+            if not self.needs_page(page_id):
+                return
+            self._append_record(
+                _TYPE_PAGE, struct.pack(">Q", page_id) + bytes(image)
+            )
+            self._pages.add(page_id)
+            self._metric_pages.inc()
+            if sync:
+                self._fs.sync_file(self._file, self.durability)
+
+    def record_pages(self, pages) -> None:
+        """Append many before-images with a single sync barrier at the end
+        (the batched path ``Pager.sync`` uses before its write-back)."""
+        with self._lock:
+            wrote = False
+            for page_id, image in pages:
+                if not self.needs_page(page_id):
+                    continue
+                self._append_record(
+                    _TYPE_PAGE, struct.pack(">Q", page_id) + bytes(image)
+                )
+                self._pages.add(page_id)
+                self._metric_pages.inc()
+                wrote = True
+            if wrote:
+                self._fs.sync_file(self._file, self.durability)
+
+    def commit(self) -> None:
+        """Mark the transaction committed by truncating the journal.
+
+        Callers must have already synced every data file: the truncation
+        is the commit point, so nothing it 'commits' may still be sitting
+        in a volatile buffer.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            if self._active or self._file_size() > _HEADER_SIZE:
+                self._file.truncate(_HEADER_SIZE)
+                self._fs.sync_file(self._file, self.durability)
+                self._metric_commits.inc()
+            self._active = False
+            self._pages = set()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._file.close()
+            self._closed = True
+
+    # -- recovery -------------------------------------------------------
+
+    def recover(self) -> dict | None:
+        """Roll back a half-applied transaction left by a crash.
+
+        Returns a report dict when a rollback happened (``op``,
+        ``pages_restored``, ``heaps_truncated``, ``pager_truncated``) or
+        ``None`` when the journal was already empty. Must run before the
+        pager/heaps are opened — it rewrites their files directly.
+        """
+        with self._lock:
+            begin, images = self._scan()
+            if begin is None:
+                # nothing journaled (or garbage with no valid BEGIN —
+                # nothing actionable either way): just clear the file
+                if self._file_size() > _HEADER_SIZE:
+                    self._file.truncate(_HEADER_SIZE)
+                    self._fs.sync_file(self._file, self.durability)
+                return None
+            directory = os.path.dirname(self.path)
+            report = {
+                "op": begin.get("op", "unknown"),
+                "pages_restored": 0,
+                "heaps_truncated": {},
+                "pager_truncated": False,
+            }
+            pager_path = os.path.join(directory, begin["pager"])
+            page_size = int(begin["page_size"])
+            pre_pages = int(begin["pre_page_count"])
+            if os.path.exists(pager_path):
+                with self._fs.open(pager_path, "r+b") as file:
+                    for page_id, image in images.items():
+                        file.seek(page_id * page_size)
+                        file.write(bytes(image).ljust(page_size, b"\x00"))
+                        report["pages_restored"] += 1
+                    file.seek(0)
+                    file.write(bytes(begin["header"]))
+                    file.flush()
+                    target = pre_pages * page_size
+                    file.seek(0, os.SEEK_END)
+                    if file.tell() > target:
+                        file.truncate(target)
+                        report["pager_truncated"] = True
+                    self._fs.sync_file(file, self.durability)
+            for name, end in dict(begin.get("heap_ends", {})).items():
+                heap_path = os.path.join(directory, name)
+                end = int(end)
+                if (
+                    os.path.exists(heap_path)
+                    and os.path.getsize(heap_path) > end
+                ):
+                    with self._fs.open(heap_path, "r+b") as file:
+                        file.truncate(end)
+                        self._fs.sync_file(file, self.durability)
+                    report["heaps_truncated"][name] = end
+            # data files restored and durable -> retire the journal; a
+            # crash anywhere above simply reruns this (idempotent)
+            self._file.truncate(_HEADER_SIZE)
+            self._fs.sync_file(self._file, self.durability)
+            self._active = False
+            self._pages = set()
+            return report
+
+    # -- internals ------------------------------------------------------
+
+    def _append_record(self, rec_type: int, payload: bytes) -> None:
+        frame = struct.pack(_REC_FRAME, rec_type, len(payload)) + payload
+        self._file.seek(0, os.SEEK_END)
+        self._file.write(frame + struct.pack(">I", zlib.crc32(frame)))
+
+    def _file_size(self) -> int:
+        self._file.seek(0, os.SEEK_END)
+        return self._file.tell()
+
+    def _scan(self):
+        """Parse the journal: the first valid BEGIN plus the first valid
+        before-image per page. Stops at the first invalid/torn record."""
+        self._file.seek(0)
+        data = self._file.read()
+        begin = None
+        images: dict[int, bytes] = {}
+        pos = _HEADER_SIZE
+        # a torn *header* still gets a scan: record CRCs, not the magic,
+        # decide what is trustworthy
+        while pos + _REC_FRAME_SIZE + _CRC_SIZE <= len(data):
+            rec_type, length = struct.unpack_from(_REC_FRAME, data, pos)
+            end = pos + _REC_FRAME_SIZE + length
+            if end + _CRC_SIZE > len(data):
+                break  # torn tail
+            (crc,) = struct.unpack_from(">I", data, end)
+            if zlib.crc32(data[pos:end]) != crc:
+                break  # torn or bit-flipped record: stop trusting the tail
+            payload = data[pos + _REC_FRAME_SIZE : end]
+            if rec_type == _TYPE_BEGIN and begin is None:
+                try:
+                    begin = serialization.loads(payload)
+                except (StorageError, ValueError, KeyError):
+                    break
+            elif rec_type == _TYPE_PAGE and begin is not None:
+                (page_id,) = struct.unpack_from(">Q", payload, 0)
+                images.setdefault(page_id, payload[8:])
+            pos = end + _CRC_SIZE
+        return begin, images

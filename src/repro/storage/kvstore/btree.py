@@ -388,9 +388,9 @@ class BPlusTree:
             approx += sum(len(value) for value in node.values) + 5 * len(node.values)
         else:
             approx += 13 * len(node.children)
-        if approx <= int(self.pager.page_size * 0.7):
+        if approx <= int(self.pager.capacity * 0.7):
             return False
-        return len(node.to_bytes()) > self.pager.page_size
+        return len(node.to_bytes()) > self.pager.capacity
 
     def _find_leaf(self, key_bytes: bytes) -> _Node:
         node = self._read_node(self._root_id)
@@ -434,11 +434,11 @@ class BPlusTree:
 
     def _flush_one(self, node: _Node) -> None:
         image = node.to_bytes()
-        if len(image) > self.pager.page_size:
+        if len(image) > self.pager.capacity:
             raise StorageError(
                 f"B+ tree node of {len(image)} bytes exceeds the "
-                f"{self.pager.page_size}-byte page; store large values in a "
-                f"BlobHeap and index the BlobRef instead"
+                f"{self.pager.capacity}-byte page capacity; store large "
+                f"values in a BlobHeap and index the BlobRef instead"
             )
         self.pager.write(node.page_id, image)
 
@@ -449,7 +449,7 @@ class BPlusTree:
         self._node_cache[node.page_id] = node
 
     def _check_entry_size(self, key_bytes: bytes, value: bytes) -> None:
-        budget = self.pager.page_size // 4
+        budget = self.pager.capacity // 4
         if len(key_bytes) + len(value) > budget:
             raise StorageError(
                 f"entry of {len(key_bytes) + len(value)} bytes exceeds the "

@@ -70,7 +70,7 @@ class HashFile:
             )
         key_bytes = serialization.encode_key(key)
         entry_size = len(key_bytes) + len(value)
-        if entry_size > self.pager.page_size // 2:
+        if entry_size > self.pager.capacity // 2:
             raise StorageError(
                 f"hash entry of {entry_size} bytes exceeds half a page; "
                 f"store the payload in a BlobHeap"
@@ -166,7 +166,7 @@ class HashFile:
         payload = serialization.dumps(
             [next_page, [list(e) for e in entries]], compress_arrays=False
         )
-        return 4 + len(payload) <= self.pager.page_size
+        return 4 + len(payload) <= self.pager.capacity
 
     def _save_state(self) -> None:
         if not getattr(self, "_state_dirty", True):

@@ -5,6 +5,17 @@ do not fit inside B+ tree pages. The Frame File and Segmented File keep the
 bulky bytes in a :class:`BlobHeap` and store only a small
 ``(offset, length)`` pointer in the tree, the classic heap-file split used
 by record-oriented storage managers.
+
+Format v2 (``DLHP0002``) frames every record as ``(length, flags,
+payload CRC32)`` + payload; the CRC is verified on every read, so torn or
+bit-flipped records raise a positioned
+:class:`~repro.errors.CorruptionError` instead of surfacing as downstream
+``zlib``/``struct`` garbage. v1 files still open (and keep appending v1
+records) with verification off.
+
+Being append-only is what makes the heap trivially journal-friendly: the
+commit journal only records the pre-transaction end offset, and rollback is
+a truncate.
 """
 
 from __future__ import annotations
@@ -15,12 +26,15 @@ import threading
 import zlib
 from dataclasses import dataclass
 
-from repro.errors import StorageError
+from repro.errors import CorruptionError, StorageError
 
-_MAGIC = b"DLHP0001"
+_MAGIC = b"DLHP0002"
+_MAGIC_V1 = b"DLHP0001"
 _HEADER_SIZE = 16  # magic + reserved
-_REC_HEADER = ">QB"  # payload length, flags
+_REC_HEADER = ">QBI"  # payload length, flags, payload crc32
 _REC_HEADER_SIZE = struct.calcsize(_REC_HEADER)
+_REC_HEADER_V1 = ">QB"
+_REC_HEADER_V1_SIZE = struct.calcsize(_REC_HEADER_V1)
 _FLAG_COMPRESSED = 0x01
 
 #: multi_get coalescing: two sorted requests whose file gap is at most
@@ -52,12 +66,32 @@ class BlobHeap:
     Thread-safe: one lock serializes every seek/read/write on the shared
     file handle, so a prefetch thread's batched reads can interleave
     with worker threads spilling UDF results without corrupting either.
+
+    ``journal``, ``fs``, and ``durability`` mirror the
+    :class:`~repro.storage.kvstore.pager.Pager` parameters: appends open
+    the catalog transaction, file ops route through the injectable
+    :class:`~repro.storage.faultfs.FileOps`, and :meth:`sync` fsyncs when
+    ``durability == "fsync"``.
     """
 
     def __init__(
-        self, path: str | os.PathLike, *, metrics=None, store: str = "blob"
+        self,
+        path: str | os.PathLike,
+        *,
+        metrics=None,
+        store: str = "blob",
+        journal=None,
+        fs=None,
+        durability: str = "fsync",
     ) -> None:
         self.path = os.fspath(path)
+        self._journal = journal
+        self.durability = durability
+        if fs is None:
+            from repro.storage.faultfs import OS_OPS
+
+            fs = OS_OPS
+        self._fs = fs
         if metrics is None:
             # runtime import: repro.core imports this package at load
             from repro.core.metrics import NULL_REGISTRY
@@ -91,20 +125,38 @@ class BlobHeap:
             "size of coalesced multi_get read runs",
             labels=("store",),
         ).labels(store=store)
+        self._metric_corruption = metrics.counter(
+            "deeplens_corruption_detected_total",
+            "on-disk corruption detected by checksum/structure validation",
+            labels=("file",),
+        ).labels(file=os.path.basename(self.path))
         self._lock = threading.RLock()
         exists = os.path.exists(self.path) and os.path.getsize(self.path) > 0
-        self._file = open(self.path, "r+b" if exists else "w+b")
+        self._file = self._fs.open(self.path, "r+b" if exists else "w+b")
         if exists:
             self._file.seek(0)
             magic = self._file.read(8)
-            if magic != _MAGIC:
-                raise StorageError(f"{self.path}: bad heap magic {magic!r}")
+            if magic == _MAGIC:
+                self.checksums = True
+            elif magic == _MAGIC_V1:
+                self.checksums = False
+            else:
+                raise CorruptionError(
+                    f"bad heap magic {magic!r}",
+                    file=self.path,
+                    offset=0,
+                )
             self._file.seek(0, os.SEEK_END)
             self._end = self._file.tell()
         else:
+            self.checksums = True
             self._file.write(_MAGIC.ljust(_HEADER_SIZE, b"\x00"))
             self._file.flush()
             self._end = _HEADER_SIZE
+        if self.checksums:
+            self._rec_fmt, self._rec_size = _REC_HEADER, _REC_HEADER_SIZE
+        else:
+            self._rec_fmt, self._rec_size = _REC_HEADER_V1, _REC_HEADER_V1_SIZE
         self._closed = False
 
     def __enter__(self) -> "BlobHeap":
@@ -129,13 +181,23 @@ class BlobHeap:
             if len(squeezed) < len(data):
                 payload = squeezed
                 flags |= _FLAG_COMPRESSED
+        if self._journal is not None:
+            # opening the transaction before taking the heap lock keeps
+            # the component -> journal lock order acyclic
+            self._journal.ensure_active()
+        if self.checksums:
+            header = struct.pack(
+                _REC_HEADER, len(payload), flags, zlib.crc32(payload)
+            )
+        else:
+            header = struct.pack(_REC_HEADER_V1, len(payload), flags)
         with self._lock:
             self._check_open()
             offset = self._end
             self._file.seek(offset)
-            self._file.write(struct.pack(_REC_HEADER, len(payload), flags))
+            self._file.write(header)
             self._file.write(payload)
-            self._end = offset + _REC_HEADER_SIZE + len(payload)
+            self._end = offset + len(header) + len(payload)
         self._metric_writes.inc()
         self._metric_write_bytes.inc(len(payload))
         return BlobRef(offset=offset, length=len(payload))
@@ -147,21 +209,20 @@ class BlobHeap:
             if ref.offset < _HEADER_SIZE or ref.offset >= self._end:
                 raise StorageError(f"blob offset {ref.offset} out of range")
             self._file.seek(ref.offset)
-            header = self._file.read(_REC_HEADER_SIZE)
-            length, flags = struct.unpack(_REC_HEADER, header)
-            if length != ref.length:
-                raise StorageError(
-                    f"blob length mismatch at {ref.offset}: header says "
-                    f"{length}, ref says {ref.length}"
-                )
+            header = self._file.read(self._rec_size)
+            length, flags, crc = self._parse_header(header, ref)
             payload = self._file.read(length)
         self._metric_reads.inc()
-        self._metric_read_bytes.inc(_REC_HEADER_SIZE + length)
+        self._metric_read_bytes.inc(self._rec_size + length)
         if len(payload) != length:
-            raise StorageError(f"short read of blob at {ref.offset}")
-        if flags & _FLAG_COMPRESSED:
-            return zlib.decompress(payload)
-        return payload
+            self._metric_corruption.inc()
+            raise CorruptionError(
+                f"short read of blob ({len(payload)} of {length} bytes)",
+                file=self.path,
+                offset=ref.offset,
+            )
+        self._verify(payload, crc, ref.offset)
+        return self._inflate(payload, flags, ref.offset)
 
     def multi_get(self, refs: list[BlobRef] | tuple[BlobRef, ...]) -> list[bytes]:
         """Read many blobs in one pass; results align with ``refs``.
@@ -178,7 +239,7 @@ class BlobHeap:
         # only the raw file reads happen under the lock; decompression
         # runs after release so a prefetch thread decoding a large run
         # cannot stall workers fetching/spilling through the same heap
-        raw: list[tuple[bytes, int] | None] = [None] * len(refs)
+        raw: list[tuple[bytes, int, int] | None] = [None] * len(refs)
         with self._lock:
             self._check_open()
             order = sorted(range(len(refs)), key=lambda i: refs[i].offset)
@@ -191,7 +252,7 @@ class BlobHeap:
                     raise StorageError(
                         f"blob offset {ref.offset} out of range"
                     )
-                record_end = ref.offset + _REC_HEADER_SIZE + ref.length
+                record_end = ref.offset + self._rec_size + ref.length
                 if not run:
                     run, run_start, run_end = [position], ref.offset, record_end
                 elif (
@@ -204,10 +265,13 @@ class BlobHeap:
                     self._read_run(refs, run, run_start, run_end, raw)
                     run, run_start, run_end = [position], ref.offset, record_end
             self._read_run(refs, run, run_start, run_end, raw)
-        return [
-            zlib.decompress(payload) if flags & _FLAG_COMPRESSED else payload
-            for payload, flags in raw  # type: ignore[misc]  # every slot filled
-        ]
+        out = []
+        for position, slot in enumerate(raw):
+            payload, flags, crc = slot  # type: ignore[misc]  # every slot filled
+            offset = refs[position].offset
+            self._verify(payload, crc, offset)
+            out.append(self._inflate(payload, flags, offset))
+        return out
 
     def _read_run(
         self,
@@ -215,14 +279,20 @@ class BlobHeap:
         run: list[int],
         run_start: int,
         run_end: int,
-        raw: list[tuple[bytes, int] | None],
+        raw: list[tuple[bytes, int, int] | None],
     ) -> None:
         """One coalesced read serving every request in ``run``; fills
-        ``raw`` with (still-compressed payload, flags) pairs."""
+        ``raw`` with (still-compressed payload, flags, crc) triples."""
         self._file.seek(run_start)
         buffer = self._file.read(run_end - run_start)
         if len(buffer) != run_end - run_start:
-            raise StorageError(f"short read of blob run at {run_start}")
+            self._metric_corruption.inc()
+            raise CorruptionError(
+                f"short read of blob run ({len(buffer)} of "
+                f"{run_end - run_start} bytes)",
+                file=self.path,
+                offset=run_start,
+            )
         # one locked inc per coalesced run, not per blob — the hot
         # batched-read path pays a few instrument touches per batch
         self._metric_runs.inc()
@@ -232,23 +302,72 @@ class BlobHeap:
         for position in run:
             ref = refs[position]
             base = ref.offset - run_start
-            length, flags = struct.unpack_from(_REC_HEADER, buffer, base)
-            if length != ref.length:
-                raise StorageError(
-                    f"blob length mismatch at {ref.offset}: header says "
-                    f"{length}, ref says {ref.length}"
-                )
-            payload = buffer[
-                base + _REC_HEADER_SIZE : base + _REC_HEADER_SIZE + length
-            ]
+            header = buffer[base : base + self._rec_size]
+            length, flags, crc = self._parse_header(header, ref)
+            payload = buffer[base + self._rec_size : base + self._rec_size + length]
             if len(payload) != length:
-                raise StorageError(f"short read of blob at {ref.offset}")
-            raw[position] = (payload, flags)
+                self._metric_corruption.inc()
+                raise CorruptionError(
+                    f"short read of blob ({len(payload)} of {length} bytes)",
+                    file=self.path,
+                    offset=ref.offset,
+                )
+            raw[position] = (payload, flags, crc)
+
+    def _parse_header(self, header: bytes, ref: BlobRef):
+        """Decode one record header; returns (length, flags, crc|None)."""
+        if len(header) < self._rec_size:
+            self._metric_corruption.inc()
+            raise CorruptionError(
+                "truncated blob record header",
+                file=self.path,
+                offset=ref.offset,
+            )
+        if self.checksums:
+            length, flags, crc = struct.unpack(_REC_HEADER, header)
+        else:
+            length, flags = struct.unpack(_REC_HEADER_V1, header)
+            crc = None
+        if length != ref.length:
+            self._metric_corruption.inc()
+            raise CorruptionError(
+                f"blob length mismatch: header says {length}, ref says "
+                f"{ref.length}",
+                file=self.path,
+                offset=ref.offset,
+            )
+        return length, flags, crc
+
+    def _verify(self, payload: bytes, crc: int | None, offset: int) -> None:
+        if crc is None:
+            return
+        computed = zlib.crc32(payload)
+        if computed != crc:
+            self._metric_corruption.inc()
+            raise CorruptionError(
+                f"blob checksum mismatch (stored 0x{crc:08x}, computed "
+                f"0x{computed:08x})",
+                file=self.path,
+                offset=offset,
+            )
+
+    def _inflate(self, payload: bytes, flags: int, offset: int) -> bytes:
+        if not flags & _FLAG_COMPRESSED:
+            return payload
+        try:
+            return zlib.decompress(payload)
+        except zlib.error as exc:
+            self._metric_corruption.inc()
+            raise CorruptionError(
+                f"undecompressable blob: {exc}",
+                file=self.path,
+                offset=offset,
+            ) from exc
 
     def sync(self) -> None:
         with self._lock:
             self._check_open()
-            self._file.flush()
+            self._fs.sync_file(self._file, self.durability)
 
     @property
     def size_bytes(self) -> int:

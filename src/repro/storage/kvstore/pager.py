@@ -6,13 +6,26 @@ dictionary for clients (the B+ tree stores its root page id there, the hash
 file its bucket directory page, and so on). It is the substrate that stands
 in for BerkeleyDB's underlying mpool/file layer in the paper's prototype.
 
-Layout::
+Layout (format v2, ``DLPG0002``)::
 
     page 0        header: magic, page_size, page_count, freelist head,
-                  meta page id
+                  meta page id, header CRC32
     page meta     serialized dict of client metadata (single page)
     page 2..n     client pages / free pages (free pages chain through their
                   first 8 bytes)
+
+Every page reserves its last 4 bytes for a CRC32 of the payload, stamped on
+write-through and verified on every disk read — a torn or bit-flipped page
+surfaces as a positioned :class:`~repro.errors.CorruptionError` instead of
+garbage decoding downstream. Clients therefore size their structures
+against :attr:`Pager.capacity` (``page_size - 4``), not ``page_size``.
+Files written by the pre-checksum v1 format still open (checksums off).
+
+Durability: writes participate in the catalog's
+:class:`~repro.storage.journal.CommitJournal` when one is attached — the
+first mutation of a transaction opens it, and any on-disk page about to be
+overwritten mid-transaction (LRU write-back or :meth:`sync`) journals its
+before-image first, the write-ahead rule that makes rollback possible.
 """
 
 from __future__ import annotations
@@ -20,15 +33,21 @@ from __future__ import annotations
 import os
 import struct
 import threading
+import zlib
 from collections import OrderedDict
 
-from repro.errors import PageError, StorageError
+from repro.errors import CorruptionError, PageError, StorageError
+from repro.storage.faultfs import OS_OPS
 from repro.storage.kvstore import serialization
 
-MAGIC = b"DLPG0001"
+MAGIC = b"DLPG0002"
+_MAGIC_V1 = b"DLPG0001"
 DEFAULT_PAGE_SIZE = 4096
-_HEADER_FMT = ">8sIQQQ"  # magic, page_size, page_count, freelist_head, meta_page
-_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+# magic, page_size, page_count, freelist_head, meta_page (+ CRC32 in v2)
+_HEADER_BODY_FMT = ">8sIQQQ"
+_HEADER_BODY_SIZE = struct.calcsize(_HEADER_BODY_FMT)
+_HEADER_SIZE = _HEADER_BODY_SIZE + 4
+_TRAILER_SIZE = 4  # per-page payload CRC32
 _NO_PAGE = 0  # page 0 is the header, so 0 doubles as the null page id
 
 
@@ -47,6 +66,16 @@ class Pager:
     metrics:
         Optional :class:`~repro.core.metrics.MetricsRegistry`; page
         reads (hit/miss), writes, and LRU evictions report into it.
+    journal:
+        Optional :class:`~repro.storage.journal.CommitJournal`; when set,
+        mutations open a transaction and on-disk overwrites journal their
+        before-images first.
+    fs:
+        A :class:`~repro.storage.faultfs.FileOps` (defaults to the real
+        filesystem); tests substitute a fault injector.
+    durability:
+        ``"fsync"`` makes :meth:`sync` fsync the file; ``"flush"`` (or
+        ``"none"``) only flushes.
     """
 
     def __init__(
@@ -56,8 +85,14 @@ class Pager:
         cache_pages: int = 256,
         *,
         metrics=None,
+        journal=None,
+        fs=None,
+        durability: str = "fsync",
     ) -> None:
         self.path = os.fspath(path)
+        self._journal = journal
+        self._fs = fs if fs is not None else OS_OPS
+        self.durability = durability
         if metrics is None:
             # runtime import: the metrics module lives in repro.core,
             # which imports this package at module load
@@ -78,6 +113,11 @@ class Pager:
             "deeplens_pager_page_evictions_total",
             "pages evicted from the LRU cache",
         )
+        self._metric_corruption = metrics.counter(
+            "deeplens_corruption_detected_total",
+            "on-disk corruption detected by checksum/structure validation",
+            labels=("file",),
+        ).labels(file=os.path.basename(self.path))
         # serializes every page/file/cache operation: page-granularity
         # atomicity is what concurrent clients get (a prefetch thread
         # scanning one B+ tree while workers insert into another), and
@@ -89,13 +129,14 @@ class Pager:
         self._closed = False
         self._sync_hooks: list = []
         exists = os.path.exists(self.path) and os.path.getsize(self.path) > 0
-        self._file = open(self.path, "r+b" if exists else "w+b")
+        self._file = self._fs.open(self.path, "r+b" if exists else "w+b")
         if exists:
             self._load_header()
         else:
             if page_size < 512:
                 raise PageError(f"page size {page_size} too small (minimum 512)")
             self.page_size = page_size
+            self.checksums = True
             self.page_count = 1
             self._freelist_head = _NO_PAGE
             self._meta_page = _NO_PAGE
@@ -130,16 +171,25 @@ class Pager:
         self._sync_hooks.append(hook)
 
     def sync(self) -> None:
-        """Write every dirty cached page and the header to disk."""
+        """Write every dirty cached page and the header durably to disk."""
         with self._lock:
             self._check_open()
             for hook in self._sync_hooks:
                 hook()
-            for page_id in sorted(self._dirty):
+            dirty = sorted(self._dirty)
+            if self._journal is not None and dirty:
+                # batch the before-images with one journal sync barrier
+                # instead of one fsync per page at write-through time
+                self._journal.record_pages(
+                    (page_id, self._on_disk_image(page_id))
+                    for page_id in dirty
+                    if self._journal.needs_page(page_id)
+                )
+            for page_id in dirty:
                 self._write_through(page_id, self._cache[page_id])
             self._dirty.clear()
             self._write_header()
-            self._file.flush()
+            self._fs.sync_file(self._file, self.durability)
 
     # -- page operations --------------------------------------------------
 
@@ -147,6 +197,9 @@ class Pager:
         """Return the id of a fresh zeroed page, reusing freed pages first."""
         with self._lock:
             self._check_open()
+            # the transaction must open *before* page_count/freelist
+            # mutate, so the BEGIN snapshot captures the committed state
+            self._ensure_journaled()
             if self._freelist_head != _NO_PAGE:
                 page_id = self._freelist_head
                 page = self.read(page_id)
@@ -163,13 +216,18 @@ class Pager:
         with self._lock:
             self._check_open()
             self._validate_id(page_id)
+            self._ensure_journaled()
             page = bytearray(self.page_size)
             struct.pack_into(">Q", page, 0, self._freelist_head)
             self.write(page_id, bytes(page))
             self._freelist_head = page_id
 
     def read(self, page_id: int) -> bytearray:
-        """Return a mutable copy of the page image (callers own the copy)."""
+        """Return a mutable copy of the page image (callers own the copy).
+
+        Disk reads verify the page checksum; the CRC trailer is zeroed in
+        the returned image so clients always see pure payload bytes.
+        """
         with self._lock:
             self._check_open()
             self._validate_id(page_id)
@@ -183,6 +241,9 @@ class Pager:
             if len(data) < self.page_size:
                 data = data.ljust(self.page_size, b"\x00")
             image = bytearray(data)
+            if self.checksums:
+                self._verify_page(page_id, image)
+                image[self.capacity :] = bytes(_TRAILER_SIZE)
             self._cache_put(page_id, image, dirty=False)
             return bytearray(image)
 
@@ -191,12 +252,19 @@ class Pager:
         with self._lock:
             self._check_open()
             self._validate_id(page_id)
+            self._ensure_journaled()
             if len(data) > self.page_size:
                 raise PageError(
                     f"page image of {len(data)} bytes exceeds page size "
                     f"{self.page_size}"
                 )
             image = bytearray(data.ljust(self.page_size, b"\x00"))
+            if self.checksums and any(image[self.capacity :]):
+                raise PageError(
+                    f"page image of {len(data)} bytes overruns the "
+                    f"{_TRAILER_SIZE}-byte checksum trailer; usable "
+                    f"capacity is {self.capacity}"
+                )
             self._metric_writes.inc()
             self._cache_put(page_id, image, dirty=True)
 
@@ -209,12 +277,27 @@ class Pager:
         (length,) = struct.unpack_from(">I", page, 0)
         if length == 0:
             return {}
-        return serialization.loads(bytes(page[4 : 4 + length]))
+        if length > self.capacity - 4:
+            self._metric_corruption.inc()
+            raise CorruptionError(
+                f"meta dict length {length} exceeds page capacity",
+                file=self.path,
+                offset=self._meta_page * self.page_size,
+            )
+        try:
+            return serialization.loads(bytes(page[4 : 4 + length]))
+        except (StorageError, ValueError, KeyError, struct.error) as exc:
+            self._metric_corruption.inc()
+            raise CorruptionError(
+                f"undecodable meta dict: {exc}",
+                file=self.path,
+                offset=self._meta_page * self.page_size,
+            ) from exc
 
     def set_meta(self, meta: dict) -> None:
         """Persist the client metadata dictionary (must fit in one page)."""
         payload = serialization.dumps(meta)
-        if len(payload) + 4 > self.page_size:
+        if len(payload) + 4 > self.capacity:
             raise PageError(
                 f"meta dict of {len(payload)} bytes does not fit in one "
                 f"{self.page_size}-byte page"
@@ -226,6 +309,10 @@ class Pager:
             self.write(self._meta_page, bytes(image))
 
     # -- internals ----------------------------------------------------------
+
+    def _ensure_journaled(self) -> None:
+        if self._journal is not None:
+            self._journal.ensure_active()
 
     def _cache_put(self, page_id: int, image: bytearray, *, dirty: bool) -> None:
         self._cache[page_id] = image
@@ -240,32 +327,102 @@ class Pager:
                 self._dirty.discard(victim)
 
     def _write_through(self, page_id: int, image: bytearray) -> None:
+        if self._journal is not None and self._journal.needs_page(page_id):
+            # write-ahead rule: the on-disk image must be safely in the
+            # journal before this overwrite can clobber it
+            self._journal.record_page(page_id, self._on_disk_image(page_id))
+        out = bytes(image)
+        if self.checksums:
+            # stamp the CRC into a copy, never the cached image: cache
+            # hits must keep returning pure payload bytes
+            stamped = bytearray(out)
+            struct.pack_into(
+                ">I", stamped, self.capacity, zlib.crc32(out[: self.capacity])
+            )
+            out = bytes(stamped)
         self._file.seek(page_id * self.page_size)
-        self._file.write(image)
+        self._file.write(out)
 
-    def _write_header(self) -> None:
-        header = struct.pack(
-            _HEADER_FMT,
-            MAGIC,
+    def _on_disk_image(self, page_id: int) -> bytes:
+        """The raw on-disk bytes of a page (CRC trailer included)."""
+        self._file.seek(page_id * self.page_size)
+        data = self._file.read(self.page_size)
+        return data.ljust(self.page_size, b"\x00")
+
+    def _verify_page(self, page_id: int, image: bytearray) -> None:
+        payload = bytes(image[: self.capacity])
+        (stored,) = struct.unpack_from(">I", image, self.capacity)
+        computed = zlib.crc32(payload)
+        if stored == computed:
+            return
+        if stored == 0 and not any(payload):
+            return  # never-written page (file hole / short tail)
+        self._metric_corruption.inc()
+        raise CorruptionError(
+            f"page {page_id} checksum mismatch (stored 0x{stored:08x}, "
+            f"computed 0x{computed:08x})",
+            file=self.path,
+            offset=page_id * self.page_size,
+        )
+
+    def packed_header(self) -> bytes:
+        """The exact header bytes :meth:`sync` would write right now —
+        the before-image the commit journal snapshots at BEGIN."""
+        body = struct.pack(
+            _HEADER_BODY_FMT,
+            MAGIC if self.checksums else _MAGIC_V1,
             self.page_size,
             self.page_count,
             self._freelist_head,
             self._meta_page,
         )
+        if self.checksums:
+            body += struct.pack(">I", zlib.crc32(body))
+        return body.ljust(min(self.page_size, 512), b"\x00")
+
+    def _write_header(self) -> None:
         self._file.seek(0)
-        self._file.write(header.ljust(min(self.page_size, 512), b"\x00"))
+        self._file.write(self.packed_header())
         self._file.flush()
 
     def _load_header(self) -> None:
         self._file.seek(0)
         raw = self._file.read(_HEADER_SIZE)
-        if len(raw) < _HEADER_SIZE:
-            raise StorageError(f"{self.path}: truncated pager header")
-        magic, page_size, page_count, freelist_head, meta_page = struct.unpack(
-            _HEADER_FMT, raw
+        if len(raw) < _HEADER_BODY_SIZE:
+            raise CorruptionError(
+                f"truncated pager header ({len(raw)} of "
+                f"{_HEADER_BODY_SIZE} bytes)",
+                file=self.path,
+                offset=0,
+            )
+        magic = raw[:8]
+        if magic == MAGIC:
+            if len(raw) < _HEADER_SIZE:
+                raise CorruptionError(
+                    "truncated pager header (checksum missing)",
+                    file=self.path,
+                    offset=0,
+                )
+            (crc,) = struct.unpack_from(">I", raw, _HEADER_BODY_SIZE)
+            if zlib.crc32(raw[:_HEADER_BODY_SIZE]) != crc:
+                self._metric_corruption.inc()
+                raise CorruptionError(
+                    "pager header checksum mismatch",
+                    file=self.path,
+                    offset=0,
+                )
+            self.checksums = True
+        elif magic == _MAGIC_V1:
+            self.checksums = False
+        else:
+            raise CorruptionError(
+                f"bad magic {magic!r}; not a pager file",
+                file=self.path,
+                offset=0,
+            )
+        _, page_size, page_count, freelist_head, meta_page = struct.unpack_from(
+            _HEADER_BODY_FMT, raw, 0
         )
-        if magic != MAGIC:
-            raise StorageError(f"{self.path}: bad magic {magic!r}; not a pager file")
         self.page_size = page_size
         self.page_count = page_count
         self._freelist_head = freelist_head
@@ -281,5 +438,8 @@ class Pager:
 
     @property
     def capacity(self) -> int:
-        """Usable bytes per page for client payloads."""
+        """Usable bytes per page for client payloads (the CRC trailer is
+        the pager's own)."""
+        if self.checksums:
+            return self.page_size - _TRAILER_SIZE
         return self.page_size

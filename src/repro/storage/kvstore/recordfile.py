@@ -20,7 +20,8 @@ import os
 import struct
 from typing import Any, Iterator
 
-from repro.errors import StorageError
+from repro.errors import CorruptionError, StorageError
+from repro.storage.faultfs import OS_OPS
 from repro.storage.kvstore import serialization
 
 _MAGIC = b"DLSF0001"
@@ -32,10 +33,18 @@ _REC_SIZE = struct.calcsize(_REC_FMT)
 class SortedRecordFile:
     """On-disk sequence of records sorted by key."""
 
-    def __init__(self, path: str | os.PathLike) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        fs=None,
+        durability: str = "fsync",
+    ) -> None:
         self.path = os.fspath(path)
+        self._fs = fs if fs is not None else OS_OPS
+        self.durability = durability
         exists = os.path.exists(self.path) and os.path.getsize(self.path) > 0
-        self._file = open(self.path, "r+b" if exists else "w+b")
+        self._file = self._fs.open(self.path, "r+b" if exists else "w+b")
         self._keys: list[bytes] = []
         self._offsets: list[int] = []
         self._closed = False
@@ -43,7 +52,11 @@ class SortedRecordFile:
             self._file.seek(0)
             magic = self._file.read(8)
             if magic != _MAGIC:
-                raise StorageError(f"{self.path}: bad sorted-file magic {magic!r}")
+                raise CorruptionError(
+                    f"bad sorted-file magic {magic!r}",
+                    file=self.path,
+                    offset=0,
+                )
             self._rebuild_index()
         else:
             self._file.write(_MAGIC.ljust(_HEADER_SIZE, b"\x00"))
@@ -108,7 +121,7 @@ class SortedRecordFile:
 
     def sync(self) -> None:
         self._check_open()
-        self._file.flush()
+        self._fs.sync_file(self._file, self.durability)
 
     # -- reads ----------------------------------------------------------
 
@@ -168,7 +181,11 @@ class SortedRecordFile:
         self._file.seek(offset + _REC_SIZE + key_len)
         value = self._file.read(value_len)
         if len(value) != value_len:
-            raise StorageError(f"{self.path}: short read at offset {offset}")
+            raise CorruptionError(
+                f"short read of record ({len(value)} of {value_len} bytes)",
+                file=self.path,
+                offset=offset,
+            )
         return value
 
     def _rebuild_index(self) -> None:

@@ -29,6 +29,7 @@ pruning rather than risk dropping a matching row.
 
 from __future__ import annotations
 
+import struct
 import threading
 import zlib
 from bisect import bisect_left
@@ -37,6 +38,7 @@ from typing import Any, Iterable, Iterator
 
 import numpy as np
 
+from repro.errors import CorruptionError, StorageError
 from repro.storage.kvstore import BlobHeap, BlobRef, serialization
 
 #: rows per sealed block — one zone-map entry and one column read each
@@ -405,7 +407,30 @@ class CollectionSegment:
     # -- reads ----------------------------------------------------------
 
     def _decode_block(self, block: _Block) -> list[Row]:
-        value = serialization.loads(self._heap.get(block.ref))
+        try:
+            value = serialization.loads(self._heap.get(block.ref))
+            return self._rows_of(value)
+        except CorruptionError:
+            raise  # already positioned (heap checksum / short read)
+        except (
+            StorageError,
+            zlib.error,
+            struct.error,
+            ValueError,
+            KeyError,
+            TypeError,
+            IndexError,
+        ) as exc:
+            # the checksum passed but the content does not decode (e.g. a
+            # pre-checksum v1 heap took a bit flip): same corruption, one
+            # typed positioned error instead of a codec traceback
+            raise CorruptionError(
+                f"undecodable metadata block for {self.name!r}: {exc}",
+                file=self._heap.path,
+                offset=block.ref.offset,
+            ) from exc
+
+    def _rows_of(self, value: dict) -> list[Row]:
         ids = value["ids"].tolist()
         shape, width, packed = value["refs"]
         if shape == "cols":
@@ -424,7 +449,9 @@ class CollectionSegment:
             rows.append((patch_id, ref_value, metadata))
         return rows
 
-    def scan_rows(self, expr: Any = None, on_blocks=None) -> Iterator[Row]:
+    def scan_rows(
+        self, expr: Any = None, on_blocks=None, *, after_id: int | None = None
+    ) -> Iterator[Row]:
         """All rows in id order; with ``expr``, sealed blocks whose zone
         maps prove no row can match are skipped *without being read*.
         Surviving blocks are NOT row-filtered — the caller's Select
@@ -435,6 +462,12 @@ class CollectionSegment:
         early-exiting consumer closes the generator) — how the executing
         operator's profile learns what pruning really did, graded against
         the planner's ``block_stats`` estimate.
+
+        ``after_id`` resumes an interrupted scan: only rows with a patch
+        id strictly greater are yielded (blocks wholly at or below it are
+        never read). The catalog uses this to restart a scan after a
+        corrupt block forced a segment rebuild, without re-yielding rows
+        its consumer already saw.
         """
         with self._lock:
             blocks = list(self._blocks)
@@ -442,12 +475,19 @@ class CollectionSegment:
         skipped = scanned = 0
         try:
             for block in blocks:
+                if after_id is not None and block.max_id <= after_id:
+                    continue
                 if expr is not None and not block_may_match(block.zones, expr):
                     skipped += 1
                     continue
                 scanned += 1
-                yield from self._decode_block(block)
+                rows = self._decode_block(block)
+                if after_id is not None:
+                    rows = [row for row in rows if row[0] > after_id]
+                yield from rows
             for patch_id, ref_value, payload in tail:
+                if after_id is not None and patch_id <= after_id:
+                    continue
                 yield (patch_id, ref_value, serialization.loads(payload))
         finally:
             # aggregated per scan, not per block; also runs when the
@@ -548,9 +588,29 @@ class MetadataSegmentStore:
     next to pixels, so compaction stays a non-goal for now.
     """
 
-    def __init__(self, path: str, *, metrics=None) -> None:
-        self._heap = BlobHeap(path, metrics=metrics, store="segment")
+    def __init__(
+        self,
+        path: str,
+        *,
+        metrics=None,
+        journal=None,
+        fs=None,
+        durability: str = "fsync",
+        on_corruption=None,
+    ) -> None:
+        self._heap = BlobHeap(
+            path,
+            metrics=metrics,
+            store="segment",
+            journal=journal,
+            fs=fs,
+            durability=durability,
+        )
         self._metrics = metrics
+        #: ``on_corruption(name, exc)`` — the catalog's quarantine hook,
+        #: called when a segment descriptor fails validation and the
+        #: store falls back to a fresh empty segment (rebuilt lazily)
+        self._on_corruption = on_corruption
         self._segments: dict[str, CollectionSegment] = {}
         self._refs: dict[str, list] = {}
         self._lock = threading.RLock()
@@ -562,24 +622,53 @@ class MetadataSegmentStore:
     def segment(self, name: str) -> CollectionSegment:
         """The named collection's segment, loading the persisted
         descriptor on first use (an empty segment otherwise — the lazy
-        backfill trigger for pre-segment catalogs)."""
+        backfill trigger for pre-segment catalogs).
+
+        A corrupt descriptor is quarantined, not fatal: the segment is
+        derived state, so the store reports the damage through
+        ``on_corruption`` and starts from an empty segment the catalog
+        rebuilds from the blob heap."""
         with self._lock:
             segment = self._segments.get(name)
             if segment is None:
                 ref = self._refs.get(name)
                 if ref is not None:
-                    descriptor = serialization.loads(
-                        self._heap.get(BlobRef.from_tuple(tuple(ref)))
-                    )
-                    segment = CollectionSegment.from_value(
-                        self._heap, name, descriptor, metrics=self._metrics
-                    )
-                else:
+                    try:
+                        segment = self._load_descriptor(name, ref)
+                    except CorruptionError as exc:
+                        self._refs.pop(name, None)
+                        segment = None
+                        if self._on_corruption is not None:
+                            self._on_corruption(name, exc)
+                if segment is None:
                     segment = CollectionSegment(
                         self._heap, name, metrics=self._metrics
                     )
                 self._segments[name] = segment
             return segment
+
+    def _load_descriptor(self, name: str, ref: list) -> CollectionSegment:
+        blob_ref = BlobRef.from_tuple(tuple(ref))
+        try:
+            descriptor = serialization.loads(self._heap.get(blob_ref))
+            return CollectionSegment.from_value(
+                self._heap, name, descriptor, metrics=self._metrics
+            )
+        except CorruptionError:
+            raise
+        except (
+            StorageError,
+            zlib.error,
+            struct.error,
+            ValueError,
+            KeyError,
+            TypeError,
+        ) as exc:
+            raise CorruptionError(
+                f"undecodable segment descriptor for {name!r}: {exc}",
+                file=self._heap.path,
+                offset=blob_ref.offset,
+            ) from exc
 
     def drop(self, name: str) -> None:
         """Forget a collection's segment (re-materialization starts clean)."""
@@ -607,3 +696,11 @@ class MetadataSegmentStore:
 
     def close(self) -> None:
         self._heap.close()
+
+    @property
+    def heap_path(self) -> str:
+        return self._heap.path
+
+    @property
+    def heap_size_bytes(self) -> int:
+        return self._heap.size_bytes

@@ -149,8 +149,17 @@ class TestTrafficQueries:
         # where first-call effects (page cache, BLAS init) can otherwise
         # swamp the work-ratio the timing assertion measures
         q4_plan_accuracy(workload, "filter-then-match")
-        push = q4_plan_accuracy(workload, "filter-then-match")
-        late = q4_plan_accuracy(workload, "match-then-filter")
+        # best-of-3 per order: a single stop-the-world pause (gen-2 GC
+        # over the heap the earlier module fixtures built up) is longer
+        # than one run's window and can invert the ratio in suite order
+        push = min(
+            (q4_plan_accuracy(workload, "filter-then-match") for _ in range(3)),
+            key=lambda r: r.seconds,
+        )
+        late = min(
+            (q4_plan_accuracy(workload, "match-then-filter") for _ in range(3)),
+            key=lambda r: r.seconds,
+        )
         assert late.accuracy.recall >= push.accuracy.recall
         assert late.seconds > push.seconds
 

@@ -1,0 +1,326 @@
+"""Crash-consistency matrix: kill/tear the process at every I/O step.
+
+The deterministic :class:`~repro.storage.faultfs.FaultInjector` counts
+every mutating file operation (write/truncate) across all catalog files.
+For each workload we first run a fault-free probe to learn how many
+mutating ops it performs, then re-run it from the same starting state
+crashing at op 1, op 2, ... op N (sampled by stride when the matrix is
+large — ``REPRO_CRASH_STEPS`` bounds the steps per cell). After every
+crash the store is reopened with real file ops and must present either
+the complete pre-mutation state or the complete post-mutation state —
+never a mix — with the blob heap, B+ trees, and metadata segment all
+agreeing with each other.
+
+The crash model is in-process (the "dead" handles are closed, the store
+reopens in the same OS page cache), so ``durability="flush"`` gives the
+same coverage as ``"fsync"`` without paying a real fsync per barrier.
+"""
+
+import os
+import shutil
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DeepLens
+from repro.core.catalog import Catalog
+from repro.core.patch import Patch
+from repro.storage.faultfs import OS_OPS, FaultInjector, SimulatedCrash
+
+#: per (workload, mode) cell: at most this many crash points are tested
+#: (stride-sampled across the op range, endpoints always included)
+STEP_BUDGET = int(os.environ.get("REPRO_CRASH_STEPS", "30"))
+
+DURABILITY = "flush"  # see module docstring: equivalent under this model
+
+
+def _patches(n, start=0):
+    rng = np.random.default_rng(start)
+    for i in range(start, start + n):
+        patch = Patch.from_frame(
+            "vid", i, rng.integers(0, 255, (4, 4, 3), dtype=np.uint8)
+        )
+        patch.metadata["label"] = "car" if i % 2 == 0 else "person"
+        yield patch
+
+
+def _seed_base(workdir):
+    """A committed catalog with one collection, cleanly closed."""
+    with Catalog(workdir, durability=DURABILITY) as catalog:
+        catalog.materialize(_patches(8), "base")
+
+
+# -- workloads: one interrupted catalog mutation each -------------------
+
+
+def _wl_materialize(workdir, fs):
+    catalog = Catalog(workdir, durability=DURABILITY, fs=fs)
+    catalog.materialize(_patches(6, start=100), "fresh")
+    catalog.close()
+
+
+def _wl_add_sync(workdir, fs):
+    catalog = Catalog(workdir, durability=DURABILITY, fs=fs)
+    collection = catalog.collection("base")
+    for patch in _patches(3, start=200):
+        collection.add(patch)
+    catalog.sync()
+    catalog.close()
+
+
+def _wl_create_index(workdir, fs):
+    catalog = Catalog(workdir, durability=DURABILITY, fs=fs)
+    catalog.create_index("base", "label", "hash")
+    catalog.close()
+
+
+def _wl_materialize_replace(workdir, fs):
+    catalog = Catalog(workdir, durability=DURABILITY, fs=fs)
+    catalog.materialize(_patches(4, start=300), "base", replace=True)
+    catalog.close()
+
+
+WORKLOADS = {
+    "materialize": _wl_materialize,
+    "add_sync": _wl_add_sync,
+    "create_index": _wl_create_index,
+    "materialize_replace": _wl_materialize_replace,
+}
+
+
+# -- state fingerprint + invariants -------------------------------------
+
+
+def _fingerprint(workdir):
+    """Full logical state through a clean reopen, with cross-structure
+    invariants asserted: a full (heap) scan and a metadata-only
+    (segment) scan must agree row for row, and every checksum on the
+    read path must verify."""
+    with Catalog(workdir, durability=DURABILITY) as catalog:
+        state = {}
+        for name in catalog.collections():
+            collection = catalog.collection(name)
+            full = [
+                (p.patch_id, p.metadata["label"]) for p in collection.scan()
+            ]
+            meta_only = [
+                (p.patch_id, p.metadata["label"])
+                for p in collection.scan(load_data=False)
+            ]
+            assert full == meta_only, f"segment disagrees with heap in {name!r}"
+            assert len(full) == len(collection)
+            state[name] = tuple(full)
+        state["__indexes__"] = tuple(
+            sorted(tuple(key) for key in catalog.indexes())
+        )
+        return state
+
+
+def _steps_for(total):
+    if total <= STEP_BUDGET:
+        return list(range(1, total + 1))
+    stride = max(1, total // STEP_BUDGET)
+    steps = sorted(set(range(1, total + 1, stride)) | {1, total})
+    return steps
+
+
+def _crash_run(workdir, workload, step, mode):
+    """Run ``workload`` with a fault at ``step``; True if it crashed."""
+    injector = FaultInjector(fail_at=step, mode=mode)
+    try:
+        workload(workdir, injector)
+        return False
+    except SimulatedCrash:
+        return True
+    finally:
+        injector.close_all()
+
+
+@pytest.mark.parametrize("mode", ["kill", "torn"])
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+def test_crash_at_every_step_is_all_or_nothing(tmp_path, workload_name, mode):
+    workload = WORKLOADS[workload_name]
+    base = tmp_path / "base"
+    _seed_base(base)
+    pre_state = _fingerprint(base)
+
+    # fault-free probe: count the mutating ops and capture the post state
+    probe = tmp_path / "probe"
+    shutil.copytree(base, probe)
+    counter = FaultInjector(fail_at=None)
+    workload(probe, counter)
+    counter.close_all()
+    total_ops = counter.ops
+    assert total_ops > 0
+    post_state = _fingerprint(probe)
+    assert post_state != pre_state
+
+    for step in _steps_for(total_ops):
+        workdir = tmp_path / f"step{step}"
+        shutil.copytree(base, workdir)
+        crashed = _crash_run(workdir, workload, step, mode)
+        assert crashed, f"op {step} of {total_ops} did not fire"
+        state = _fingerprint(workdir)
+        assert state in (pre_state, post_state), (
+            f"{workload_name}/{mode}: crash at op {step}/{total_ops} left a "
+            f"mixed state"
+        )
+
+
+def test_crash_past_the_last_op_changes_nothing(tmp_path):
+    """A fault point beyond the workload's op count never fires: the
+    workload completes and the store shows exactly the post state."""
+    base = tmp_path / "base"
+    _seed_base(base)
+    probe = tmp_path / "probe"
+    shutil.copytree(base, probe)
+    counter = FaultInjector(fail_at=None)
+    _wl_add_sync(probe, counter)
+    counter.close_all()
+    post_state = _fingerprint(probe)
+
+    workdir = tmp_path / "run"
+    shutil.copytree(base, workdir)
+    injector = FaultInjector(fail_at=counter.ops + 50, mode="kill")
+    _wl_add_sync(workdir, injector)
+    injector.close_all()
+    assert not injector.fired
+    assert _fingerprint(workdir) == post_state
+
+
+def test_crash_during_recovery_is_idempotent(tmp_path):
+    """Recovery itself can die at any write and simply runs again."""
+    base = tmp_path / "base"
+    _seed_base(base)
+    pre_state = _fingerprint(base)
+    counter = FaultInjector(fail_at=None)
+    probe = tmp_path / "probe"
+    shutil.copytree(base, probe)
+    _wl_materialize_replace(probe, counter)
+    counter.close_all()
+
+    workdir = tmp_path / "run"
+    shutil.copytree(base, workdir)
+    # die mid-mutation, leaving a journal with real rollback work
+    assert _crash_run(workdir, _wl_materialize_replace, counter.ops // 2, "kill")
+
+    # now die during the recovery pass too, at each of its first writes
+    for recovery_step in (1, 2, 3):
+        injector = FaultInjector(fail_at=recovery_step, mode="kill")
+        try:
+            Catalog(workdir, durability=DURABILITY, fs=injector)
+        except SimulatedCrash:
+            pass
+        finally:
+            injector.close_all()
+
+    assert _fingerprint(workdir) == pre_state
+
+
+def test_transient_eio_aborts_but_never_corrupts(tmp_path):
+    """An injected EIO surfaces synchronously as OSError; the journal
+    still rolls the half-done mutation back on the next open."""
+    base = tmp_path / "base"
+    _seed_base(base)
+    pre_state = _fingerprint(base)
+    workdir = tmp_path / "run"
+    shutil.copytree(base, workdir)
+    injector = FaultInjector(fail_at=4, mode="eio")
+    with pytest.raises(OSError):
+        _wl_materialize(workdir, injector)
+    injector.close_all()
+    assert injector.fired
+    assert _fingerprint(workdir) == pre_state
+
+
+def test_garbage_journal_is_cleared_on_open(tmp_path):
+    """A journal holding no valid BEGIN record (pure garbage) is inert:
+    the open clears it and touches nothing else."""
+    base = tmp_path / "base"
+    _seed_base(base)
+    pre_state = _fingerprint(base)
+    journal = base / "journal.log"
+    with open(journal, "r+b") as file:
+        file.seek(0, os.SEEK_END)
+        file.write(b"\xde\xad\xbe\xef" * 32)
+    assert _fingerprint(base) == pre_state
+    assert os.path.getsize(journal) == 16
+
+
+def test_replay_is_reported_and_counted(tmp_path):
+    """A rolled-back mutation shows up in recovery_report() and in the
+    deeplens_journal_replays_total counter of the reopening session."""
+    base = tmp_path / "base"
+    _seed_base(base)
+    counter = FaultInjector(fail_at=None)
+    probe = tmp_path / "probe"
+    shutil.copytree(base, probe)
+    _wl_materialize(probe, counter)
+    counter.close_all()
+    assert _crash_run(base, _wl_materialize, counter.ops // 2, "torn")
+
+    with DeepLens(tmp_path, durability=DURABILITY) as db:
+        # DeepLens(workdir) keeps its catalog under workdir/catalog
+        pass
+    shutil.rmtree(tmp_path / "catalog")
+    shutil.copytree(base, tmp_path / "catalog")
+    with DeepLens(tmp_path, durability=DURABILITY) as db:
+        report = db.recovery_report()
+        kinds = [event["kind"] for event in report["events"]]
+        assert "journal_replay" in kinds
+        assert kinds == [event["kind"] for event in report["history"][-len(kinds):]]
+        counters = db.metrics()["counters"]
+        assert counters["deeplens_journal_replays_total"] == 1
+        assert list(db.catalog.collection("base").scan())
+
+
+@settings(max_examples=12, deadline=None)
+@given(data=st.data())
+def test_crash_lands_on_a_committed_checkpoint(tmp_path_factory, data):
+    """Property: whatever interleaving of adds and syncs a session runs,
+    a crash at any op reopens to a state some sync actually committed."""
+    tmp_path = tmp_path_factory.mktemp("hypo")
+    base = tmp_path / "base"
+    _seed_base(base)
+    plan = data.draw(
+        st.lists(
+            st.sampled_from(["add", "add", "sync"]), min_size=2, max_size=8
+        ),
+        label="plan",
+    )
+
+    def workload(workdir, fs):
+        catalog = Catalog(workdir, durability=DURABILITY, fs=fs)
+        collection = catalog.collection("base")
+        next_frame = 1000
+        for op in plan:
+            if op == "add":
+                for patch in _patches(1, start=next_frame):
+                    collection.add(patch)
+                next_frame += 1
+            else:
+                catalog.sync()
+                checkpoints.append(tuple(collection.ids()))
+        catalog.close()
+        checkpoints.append(tuple(collection.ids()))
+
+    # fault-free probe: collect every committed checkpoint + the op count
+    checkpoints: list[tuple] = []
+    probe = tmp_path / "probe"
+    shutil.copytree(base, probe)
+    with Catalog(probe, durability=DURABILITY) as catalog:
+        checkpoints.append(tuple(catalog.collection("base").ids()))
+    counter = FaultInjector(fail_at=None)
+    workload(probe, counter)
+    counter.close_all()
+
+    step = data.draw(st.integers(1, counter.ops), label="crash_op")
+    mode = data.draw(st.sampled_from(["kill", "torn"]), label="mode")
+    workdir = tmp_path / "run"
+    shutil.copytree(base, workdir)
+    _crash_run(workdir, workload, step, mode)
+    with Catalog(workdir, durability=DURABILITY) as catalog:
+        ids = tuple(catalog.collection("base").ids())
+    assert ids in checkpoints
