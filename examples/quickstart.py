@@ -41,7 +41,15 @@ The minimal end-to-end DeepLens workflow on synthetic CCTV footage:
    let the planner flip the scan itself when nothing above it reads
    pixel data — both visible in ``explain()``;
 10. backtrace one detection to its base frame through lineage;
-11. persist the UDF pipeline as a **materialized view**: later queries
+11. similarity search: ``CREATE INDEX ... USING HNSW`` builds a
+   graph-based approximate-nearest-neighbor index over an embedding
+   attribute; ``ORDER BY SIMILARITY LIMIT k`` in LensQL (with
+   ``query_vector=``) or fluent ``similarity_search(q, k)`` lowers
+   onto an ANN top-k access path — a cost-based pick between the HNSW
+   graph and the exact scan, with the expected recall at the chosen
+   beam width in ``explain()`` and ``SHOW INDEXES`` listing each
+   index's build parameters;
+12. persist the UDF pipeline as a **materialized view**: later queries
    whose prefix recomputes it are rewritten to scan the view instead
    (cost-based, visible in explain(), and across sessions — the view's
    plan fingerprint lives in the catalog). Adding patches to the base
@@ -49,7 +57,7 @@ The minimal end-to-end DeepLens workflow on synthetic CCTV footage:
    re-runs only the defining plan. Independently, ``cache=True`` UDF
    results persist through the catalog, so cached inference survives
    reopening the database;
-12. observability: every session owns a **metrics registry** — counters,
+13. observability: every session owns a **metrics registry** — counters,
    gauges, and histograms threaded through the pager, the blob heap,
    the metadata segment, the UDF cache, the optimizer, and the
    executor, on by default. Each query runs under a **tracing span**
@@ -59,7 +67,7 @@ The minimal end-to-end DeepLens workflow on synthetic CCTV footage:
    from Python (``db.metrics()``, ``db.trace_json()``,
    ``db.metrics_text()`` for Prometheus scrapes) or from LensQL
    (``SHOW METRICS``, ``SHOW SLOW QUERIES``);
-13. durability & recovery: every catalog mutation is an atomic
+14. durability & recovery: every catalog mutation is an atomic
    multi-file commit through a checksummed write-ahead journal — a
    crash at any point reopens in the last committed state. Pages, blob
    records, and metadata blocks carry CRC32s verified on read; corrupt
@@ -305,6 +313,36 @@ def main() -> None:
             f"{source!r} frame {frame}; that frame produced "
             f"{len(siblings)} patches in total"
         )
+
+        # -- ANN similarity search ------------------------------------
+        # "find detections that look like this one": an HNSW graph
+        # index over the colour-histogram vectors turns nearest-neighbor
+        # search into graph navigation. Both frontends compile onto the
+        # same plan; the optimizer costs the graph probe against the
+        # exact scan and explain() shows the pick with its expected
+        # recall at the chosen beam width
+        db.sql("CREATE INDEX ON detections (hist) USING hnsw (m = 8, ef = 48)")
+        probe = sample["hist"]
+        lookalike = db.scan("detections").similarity_search(
+            probe, 3, attr="hist"
+        )
+        sql_lookalike = db.sql_query(
+            "SELECT * FROM detections ORDER BY SIMILARITY LIMIT 3",
+            query_vector=probe,
+            vector_attr="hist",
+        )
+        assert sql_lookalike.plan_fingerprint() == lookalike.plan_fingerprint()
+        nearest = lookalike.patches()
+        print("\nANN similarity search (HNSW access path):")
+        print(f"  chosen: {lookalike.explain().chosen}")
+        print(
+            f"  3 detections most like patch {sample.patch_id}: "
+            f"{[p.patch_id for p in nearest]}"
+        )
+        hnsw_row = next(
+            row for row in db.sql("SHOW INDEXES") if row["kind"] == "hnsw"
+        )
+        print(f"  SHOW INDEXES: {hnsw_row}")
 
         # materialize the UDF pipeline as a derived view: the planner now
         # rewrites any query whose prefix recomputes it into a scan of

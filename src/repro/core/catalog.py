@@ -41,13 +41,29 @@ from repro.core.profile import PlanQualityLog
 from repro.core.schema import PatchSchema
 from repro.core.statistics import CollectionStatistics
 from repro.errors import CorruptionError, IndexError_, QueryError, StorageError
-from repro.indexes import BallTree, BTreeIndex, HashIndex, RTree, rect_from_bbox
+from repro.indexes import (
+    BallTree,
+    BTreeIndex,
+    HashIndex,
+    HNSWIndex,
+    RTree,
+    rect_from_bbox,
+)
 from repro.storage.journal import CommitJournal
 from repro.storage.kvstore import BlobHeap, BlobRef, BPlusTree, Pager
 from repro.storage.kvstore import serialization
 from repro.storage.metadata_segment import CollectionSegment, MetadataSegmentStore
 
-INDEX_KINDS = ("hash", "btree", "rtree", "balltree")
+INDEX_KINDS = ("hash", "btree", "rtree", "balltree", "hnsw")
+
+#: accepted CREATE INDEX ... USING HNSW (...) knobs -> HNSWIndex kwargs
+_HNSW_PARAM_KEYS = {
+    "m": "m",
+    "ef_construction": "ef_construction",
+    "ef": "ef_search",
+    "ef_search": "ef_search",
+    "seed": "seed",
+}
 
 #: bound on the persisted recovery-event history in catalog meta
 RECOVERY_LOG_MAX = 64
@@ -234,6 +250,13 @@ class MaterializedCollection:
         zone-mapped metadata scan of ``expr`` would read — the planner's
         block-skipping estimate."""
         return self._metadata_segment().block_stats(expr)
+
+    def attr_min_max(self, attr: str) -> tuple | None:
+        """(min, max) of a metadata attribute answered purely from the
+        segment's zone maps and in-memory tail — no sealed block is
+        decoded. ``None`` when not provable from summaries (mixed-type
+        column, or no non-None value); callers fall back to a scan."""
+        return self._metadata_segment().attr_min_max(attr)
 
     def _segment_rows(self, ids: list[int]) -> list:
         """Point rows from the segment, with one quarantine + rebuild
@@ -433,6 +456,17 @@ class Catalog:
         self._multi_value: set[tuple[str, str, str]] = {
             tuple(entry) for entry in meta.get("catalog:multi_value", [])
         }
+        #: (collection, attr, kind) -> build knobs (hnsw m/ef/...)
+        self._index_params: dict[tuple[str, str, str], dict] = {
+            tuple(entry[0]): dict(entry[1])
+            for entry in meta.get("catalog:index_params", [])
+        }
+        #: (collection, attr, 'hnsw') -> heap ref of the graph snapshot
+        self._hnsw_refs: dict[tuple[str, str, str], list] = {
+            tuple(entry[0]): list(entry[1])
+            for entry in meta.get("catalog:hnsw", [])
+        }
+        self._hnsw_dirty: set[tuple[str, str, str]] = set()
         #: collection name -> in-memory statistics (lazily loaded)
         self._stats: dict[str, CollectionStatistics] = {}
         #: collection name -> heap ref of the persisted stats snapshot
@@ -494,6 +528,16 @@ class Catalog:
             ref = self.heap.put(payload, compress=True)
             self._stats_refs[name] = list(ref.to_tuple())
         self._stats_dirty.clear()
+        for key in sorted(self._hnsw_dirty):
+            index = self._indexes.get(key)
+            if index is None:
+                continue
+            payload = serialization.dumps(
+                index.to_value(), compress_arrays=False
+            )
+            ref = self.heap.put(payload, compress=True)
+            self._hnsw_refs[key] = list(ref.to_tuple())
+        self._hnsw_dirty.clear()
         if self._plan_log is not None and self._plan_log.dirty:
             payload = serialization.dumps(
                 self._plan_log.to_value(), compress_arrays=False
@@ -512,6 +556,14 @@ class Catalog:
         meta["catalog:collections"] = sorted(self._collections)
         meta["catalog:indexes"] = [list(key) for key in self._registered]
         meta["catalog:multi_value"] = [list(key) for key in sorted(self._multi_value)]
+        meta["catalog:index_params"] = [
+            [list(key), dict(params)]
+            for key, params in sorted(self._index_params.items())
+        ]
+        meta["catalog:hnsw"] = [
+            [list(key), list(ref)]
+            for key, ref in sorted(self._hnsw_refs.items())
+        ]
         meta["catalog:stats"] = dict(self._stats_refs)
         meta["catalog:versions"] = dict(self._versions)
         meta["catalog:fresh_versions"] = dict(self._fresh_versions)
@@ -558,6 +610,51 @@ class Catalog:
         return {
             "events": [dict(e) for e in self.recovery_events],
             "history": [dict(e) for e in self._recovery_log],
+        }
+
+    def scrub(self) -> dict:
+        """On-demand integrity sweep over every checksummed structure:
+        pager pages (against their committed on-disk images), blob-heap
+        records of both heap files, and every collection's sealed
+        metadata-segment blocks (decoded end to end).
+
+        Failures are collected, not raised: each lands in the returned
+        ``errors`` list, is recorded as a ``scrub_corruption`` recovery
+        event (so :meth:`recovery_report` shows it), and counts in
+        ``deeplens_corruption_detected_total`` at the detecting layer.
+        """
+        errors: list[dict] = []
+
+        def note(source: str, found) -> None:
+            for exc in found:
+                entry = {"source": source, "detail": str(exc)}
+                if getattr(exc, "file", None) is not None:
+                    entry["file"] = exc.file
+                if getattr(exc, "offset", None) is not None:
+                    entry["offset"] = exc.offset
+                errors.append(entry)
+
+        pages_checked, page_errors = self.pager.scrub()
+        note("pager", page_errors)
+        records_checked, record_errors = self.heap.scrub()
+        note("heap", record_errors)
+        segment_records, segment_errors = self.segments.scrub()
+        records_checked += segment_records
+        note("segment-heap", segment_errors)
+        blocks_checked = 0
+        for name in self.collections():
+            # the raw attached segment, NOT _metadata_segment(): scrub
+            # must observe damage, never trigger the rebuild that heals it
+            checked, block_errors = self.segments.segment(name).scrub()
+            blocks_checked += checked
+            note(f"segment[{name}]", block_errors)
+        for entry in errors:
+            self._record_recovery_event("scrub_corruption", **entry)
+        return {
+            "pages_checked": pages_checked,
+            "records_checked": records_checked,
+            "blocks_checked": blocks_checked,
+            "errors": errors,
         }
 
     def _on_segment_corruption(self, name: str, exc: CorruptionError) -> None:
@@ -611,6 +708,10 @@ class Catalog:
             ]
             for key in [k for k in self._indexes if k[0] == name]:
                 del self._indexes[key]
+            for store in (self._index_params, self._hnsw_refs):
+                for key in [k for k in store if k[0] == name]:
+                    del store[key]
+            self._hnsw_dirty = {k for k in self._hnsw_dirty if k[0] != name}
             self.drop_statistics(name)
             # replacing is a mutation even when zero rows follow (an
             # emptied base must still invalidate dependent views)
@@ -821,15 +922,19 @@ class Catalog:
         *,
         feature_fn: Callable[[Patch], np.ndarray] | None = None,
         multi_value: bool = False,
+        params: dict | None = None,
     ):
         """Build an index over ``attr`` of a materialized collection.
 
         Kinds: ``hash`` (equality), ``btree`` (equality + range), ``rtree``
         (attr must hold (x1, y1, x2, y2) boxes), ``balltree`` (attr must
         hold fixed-dim vectors, or pass ``feature_fn`` / attr='data' to
-        index the patch data itself). ``multi_value=True`` treats the
-        attribute as a collection of keys (an inverted index — e.g. OCR
-        token tuples), valid for hash/btree kinds.
+        index the patch data itself), ``hnsw`` (approximate k-NN graph
+        over the same vector sources; ``params`` accepts the build knobs
+        ``m``, ``ef_construction``, ``ef``/``ef_search`` and ``seed``).
+        ``multi_value=True`` treats the attribute as a collection of keys
+        (an inverted index — e.g. OCR token tuples), valid for hash/btree
+        kinds.
         """
         if kind not in INDEX_KINDS:
             raise IndexError_(
@@ -839,13 +944,22 @@ class Catalog:
             raise IndexError_(
                 f"multi_value indexes require hash/btree kinds, not {kind!r}"
             )
+        if params and kind != "hnsw":
+            raise IndexError_(
+                f"index params are only valid for hnsw indexes, not {kind!r}"
+            )
         collection = self.collection(collection_name)
         key = (collection_name, attr, kind)
+        if kind == "hnsw":
+            self._index_params[key] = _normalize_hnsw_params(params)
         index = self._build_index(collection, attr, kind, feature_fn, multi_value)
         self._indexes[key] = index
         if key not in self._registered:
             self._registered.append(key)
         self._multi_value.add(key) if multi_value else None
+        if kind == "hnsw":
+            # the graph snapshot rides the same commit as its registration
+            self._hnsw_dirty.add(key)
         # commit barrier: index pages + registration land atomically
         self.sync()
         return index
@@ -864,6 +978,33 @@ class Catalog:
                     if kind == "hash"
                     else BTreeIndex(self.pager, name)
                 )
+            elif kind == "hnsw":
+                # the graph reloads from its heap snapshot; a corrupt
+                # snapshot is quarantined and the graph rebuilt from the
+                # collection (the source of truth), like statistics
+                index = None
+                ref = self._hnsw_refs.get(key)
+                if ref is not None:
+                    try:
+                        index = self._load_snapshot(
+                            ref,
+                            f"hnsw[{collection_name}.{attr}]",
+                            lambda value: HNSWIndex.from_value(
+                                value, metrics=self.metrics
+                            ),
+                        )
+                    except CorruptionError as exc:
+                        self._hnsw_refs.pop(key, None)
+                        self._record_recovery_event(
+                            "hnsw_rebuilt",
+                            collection=collection_name,
+                            attr=attr,
+                            detail=str(exc),
+                        )
+                if index is None:
+                    collection = self.collection(collection_name)
+                    index = self._build_index(collection, attr, kind, None)
+                    self._hnsw_dirty.add(key)
             else:
                 # multi-dimensional indexes are memory-resident: rebuild
                 collection = self.collection(collection_name)
@@ -881,6 +1022,11 @@ class Catalog:
 
     def indexes(self) -> list[tuple[str, str, str]]:
         return list(self._registered)
+
+    def index_params(self, collection_name: str, attr: str, kind: str) -> dict:
+        """Build knobs recorded at CREATE INDEX time (empty for kinds
+        without knobs)."""
+        return dict(self._index_params.get((collection_name, attr, kind), {}))
 
     def _build_index(
         self,
@@ -911,24 +1057,24 @@ class Catalog:
                 if value is not None:
                     index.insert(rect_from_bbox(tuple(value)), patch.patch_id)
             return index
-        # balltree
+        # balltree / hnsw: both index the same vector sources
         vectors: list[np.ndarray] = []
         ids: list[int] = []
         for patch in collection.scan():
-            if feature_fn is not None:
-                vector = feature_fn(patch)
-            elif attr == "data":
-                vector = patch.data
-            else:
-                vector = patch.metadata.get(attr)
+            vector = _patch_vector(patch, attr, feature_fn)
             if vector is None:
                 continue
-            vectors.append(np.asarray(vector, dtype=np.float64).ravel())
+            vectors.append(vector)
             ids.append(patch.patch_id)
         if not vectors:
             raise IndexError_(
                 f"collection {collection.name!r} has no vectors under "
                 f"{attr!r} to index"
+            )
+        if kind == "hnsw":
+            params = self._index_params.get((collection.name, attr, kind), {})
+            return HNSWIndex.build(
+                np.stack(vectors), ids, metrics=self.metrics, **params
             )
         return BallTree(np.stack(vectors), ids=ids)
 
@@ -951,6 +1097,49 @@ class Catalog:
                 # static structure: drop it; it rebuilds lazily on next use
                 key = (name, attr, kind)
                 self._indexes.pop(key, None)
+        # hnsw graphs grow incrementally — including registered graphs
+        # not yet resident (loaded from snapshot first). A graph that
+        # had to be *rebuilt* already scanned this patch, so the
+        # membership check keeps the add idempotent.
+        for key in self._registered:
+            name, attr, kind = key
+            if kind != "hnsw" or name != collection_name:
+                continue
+            vector = _patch_vector(patch, attr, None)
+            if vector is None:
+                continue
+            index = self.get_index(name, attr, kind)
+            if patch.patch_id not in index:
+                index.add(vector, patch.patch_id)
+            self._hnsw_dirty.add(key)
+
+
+def _patch_vector(patch: Patch, attr: str, feature_fn) -> np.ndarray | None:
+    """The vector one patch contributes to a balltree/hnsw index."""
+    if feature_fn is not None:
+        vector = feature_fn(patch)
+    elif attr == "data":
+        vector = patch.data
+    else:
+        vector = patch.metadata.get(attr)
+    if vector is None:
+        return None
+    return np.asarray(vector, dtype=np.float64).ravel()
+
+
+def _normalize_hnsw_params(params: dict | None) -> dict:
+    """Validate CREATE INDEX knobs against the accepted HNSW set and
+    map SQL spellings (``ef``) onto constructor kwargs (``ef_search``)."""
+    normalized: dict[str, int] = {}
+    for key, value in (params or {}).items():
+        target = _HNSW_PARAM_KEYS.get(str(key).lower())
+        if target is None:
+            raise IndexError_(
+                f"unknown hnsw parameter {key!r}; expected one of "
+                f"{sorted(set(_HNSW_PARAM_KEYS))}"
+            )
+        normalized[target] = int(value)
+    return normalized
 
 
 def _index_keys(value, multi_value: bool) -> list:

@@ -199,15 +199,54 @@ class Limit(LogicalPlan):
 
 @dataclass(frozen=True, eq=False)
 class OrderBy(LogicalPlan):
-    """Sort rows by a metadata attribute (pipeline breaker)."""
+    """Sort rows by a metadata attribute (pipeline breaker).
+
+    The special attribute ``"similarity"`` orders by distance to a query
+    vector: ``vector`` holds the query embedding and ``vector_attr`` the
+    metadata attribute (or ``"data"``) the distance is measured against.
+    ``OrderBy(similarity) + Limit(k)`` is the top-k similarity pattern
+    the rewriter collapses into :class:`AnnTopK` — both the fluent
+    ``similarity_search()`` and SQL ``ORDER BY similarity LIMIT k``
+    build exactly this shape, so the two frontends share fingerprints.
+    """
 
     child: LogicalPlan
     attr: str
     reverse: bool = False
+    vector: tuple[float, ...] | None = None
+    vector_attr: str | None = None
 
     def label(self) -> str:
         direction = " desc" if self.reverse else ""
+        if self.vector is not None:
+            return (
+                f"OrderBy(similarity to {self.vector_attr}"
+                f"[{len(self.vector)}d]{direction})"
+            )
         return f"OrderBy({self.attr}{direction})"
+
+
+@dataclass(frozen=True, eq=False)
+class AnnTopK(LogicalPlan):
+    """The ``k`` rows nearest to ``query`` in ``attr``'s vector space,
+    nearest first — the rewriter's collapsed form of
+    ``OrderBy(similarity) + Limit(k)``. Lowering picks the access path:
+    an HNSW graph probe, a BallTree k-NN, or an exact scan-and-select.
+    """
+
+    child: LogicalPlan
+    attr: str
+    query: tuple[float, ...]
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise QueryError(f"top-k similarity needs k > 0, got {self.k}")
+        if not self.query:
+            raise QueryError("top-k similarity needs a non-empty query vector")
+
+    def label(self) -> str:
+        return f"AnnTopK(k={self.k}, attr={self.attr})"
 
 
 @dataclass(frozen=True, eq=False)
@@ -226,7 +265,7 @@ class SimilarityJoin(LogicalPlan):
 
 
 #: supported aggregate kinds -> required arguments
-AGGREGATE_KINDS = ("count", "distinct_count", "avg", "group")
+AGGREGATE_KINDS = ("count", "distinct_count", "avg", "min", "max", "group")
 
 
 @dataclass(frozen=True, eq=False)
@@ -250,7 +289,10 @@ class Aggregate(LogicalPlan):
                 f"unknown aggregate kind {self.kind!r}; "
                 f"expected one of {AGGREGATE_KINDS}"
             )
-        if self.kind in ("distinct_count", "avg", "group") and self.key is None:
+        if (
+            self.kind in ("distinct_count", "avg", "min", "max", "group")
+            and self.key is None
+        ):
             raise QueryError(f"aggregate kind {self.kind!r} needs a key function")
         # reject arguments the kind would silently ignore — a key on
         # 'count' almost certainly meant 'distinct_count' or 'group'
@@ -414,11 +456,27 @@ def plan_signature(
     if isinstance(plan, Limit):
         return ("limit", plan_signature(plan.child, parameterized=parameterized), plan.n)
     if isinstance(plan, OrderBy):
+        if plan.vector is not None:
+            return (
+                "orderby-similarity",
+                plan_signature(plan.child, parameterized=parameterized),
+                plan.vector_attr,
+                plan.reverse,
+                "?" if parameterized else repr(plan.vector),
+            )
         return (
             "orderby",
             plan_signature(plan.child, parameterized=parameterized),
             plan.attr,
             plan.reverse,
+        )
+    if isinstance(plan, AnnTopK):
+        return (
+            "ann-topk",
+            plan_signature(plan.child, parameterized=parameterized),
+            plan.attr,
+            plan.k,
+            "?" if parameterized else repr(plan.query),
         )
     if isinstance(plan, SimilarityJoin):
         return (

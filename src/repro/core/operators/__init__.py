@@ -27,6 +27,8 @@ from repro.core.operators.profiled import (
     ProfiledOperator,
 )
 from repro.core.operators.scans import (
+    AnnTopKExact,
+    AnnTopKScan,
     CollectionScan,
     IndexLookupScan,
     IndexRangeScan,
@@ -40,6 +42,8 @@ from repro.core.operators.scans import (
 )
 
 __all__ = [
+    "AnnTopKExact",
+    "AnnTopKScan",
     "BallTreeSimilarityJoin",
     "Batch",
     "CollectionScan",

@@ -208,6 +208,89 @@ class IndexRangeScan(_IndexScan):
         return (patch_id for _, patch_id in index.range(self.lo, self.hi))
 
 
+class AnnTopKScan(_IndexScan):
+    """Index-backed top-k similarity: the ``k`` patches nearest to
+    ``query``, nearest first, served by a vector index probe (``hnsw``
+    beam search at ``ef``, or an exact BallTree k-NN) instead of a full
+    scan-and-sort."""
+
+    def __init__(
+        self,
+        collection: MaterializedCollection,
+        attr: str,
+        query,
+        k: int,
+        kind: str = "hnsw",
+        *,
+        ef: int | None = None,
+        load_data: bool = True,
+    ) -> None:
+        self.collection = collection
+        self.attr = attr
+        self.query = np.asarray(query, dtype=np.float64).ravel()
+        self.k = k
+        self.kind = kind
+        self.ef = ef
+        self.load_data = load_data
+        #: optional probe-stats callback the lowerer wires to the
+        #: operator's profile entry ({"hops": .., "candidates": ..};
+        #: empty for non-hnsw probes)
+        self.on_search: Callable[[dict], None] | None = None
+
+    def _ids(self) -> Iterator[int]:
+        index = self.collection.index(self.attr, self.kind)
+        if self.kind == "hnsw":
+            nearest = index.search(self.query, self.k, ef=self.ef)
+            if self.on_search is not None:
+                self.on_search(dict(index.last_stats))
+        else:
+            nearest = index.query_knn(self.query, self.k)
+            if self.on_search is not None:
+                self.on_search({})
+        return iter([patch_id for _, patch_id in nearest])
+
+
+class AnnTopKExact(Operator):
+    """Exact top-k similarity over any child: compute every distance and
+    keep the ``k`` smallest (pipeline breaker) — the fallback access
+    path, and the oracle ANN results are graded against."""
+
+    pipeline_breaker = True
+
+    def __init__(self, child: Operator, attr: str, query, k: int) -> None:
+        if child.arity != 1:
+            raise QueryError("AnnTopKExact operates on arity-1 rows")
+        self.child = child
+        self.attr = attr
+        self.query = np.asarray(query, dtype=np.float64).ravel()
+        self.k = k
+
+    def _distance(self, patch: Patch) -> float | None:
+        vector = (
+            patch.data if self.attr == "data" else patch.metadata.get(self.attr)
+        )
+        if vector is None:
+            return None
+        v = np.asarray(vector, dtype=np.float64).ravel()
+        if v.shape != self.query.shape:
+            return None
+        return float(np.sqrt(((v - self.query) ** 2).sum()))
+
+    def __iter__(self) -> Iterator[Row]:
+        scored: list[tuple[float, int, Row]] = []
+        for position, row in enumerate(self.child):
+            distance = self._distance(row[0])
+            if distance is not None:
+                # position breaks ties deterministically (rows don't sort)
+                scored.append((distance, position, row))
+        scored.sort(key=lambda item: item[:2])
+        for _, _, row in scored[: self.k]:
+            yield row
+
+    def iter_batches(self, size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+        yield from slice_batches(list(self), size)
+
+
 class Select(Operator):
     """Filter rows by an expression on one of their patches."""
 

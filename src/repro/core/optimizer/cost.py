@@ -113,6 +113,22 @@ class CostModel:
         build = 0.0 if prebuilt else self.balltree_build(n_indexed, dim)
         return build + n_probe * self.balltree_probe(n_indexed, dim)
 
+    # -- approximate nearest neighbor (HNSW) ------------------------------
+
+    def hnsw_probe(self, n_indexed: int, dim: int, ef: int) -> float:
+        """One HNSW beam search: ~``ef * log2(n)`` distance evaluations —
+        the logarithmic shape that stays flat where Ball-tree pruning
+        collapses (``probe_alpha`` -> 1) in high dimensions."""
+        visited = max(float(ef), 1.0) * np.log2(max(n_indexed, 2))
+        return visited * self.pair_distance(dim)
+
+    def hnsw_build(self, n: int, dim: int, m: int, ef_construction: int) -> float:
+        """Graph construction: every insert runs one probe at
+        ``ef_construction`` plus ``m`` neighbor re-prunes."""
+        per_insert = self.hnsw_probe(max(n, 2), dim, ef_construction)
+        per_insert += m * self.pair_distance(dim)
+        return n * per_insert
+
     # -- calibration ----------------------------------------------------
 
     def calibrate(self, *, seed: int = 0) -> "CostModel":

@@ -31,6 +31,8 @@ from repro.core.expressions import And, Expr
 from repro.core.metrics import NULL_REGISTRY, span
 from repro.core.operators import (
     DEFAULT_BATCH_SIZE,
+    AnnTopKExact,
+    AnnTopKScan,
     BallTreeSimilarityJoin,
     CollectionScan,
     DistinctCount,
@@ -491,16 +493,27 @@ class UDFCache:
 
 @dataclass
 class AggregateExecution:
-    """A lowered aggregate: the child operator plus the reduction to run."""
+    """A lowered aggregate: the child operator plus the reduction to run.
+
+    ``fast`` is an optional short-circuit the lowering installs when the
+    aggregate can be answered from storage statistics alone (MIN/MAX
+    over a zone-mapped attribute): it returns ``(handled, value)``, and
+    when handled the child operator never runs — zero blocks decoded.
+    """
 
     operator: Operator
     kind: str
     key: Callable[[Patch], Any] | None
     reducer: Callable[[list], Any]
+    fast: Callable[[], tuple[bool, Any]] | None = None
 
     def execute(self, *, batch_size: int | None = DEFAULT_BATCH_SIZE) -> Any:
         """Run the reduction; batched like every other terminal
         (``batch_size=None`` forces the row-at-a-time path)."""
+        if self.fast is not None:
+            handled, value = self.fast()
+            if handled:
+                return value
         if batch_size is None:
             rows = self.operator
         else:
@@ -532,6 +545,23 @@ class AggregateExecution:
                     ) from None
                 n += 1
             return total / n if n else None
+        if self.kind in ("min", "max"):
+            # SQL semantics: NULLs are skipped; MIN/MAX of an empty or
+            # all-NULL input is NULL
+            pick = min if self.kind == "min" else max
+            best = None
+            for row in rows:
+                value = self.key(row[0])
+                if value is None:
+                    continue
+                try:
+                    best = value if best is None else pick(best, value)
+                except TypeError:
+                    raise QueryError(
+                        f"{self.kind} key produced incomparable value "
+                        f"{value!r} for patch {row[0].patch_id}"
+                    ) from None
+            return best
         return GroupBy(rows, self.key, self.reducer).execute()
 
 
@@ -590,7 +620,14 @@ def apply_metadata_only(
             # an opaque Predicate may read patch.data; structural
             # comparisons declare their attributes and never do
             flags = (observed or logical.expr_attrs(node.expr) is None,)
-        elif isinstance(node, (logical.Limit, logical.OrderBy)):
+        elif isinstance(node, logical.OrderBy):
+            # ordering by similarity against the data payload reads pixels
+            data_distance = (
+                node.vector is not None
+                and (node.vector_attr or "data") == "data"
+            )
+            flags = (observed or data_distance,)
+        elif isinstance(node, logical.Limit):
             flags = (observed,)
         else:
             # Map (UDF may read data), SimilarityJoin (features default to
@@ -751,8 +788,54 @@ class _Lowering:
     def lower(self, node: logical.LogicalPlan) -> Operator | AggregateExecution:
         if isinstance(node, logical.Aggregate):
             child = self._lower_rows(node.child)
-            return AggregateExecution(child, node.kind, node.key, node.reducer)
+            return AggregateExecution(
+                child,
+                node.kind,
+                node.key,
+                node.reducer,
+                self._minmax_fast(node),
+            )
         return self._lower_rows(node)
+
+    def _minmax_fast(
+        self, node: logical.Aggregate
+    ) -> Callable[[], tuple[bool, Any]] | None:
+        """Zone-map short-circuit for MIN/MAX over an unfiltered scan:
+        the segment's per-block statistics already hold every sealed
+        block's lo/hi, so the aggregate answers without decoding any
+        block. Returns None when ineligible; the returned thunk itself
+        reports unhandled (falling back to the operator) when the zones
+        cannot prove the bounds — mixed value types, unorderable values.
+        """
+        if node.kind not in ("min", "max"):
+            return None
+        if not isinstance(node.key, AttributeKey):
+            return None
+        if not isinstance(node.child, logical.Scan):
+            return None
+        try:
+            collection = self.optimizer.catalog.collection(
+                node.child.collection
+            )
+        except QueryError:
+            return None
+        reader = getattr(collection, "attr_min_max", None)
+        if reader is None:
+            return None
+        attr = node.key.attr
+        side = 0 if node.kind == "min" else 1
+        self.notes.append(
+            f"zone-map-minmax: {node.kind}({attr}) eligible to answer from "
+            f"segment block statistics without decoding any block"
+        )
+
+        def fast() -> tuple[bool, Any]:
+            bounds = reader(attr)
+            if bounds is None:
+                return False, None
+            return True, bounds[side]
+
+        return fast
 
     def _lower_rows(self, node: logical.LogicalPlan) -> Operator:
         if isinstance(node, (logical.Filter, logical.Scan)):
@@ -771,11 +854,18 @@ class _Lowering:
             return self._profiled(Limit(child, node.n), node, children=(child,))
         if isinstance(node, logical.OrderBy):
             child = self._lower_rows(node.child)
+            key = (
+                _distance_key(node.vector_attr or "data", node.vector)
+                if node.vector is not None
+                else _attr_key(node.attr)
+            )
             return self._profiled(
-                OrderBy(child, key=_attr_key(node.attr), reverse=node.reverse),
+                OrderBy(child, key=key, reverse=node.reverse),
                 node,
                 children=(child,),
             )
+        if isinstance(node, logical.AnnTopK):
+            return self._lower_ann_topk(node)
         if isinstance(node, logical.SimilarityJoin):
             return self._lower_similarity_join(node)
         raise QueryError(f"cannot lower logical node {node.label()}")
@@ -862,6 +952,73 @@ class _Lowering:
         if filters:
             operator = self._profiled(operator, node, children=(inner,))
         return operator
+
+    # -- top-k similarity -------------------------------------------------
+
+    def _lower_ann_topk(self, node: logical.AnnTopK) -> Operator:
+        """Access-path selection for top-k similarity: an index probe
+        (HNSW beam search or BallTree k-NN) when the pattern sits
+        directly on a bare scan, exact top-k selection over the lowered
+        child otherwise (residual filters make probe results unsound —
+        the k nearest overall are not the k nearest *matching* rows)."""
+        child = node.child
+        dim = len(node.query)
+        profile = self.execution.profile
+        if isinstance(child, logical.Scan):
+            explanation = self.optimizer.plan_topk_similarity(
+                child.collection, node.attr, node.k, dim
+            )
+            self.decisions.append(explanation)
+            kind = explanation.chosen.kind
+            collection = self.optimizer.catalog.collection(child.collection)
+            operator: Operator
+            if kind in ("hnsw-ann", "balltree-knn"):
+                operator = AnnTopKScan(
+                    collection,
+                    node.attr,
+                    node.query,
+                    node.k,
+                    "hnsw" if kind == "hnsw-ann" else "balltree",
+                    ef=explanation.chosen.params.get("ef"),
+                    load_data=child.load_data,
+                )
+            else:
+                operator = AnnTopKExact(
+                    CollectionScan(collection, load_data=child.load_data),
+                    node.attr,
+                    node.query,
+                    node.k,
+                )
+            if profile is not None:
+                entry = profile.operator(
+                    f"{node.label()} [{kind}]", est_rows=float(node.k)
+                )
+                if isinstance(operator, AnnTopKScan):
+                    if operator.kind == "hnsw":
+                        # the cost model's visited count, graded against
+                        # the distances the beam actually computed
+                        ef = explanation.chosen.params.get("ef", node.k)
+                        entry.set_candidate_estimate(
+                            float(ef)
+                            * float(np.log2(max(len(collection), 2)))
+                        )
+                    operator.on_search = entry.add_ann
+                operator = ProfiledOperator(
+                    InputProbe(
+                        operator,
+                        entry,
+                        index_probes=isinstance(operator, AnnTopKScan),
+                    ),
+                    entry,
+                )
+            return operator
+        inner = self._lower_rows(child)
+        return self._profiled(
+            AnnTopKExact(inner, node.attr, node.query, node.k),
+            node,
+            label=f"{node.label()} [exact-topk]",
+            children=(inner,),
+        )
 
     # -- maps ------------------------------------------------------------
 
@@ -1070,6 +1227,8 @@ class _Lowering:
             return self._estimate_rows(current) * estimate.selectivity
         if isinstance(node, logical.Limit):
             return min(float(node.n), self._estimate_rows(node.child))
+        if isinstance(node, logical.AnnTopK):
+            return min(float(node.k), self._estimate_rows(node.child))
         if isinstance(node, logical.SimilarityJoin):
             # output cardinality from input sizes + recorded feature dim
             # (the old code returned the left input's estimate, as if a
@@ -1239,6 +1398,24 @@ def _default_features(patch: Patch) -> np.ndarray:
             f"select()? pass features=... or keep_data=True)"
         )
     return data
+
+
+def _distance_key(attr: str, vector: tuple) -> Callable[[Patch], float]:
+    """Sort key for ``ORDER BY similarity``: Euclidean distance from the
+    patch's vector (under ``attr``, or its data payload) to the query.
+    Rows without a comparable vector sort last."""
+    query = np.asarray(vector, dtype=np.float64).ravel()
+
+    def key(patch: Patch) -> float:
+        value = patch.data if attr == "data" else patch.metadata.get(attr)
+        if value is None:
+            return float("inf")
+        v = np.asarray(value, dtype=np.float64).ravel()
+        if v.shape != query.shape:
+            return float("inf")
+        return float(np.sqrt(((v - query) ** 2).sum()))
+
+    return key
 
 
 def _attr_key(attr: str) -> Callable[[Patch], Any]:

@@ -483,6 +483,66 @@ class Optimizer:
         candidates.sort(key=lambda choice: choice.cost_seconds)
         return Explanation(chosen=candidates[0], candidates=candidates)
 
+    # -- top-k similarity access path -----------------------------------
+
+    def plan_topk_similarity(
+        self, collection_name: str, attr: str, k: int, dim: int
+    ) -> Explanation:
+        """Choose the access path for a top-k similarity query: HNSW
+        graph probe (approximate — expected recall rides on the
+        candidate), prebuilt BallTree k-NN (exact), or an exact
+        scan-and-select. Costs come from recorded row counts and the
+        embedding dimension; the winner and its expected recall are what
+        ``explain()`` shows for ``ORDER BY similarity LIMIT k``.
+        """
+        from repro.indexes.hnsw import expected_recall
+
+        collection = self.catalog.collection(collection_name)
+        n = max(len(collection), 1)
+        fetch = k * self.cost.fetch_per_patch
+        estimates = [
+            f"{collection_name!r}: top-{k} of {n} rows, {dim}-dim embeddings"
+        ]
+        candidates = [
+            PlanChoice(
+                "exact-topk-scan",
+                self.cost.metadata_scan(n)
+                + n * self.cost.pair_distance(dim)
+                + fetch,
+                {"rows_compared": n},
+                accuracy=PlanAccuracy(precision=1.0, recall=1.0),
+            )
+        ]
+        if self.catalog.has_index(collection_name, attr, "balltree"):
+            candidates.append(
+                PlanChoice(
+                    "balltree-knn",
+                    self.cost.balltree_probe(n, dim) + fetch,
+                    {"attr": attr},
+                    accuracy=PlanAccuracy(precision=1.0, recall=1.0),
+                )
+            )
+        if self.catalog.has_index(collection_name, attr, "hnsw"):
+            params = self.catalog.index_params(collection_name, attr, "hnsw")
+            ef = max(int(params.get("ef_search", 64)), k)
+            recall = expected_recall(ef, k)
+            candidates.append(
+                PlanChoice(
+                    "hnsw-ann",
+                    self.cost.hnsw_probe(n, dim, ef) + fetch,
+                    {"attr": attr, "ef": ef},
+                    accuracy=PlanAccuracy(precision=1.0, recall=recall),
+                )
+            )
+            estimates.append(
+                f"{collection_name!r}: hnsw probe at ef={ef} expects "
+                f"recall@{k} ~ {recall:.2f}"
+            )
+        candidates.sort(key=lambda choice: choice.cost_seconds)
+        return Explanation(
+            chosen=candidates[0], candidates=candidates, estimates=estimates
+        )
+
     # -- device placement -----------------------------------------------
 
     def plan_device(

@@ -14,7 +14,11 @@ The rule menu (the logical half of DeepLens Section 5 / EVA's optimizer):
   from a map UDF's declared outputs commutes below the map, so the (cheap)
   predicate prunes rows before the (expensive) inference runs;
 * ``pushdown-limit`` — limits slide below projections and one-to-one maps,
-  and adjacent limits collapse to the tighter bound.
+  and adjacent limits collapse to the tighter bound;
+* ``ann-topk`` — ``Limit(k)`` over ``OrderBy(similarity to a query
+  vector)`` collapses into the :class:`~repro.core.logical.AnnTopK`
+  node, unlocking index-backed (HNSW / BallTree) access paths instead
+  of a full scan-and-sort.
 
 (``cache=True`` maps are memoized at lowering time, where each map node
 is visited exactly once; lowering records that in the explain trace.)
@@ -26,10 +30,12 @@ from dataclasses import dataclass, replace
 
 from repro.core.expressions import And
 from repro.core.logical import (
+    AnnTopK,
     Filter,
     Limit,
     LogicalPlan,
     Map,
+    OrderBy,
     Project,
     expr_attrs,
 )
@@ -71,7 +77,13 @@ def _rewrite_once(
         changed = changed or child_changed
     if changed:
         plan = plan.with_children(*new_children)
-    for rule in (_split_filter, _pushdown_filter, _pushdown_limit, _merge_limits):
+    for rule in (
+        _split_filter,
+        _pushdown_filter,
+        _pushdown_limit,
+        _merge_limits,
+        _ann_topk,
+    ):
         rewritten = rule(plan, trace)
         if rewritten is not None:
             return rewritten, True
@@ -145,6 +157,30 @@ def _pushdown_limit(
         )
         return replace(child, child=inner)
     return None
+
+
+def _ann_topk(
+    plan: LogicalPlan, trace: list[AppliedRewrite]
+) -> LogicalPlan | None:
+    """``Limit(k)`` over ``OrderBy(similarity)`` is the top-k similarity
+    pattern: collapse it so lowering can pick an ANN access path."""
+    if not (
+        isinstance(plan, Limit)
+        and isinstance(plan.child, OrderBy)
+        and plan.child.vector is not None
+        and not plan.child.reverse
+        and plan.n > 0
+    ):
+        return None
+    order = plan.child
+    trace.append(
+        AppliedRewrite(
+            "ann-topk",
+            f"collapsed ORDER BY similarity LIMIT {plan.n} into a top-{plan.n} "
+            f"similarity search on {order.vector_attr!r}",
+        )
+    )
+    return AnnTopK(order.child, order.vector_attr or "data", order.vector, plan.n)
 
 
 def _merge_limits(

@@ -76,6 +76,9 @@ class OperatorProfile:
         "blocks_scanned",
         "est_blocks_skipped",
         "est_blocks_total",
+        "ann_hops",
+        "ann_candidates",
+        "est_candidates",
         "exhausted",
         "feedback",
         "_rows_in",
@@ -105,6 +108,12 @@ class OperatorProfile:
         self.blocks_scanned = 0
         self.est_blocks_skipped: float | None = None
         self.est_blocks_total: float | None = None
+        #: ANN probe actuals (graph hops / distance computations of the
+        #: executing HNSW search) next to the cost model's candidate
+        #: *estimate*, graded like a cardinality
+        self.ann_hops = 0
+        self.ann_candidates = 0
+        self.est_candidates: float | None = None
         #: True once the operator's stream ran dry — only then is
         #: ``rows_out`` the full result cardinality (a limit above may
         #: stop the stream early, which must not be logged as the
@@ -156,6 +165,14 @@ class OperatorProfile:
         self.est_blocks_skipped = float(skipped)
         self.est_blocks_total = float(total)
 
+    def set_candidate_estimate(self, candidates: float) -> None:
+        self.est_candidates = float(candidates)
+
+    def add_ann(self, stats: dict) -> None:
+        with self._lock:
+            self.ann_hops += int(stats.get("hops", 0))
+            self.ann_candidates += int(stats.get("candidates", 0))
+
     def mark_exhausted(self) -> None:
         with self._lock:
             self.exhausted = True
@@ -184,6 +201,15 @@ class OperatorProfile:
         return q_error(self.est_rows, self.rows_out)
 
     @property
+    def candidates_q(self) -> float | None:
+        """Q-error of the ANN candidate estimate (cost-model visited
+        count vs distances actually computed), None when the planner made
+        no candidate estimate for this operator."""
+        if self.est_candidates is None:
+            return None
+        return q_error(self.est_candidates, self.ann_candidates)
+
+    @property
     def blocks_q(self) -> float | None:
         """Q-error of the zone-map skip estimate, graded like a
         cardinality (floored at one block), None when the planner made
@@ -209,6 +235,17 @@ class OperatorProfile:
             )
         if self.index_probes:
             parts.append(f"index probes {self.index_probes}")
+        if self.est_candidates is not None or self.ann_candidates:
+            segment = (
+                f"ann {self.ann_candidates} candidates / "
+                f"{self.ann_hops} hops"
+            )
+            if self.est_candidates is not None:
+                segment += (
+                    f" (est {self.est_candidates:.0f}, "
+                    f"q-error {self.candidates_q:.2f})"
+                )
+            parts.append(segment)
         if (
             self.blocks_skipped
             or self.blocks_scanned
@@ -273,6 +310,14 @@ class RuntimeProfile:
             entry.blocks_q
             for entry in self.entries
             if entry.blocks_q is not None
+        ]
+
+    def candidate_q_errors(self) -> list[float]:
+        """Every ANN candidate-estimate Q-error with a recorded estimate."""
+        return [
+            entry.candidates_q
+            for entry in self.entries
+            if entry.candidates_q is not None
         ]
 
     def lines(self) -> list[str]:

@@ -109,7 +109,7 @@ from repro.core.optimizer import (
 from repro.core.patch import Patch, Row
 from repro.core.profile import PlanQualityLog, RuntimeProfile
 from repro.core.schema import PatchSchema
-from repro.core.udf import UDFDefinition, default_registry
+from repro.core.udf import UDFDefinition, attribute_key, default_registry
 from repro.errors import QueryError, StorageError
 from repro.storage.formats import VideoStore, load_patches, open_store
 
@@ -159,16 +159,18 @@ class DeepLens:
                      | CREATE [OR REPLACE] MATERIALIZED VIEW name AS select
                      | REFRESH VIEW name [AS select]
                      | DROP VIEW name
-                     | CREATE INDEX ON name '(' name ')' [USING kind]
-                     | SHOW COLLECTIONS | SHOW VIEWS | SHOW STATS FOR name
+                     | CREATE INDEX ON name '(' name ')'
+                       [USING kind ['(' param '=' number, ... ')']]
+                     | SHOW COLLECTIONS | SHOW VIEWS | SHOW INDEXES
+                     | SHOW STATS FOR name
                      | SHOW METRICS | SHOW SLOW QUERIES
         select      := SELECT items FROM collection [METADATA ONLY]
                        [simjoin] [WHERE expr]
-                       [ORDER BY attr [ASC|DESC]] [LIMIT n]
+                       [ORDER BY (attr [ASC|DESC] | SIMILARITY)] [LIMIT n]
         items       := '*' | item (',' item)*
         item        := attr | udf '(' ')'                 -- registered UDF map
                      | COUNT '(' '*' ')' | COUNT '(' DISTINCT attr ')'
-                     | AVG '(' attr ')'
+                     | AVG '(' attr ')' | MIN '(' attr ')' | MAX '(' attr ')'
         simjoin     := SIMILARITY JOIN (collection | '(' select ')')
                        [ON feature_udf] WITHIN number [DIM n] [TOP k]
                        [EXCLUDE SELF]
@@ -187,7 +189,16 @@ class DeepLens:
     clause (its declared ``provides`` attributes join the projection);
     ``SIMILARITY JOIN ... WITHIN t`` lowers to the same
     ``SimilarityJoin`` node as :meth:`QueryBuilder.similarity_join`
-    (``TOP k`` limits the pair stream directly above the join). Keywords
+    (``TOP k`` limits the pair stream directly above the join).
+    ``ORDER BY SIMILARITY LIMIT k`` orders rows by Euclidean distance
+    to a probe vector — vectors have no literal syntax, so pass it as
+    ``sql(text, query_vector=..., vector_attr=...)`` — and builds the
+    same ANN top-k plan as :meth:`QueryBuilder.similarity_search`
+    (fingerprint-identical), served from an HNSW index when the cost
+    model prefers it. ``MIN(attr)``/``MAX(attr)`` are terminal
+    aggregates that answer from zone-map block statistics when
+    provable. ``SHOW INDEXES`` lists every secondary index with its
+    kind, build parameters, and indexed row count. Keywords
     are case-insensitive; identifiers may be double-quoted; ``--``
     starts a line comment. Equivalent SQL and fluent pipelines produce
     fingerprint-identical logical plans.
@@ -376,9 +387,21 @@ class DeepLens:
         *,
         feature_fn: Callable[[Patch], np.ndarray] | None = None,
         multi_value: bool = False,
+        params: dict | None = None,
     ):
+        """Build a secondary index (see :meth:`Catalog.create_index` for
+        the kinds). For ``kind="hnsw"`` — the approximate-nearest-
+        neighbor graph behind :meth:`QueryBuilder.similarity_search` —
+        ``params`` carries the build knobs: ``m`` (graph degree),
+        ``ef_construction`` (build beam width), ``ef``/``ef_search``
+        (default search beam width) and ``seed``."""
         return self.catalog.create_index(
-            collection, attr, kind, feature_fn=feature_fn, multi_value=multi_value
+            collection,
+            attr,
+            kind,
+            feature_fn=feature_fn,
+            multi_value=multi_value,
+            params=params,
         )
 
     def statistics(self, collection_name: str):
@@ -487,6 +510,19 @@ class DeepLens:
         across sessions."""
         return self.catalog.recovery_report()
 
+    def scrub(self) -> dict:
+        """On-demand integrity sweep: re-verify every checksum in the
+        store — pager pages, blob-heap records, metadata-segment blocks —
+        without waiting for a query to stumble over damage.
+
+        Returns ``{"pages_checked", "records_checked", "blocks_checked",
+        "errors": [...]}`` where each error names the file, offset, and
+        detail. Findings are also counted in
+        ``deeplens_corruption_detected_total`` and recorded as
+        ``scrub_corruption`` events in :meth:`recovery_report` — the
+        same surfaces crash recovery reports through."""
+        return self.catalog.scrub()
+
     def trace_json(self) -> str | None:
         """The span tree of the most recent top-level query as JSON
         (parse -> bind -> rewrite -> lower -> execute), or None before
@@ -582,7 +618,13 @@ class DeepLens:
 
     # -- LensQL ----------------------------------------------------------
 
-    def sql(self, text: str) -> Any:
+    def sql(
+        self,
+        text: str,
+        *,
+        query_vector: Any = None,
+        vector_attr: str | None = None,
+    ) -> Any:
         """Parse, bind, and execute one LensQL statement.
 
         The result depends on the statement (see the class docstring for
@@ -598,11 +640,24 @@ class DeepLens:
         text raises :class:`~repro.errors.ParseError`, unknown names
         :class:`~repro.errors.BindError` — both positioned, with a
         caret-annotated excerpt.
+
+        ``query_vector`` supplies the probe vector an ``ORDER BY
+        SIMILARITY`` clause binds against (vectors have no literal
+        syntax); ``vector_attr`` names the metadata attribute holding
+        the indexed embeddings (default: the patch data itself).
         """
         with self._query_scope(sql=text):
-            return self._bind_sql(text).execute()
+            return self._bind_sql(
+                text, query_vector=query_vector, vector_attr=vector_attr
+            ).execute()
 
-    def sql_query(self, text: str) -> "QueryBuilder":
+    def sql_query(
+        self,
+        text: str,
+        *,
+        query_vector: Any = None,
+        vector_attr: str | None = None,
+    ) -> "QueryBuilder":
         """Compile a LensQL ``SELECT`` into its :class:`QueryBuilder`
         without executing — the bridge between frontends: inspect
         ``explain()``, extend it fluently, or pass it to
@@ -611,7 +666,9 @@ class DeepLens:
         :meth:`sql`)."""
         from repro.core.sql import BoundSelect
 
-        bound = self._bind_sql(text)
+        bound = self._bind_sql(
+            text, query_vector=query_vector, vector_attr=vector_attr
+        )
         if not isinstance(bound, BoundSelect):
             raise QueryError(
                 "sql_query() takes a SELECT statement; use sql() for "
@@ -625,13 +682,24 @@ class DeepLens:
             )
         return bound.builder
 
-    def _bind_sql(self, text: str):
+    def _bind_sql(
+        self,
+        text: str,
+        *,
+        query_vector: Any = None,
+        vector_attr: str | None = None,
+    ):
         from repro.core.sql import Binder, parse
 
         with span("parse"):
             statement = parse(text)
         with span("bind"):
-            return Binder(self, text).bind(statement)
+            return Binder(
+                self,
+                text,
+                query_vector=query_vector,
+                vector_attr=vector_attr,
+            ).bind(statement)
 
     # -- querying -----------------------------------------------------------
 
@@ -849,6 +917,37 @@ class QueryBuilder:
             )
         )
 
+    def similarity_search(
+        self,
+        query: "np.ndarray | Iterable[float]",
+        k: int,
+        *,
+        attr: str | None = None,
+    ) -> "QueryBuilder":
+        """Top-k nearest rows to ``query`` by Euclidean distance.
+
+        Appends ``ORDER BY similarity LIMIT k`` to the pipeline — the
+        logical pattern the rewriter collapses to an ANN top-k node, so
+        the planner can serve it from an HNSW graph (approximate, with
+        the expected recall shown in ``explain()``), a Ball-tree
+        (exact), or a brute-force distance scan — whichever the cost
+        model picks for this collection. ``attr`` names the metadata
+        attribute holding the embeddings; omitted, the patch pixel data
+        itself is the vector (matching ``create_index(..., "hnsw")``
+        with no ``feature_fn``). Results come back nearest first.
+
+        The SQL spelling — ``SELECT * FROM c ORDER BY SIMILARITY LIMIT
+        k`` with ``query_vector=`` passed to :meth:`DeepLens.sql` —
+        builds a fingerprint-identical plan.
+        """
+        vector = tuple(float(x) for x in np.asarray(query, dtype=np.float64).ravel())
+        if not vector:
+            raise QueryError("similarity_search() needs a non-empty query vector")
+        ordered = logical.OrderBy(
+            self._plan, "similarity", vector=vector, vector_attr=attr
+        )
+        return self._extend(logical.Limit(ordered, int(k)))
+
     # -- planning -----------------------------------------------------------
 
     def plan(self) -> tuple[Operator, Explanation]:
@@ -1022,8 +1121,11 @@ class QueryBuilder:
         """Run a terminal aggregate over the pipeline.
 
         ``kind``: ``count``, ``distinct_count`` (needs ``key``), ``avg``
-        (needs ``key``; empty input yields None), or ``group`` (needs
-        ``key``; ``reducer`` folds each group's rows).
+        / ``min`` / ``max`` (need ``key``; empty input yields None), or
+        ``group`` (needs ``key``; ``reducer`` folds each group's rows).
+        Over a bare metadata-attribute key, ``min``/``max`` are answered
+        from the segment's zone-map block statistics when provable —
+        zero blocks decoded (the short-circuit shows in ``explain()``).
         """
         with self.session._query_scope() as root:
             aggregate, explanation, plan = self._plan_aggregate(
@@ -1080,6 +1182,16 @@ class QueryBuilder:
     def avg(self, key: Callable[[Patch], Any]) -> float | None:
         """Mean of ``key`` over the pipeline's rows (None when empty)."""
         return self.aggregate("avg", key=key)
+
+    def min_of(self, attr: str) -> Any:
+        """Smallest non-None value of a metadata attribute (None when
+        empty). Served from zone-map block statistics when provable."""
+        return self.aggregate("min", key=attribute_key(attr))
+
+    def max_of(self, attr: str) -> Any:
+        """Largest non-None value of a metadata attribute (None when
+        empty). Served from zone-map block statistics when provable."""
+        return self.aggregate("max", key=attribute_key(attr))
 
     def first(self) -> Patch:
         with self.session._query_scope() as root:

@@ -15,7 +15,7 @@ from typing import Union
 from repro.core.sql.lexer import KEYWORDS
 
 #: aggregate kinds the dialect surfaces -> logical Aggregate kinds
-AGGREGATE_SQL_KINDS = ("count", "distinct_count", "avg")
+AGGREGATE_SQL_KINDS = ("count", "distinct_count", "avg", "min", "max")
 
 #: valid comparison operators after normalization ("=" -> "==", "<>" -> "!=")
 COMPARISON_OPS = ("==", "!=", "<", "<=", ">", ">=")
@@ -189,7 +189,8 @@ class UdfCall(Node):
 
 @dataclass(frozen=True)
 class AggregateCall(Node):
-    """``COUNT(*)``, ``COUNT(DISTINCT attr)``, or ``AVG(attr)``."""
+    """``COUNT(*)``, ``COUNT(DISTINCT attr)``, ``AVG(attr)``,
+    ``MIN(attr)``, or ``MAX(attr)``."""
 
     kind: str  # one of AGGREGATE_SQL_KINDS
     attr: str | None = None
@@ -199,7 +200,7 @@ class AggregateCall(Node):
             return "COUNT(*)"
         if self.kind == "distinct_count":
             return f"COUNT(DISTINCT {_ident(self.attr or '')})"
-        return f"AVG({_ident(self.attr or '')})"
+        return f"{self.kind.upper()}({_ident(self.attr or '')})"
 
 
 SelectItem = Union[Star, ColumnRef, UdfCall, AggregateCall]
@@ -220,9 +221,15 @@ class TableRef(Node):
 class OrderSpec(Node):
     attr: str
     desc: bool = False
+    #: ``ORDER BY SIMILARITY``: order by distance to the query vector the
+    #: caller passes to ``sql(..., query_vector=...)`` (vectors have no
+    #: literal syntax). Distinct from ordering by a metadata attribute
+    #: *named* "similarity", which stays a quoted identifier.
+    similarity: bool = False
 
     def to_sql(self) -> str:
-        return f"ORDER BY {_ident(self.attr)}{' DESC' if self.desc else ''}"
+        target = "SIMILARITY" if self.similarity else _ident(self.attr)
+        return f"ORDER BY {target}{' DESC' if self.desc else ''}"
 
 
 @dataclass(frozen=True)
@@ -333,17 +340,27 @@ class CreateIndex(Node):
     collection: str
     attr: str
     kind: str = "btree"
+    #: build knobs after the kind — ``USING hnsw (m = 8, ef = 64)`` —
+    #: name/number pairs in source order
+    params: tuple[tuple[str, Union[int, float]], ...] = ()
 
     def to_sql(self) -> str:
+        rendered = (
+            " ("
+            + ", ".join(f"{_ident(k)} = {v!r}" for k, v in self.params)
+            + ")"
+            if self.params
+            else ""
+        )
         return (
             f"CREATE INDEX ON {_ident(self.collection)} "
-            f"({_ident(self.attr)}) USING {_ident(self.kind)}"
+            f"({_ident(self.attr)}) USING {_ident(self.kind)}{rendered}"
         )
 
 
 @dataclass(frozen=True)
 class Show(Node):
-    what: str  # "collections" | "views" | "stats" | "metrics" | "slow_queries"
+    what: str  # "collections" | "views" | "indexes" | "stats" | "metrics" | "slow_queries"
     target: str | None = None
 
     def to_sql(self) -> str:

@@ -128,9 +128,12 @@ class BoundCreateIndex:
     collection: str
     attr: str
     kind: str
+    params: dict | None = None
 
     def execute(self):
-        return self.session.create_index(self.collection, self.attr, self.kind)
+        return self.session.create_index(
+            self.collection, self.attr, self.kind, params=self.params
+        )
 
 
 @dataclass
@@ -165,6 +168,18 @@ class BoundShow:
                     }
                 )
             return out
+        if self.what == "indexes":
+            catalog = self.session.catalog
+            return [
+                {
+                    "collection": collection,
+                    "attr": attr,
+                    "kind": kind,
+                    "params": catalog.index_params(collection, attr, kind),
+                    "rows": len(catalog.collection(collection)),
+                }
+                for collection, attr, kind in sorted(catalog.indexes())
+            ]
         if self.what == "metrics":
             snapshot = self.session.metrics_registry.snapshot()
             out = []
@@ -217,11 +232,26 @@ BoundStatement = Union[
 
 
 class Binder:
-    """Bind parsed LensQL statements against one session."""
+    """Bind parsed LensQL statements against one session.
 
-    def __init__(self, session: "DeepLens", source: str = "") -> None:
+    ``query_vector``/``vector_attr`` carry the probe vector an ``ORDER
+    BY SIMILARITY`` clause binds against — vectors have no literal
+    syntax, so the caller passes them beside the statement text
+    (:meth:`DeepLens.sql` forwards its keyword arguments here).
+    """
+
+    def __init__(
+        self,
+        session: "DeepLens",
+        source: str = "",
+        *,
+        query_vector: Any = None,
+        vector_attr: str | None = None,
+    ) -> None:
         self.session = session
         self.source = source
+        self.query_vector = query_vector
+        self.vector_attr = vector_attr
 
     # -- plumbing --------------------------------------------------------
 
@@ -280,8 +310,19 @@ class Binder:
             return BoundDropView(self.session, statement.name)
         if isinstance(statement, ast.CreateIndex):
             self._collection(statement.collection, statement)
+            params: dict[str, int | float] = {}
+            for name, value in statement.params:
+                if name in params:
+                    raise self._error(
+                        f"duplicate index parameter {name!r}", statement
+                    )
+                params[name] = value
             return BoundCreateIndex(
-                self.session, statement.collection, statement.attr, statement.kind
+                self.session,
+                statement.collection,
+                statement.attr,
+                statement.kind,
+                params or None,
             )
         if isinstance(statement, ast.Show):
             target = None
@@ -384,10 +425,18 @@ class Binder:
                     "the caller instead",
                     select.order_by,
                 )
-            builder = builder.order_by(
-                select.order_by.attr, reverse=select.order_by.desc
-            )
-        if select.limit is not None:
+            if select.order_by.similarity:
+                # ORDER BY SIMILARITY LIMIT k is one unit: the builder's
+                # similarity_search appends both nodes, which the
+                # rewriter collapses into an ANN top-k
+                builder = self._similarity_order(builder, select)
+            else:
+                builder = builder.order_by(
+                    select.order_by.attr, reverse=select.order_by.desc
+                )
+        if select.limit is not None and not (
+            select.order_by is not None and select.order_by.similarity
+        ):
             builder = builder.limit(select.limit)
 
         attrs = self._projection(select, joined, aggregate is not None)
@@ -400,6 +449,37 @@ class Binder:
             select,
             aggregate=aggregate,
             arity=2 if joined else 1,
+        )
+
+    def _similarity_order(
+        self, builder: "QueryBuilder", select: ast.Select
+    ) -> "QueryBuilder":
+        """Lower ``ORDER BY SIMILARITY LIMIT k`` onto the builder's
+        :meth:`~repro.core.session.QueryBuilder.similarity_search` — the
+        same two logical nodes the fluent call appends, so both
+        frontends produce fingerprint-identical ANN top-k plans."""
+        spec = select.order_by
+        assert spec is not None
+        if spec.desc:
+            raise self._error(
+                "ORDER BY SIMILARITY is nearest-first; DESC (farthest-"
+                "first) is not supported",
+                spec,
+            )
+        if select.limit is None:
+            raise self._error(
+                "ORDER BY SIMILARITY needs a LIMIT (the top-k bound the "
+                "ANN access path answers)",
+                spec,
+            )
+        if self.query_vector is None:
+            raise self._error(
+                "ORDER BY SIMILARITY needs a probe vector; pass "
+                "query_vector= (and optionally vector_attr=) to sql()",
+                spec,
+            )
+        return builder.similarity_search(
+            self.query_vector, select.limit, attr=self.vector_attr
         )
 
     def _aggregate_of(

@@ -29,9 +29,10 @@ KEYWORDS = frozenset(
         "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "BETWEEN", "IN",
         "CONTAINS", "ORDER", "BY", "ASC", "DESC", "LIMIT", "AS",
         "EXPLAIN", "ANALYZE", "CREATE", "MATERIALIZED", "VIEW", "REFRESH", "DROP",
-        "INDEX", "ON", "USING", "REPLACE", "SHOW", "COLLECTIONS",
+        "INDEX", "INDEXES", "ON", "USING", "REPLACE", "SHOW", "COLLECTIONS",
         "VIEWS", "STATS", "FOR", "SIMILARITY", "JOIN", "WITHIN", "TOP",
-        "DIM", "EXCLUDE", "SELF", "COUNT", "AVG", "DISTINCT", "TRUE",
+        "DIM", "EXCLUDE", "SELF", "COUNT", "AVG", "MIN", "MAX", "DISTINCT",
+        "TRUE",
         "FALSE", "NULL", "METADATA", "ONLY", "METRICS", "SLOW", "QUERIES",
     }
 )

@@ -9,14 +9,17 @@ One statement per call. The grammar (also documented on
                  | CREATE [OR REPLACE] MATERIALIZED VIEW name AS select
                  | REFRESH VIEW name [AS select]
                  | DROP VIEW name
-                 | CREATE INDEX ON name '(' name ')' [USING name]
-                 | SHOW COLLECTIONS | SHOW VIEWS | SHOW STATS FOR name
+                 | CREATE INDEX ON name '(' name ')'
+                   [USING name ['(' name '=' number (',' name '=' number)* ')']]
+                 | SHOW COLLECTIONS | SHOW VIEWS | SHOW INDEXES
+                 | SHOW STATS FOR name
     select      := SELECT items FROM name [METADATA ONLY] [simjoin]
-                   [WHERE expr] [ORDER BY name [ASC|DESC]] [LIMIT int]
+                   [WHERE expr]
+                   [ORDER BY (name [ASC|DESC] | SIMILARITY)] [LIMIT int]
     items       := '*' | item (',' item)*
     item        := column | name '(' ')'
                  | COUNT '(' '*' ')' | COUNT '(' DISTINCT name ')'
-                 | AVG '(' name ')'
+                 | AVG '(' name ')' | MIN '(' name ')' | MAX '(' name ')'
     simjoin     := SIMILARITY JOIN (name | '(' select ')') [ON name]
                    WITHIN number [DIM int] [TOP int] [EXCLUDE SELF]
     expr        := or ; or := and (OR and)* ; and := not (AND not)*
@@ -175,9 +178,28 @@ class _Parser:
             attr = self._name("attribute name")
             self._expect(PUNCT, ")")
             kind = "btree"
+            params: list[tuple[str, int | float]] = []
             if self._accept(KEYWORD, "USING"):
                 kind = self._name("index kind")
-            return ast.CreateIndex(collection, attr, kind, pos=self._pos(start))
+                if self._accept(PUNCT, "("):
+                    while True:
+                        param = self._name("parameter name")
+                        self._expect(OP, "=")
+                        value = self.current
+                        if value.type != NUMBER:
+                            raise self._error(
+                                f"index parameter {param!r} needs a number, "
+                                f"got {self._describe(value)}"
+                            )
+                        self._advance()
+                        assert value.number is not None
+                        params.append((param, value.number))
+                        if not self._accept(PUNCT, ","):
+                            break
+                    self._expect(PUNCT, ")")
+            return ast.CreateIndex(
+                collection, attr, kind, tuple(params), pos=self._pos(start)
+            )
         self._expect(KEYWORD, "MATERIALIZED")
         self._expect(KEYWORD, "VIEW")
         name = self._name("view name")
@@ -192,6 +214,8 @@ class _Parser:
             return ast.Show("collections", pos=self._pos(start))
         if self._accept(KEYWORD, "VIEWS"):
             return ast.Show("views", pos=self._pos(start))
+        if self._accept(KEYWORD, "INDEXES"):
+            return ast.Show("indexes", pos=self._pos(start))
         if self._accept(KEYWORD, "METRICS"):
             return ast.Show("metrics", pos=self._pos(start))
         if self._accept(KEYWORD, "SLOW"):
@@ -203,8 +227,8 @@ class _Parser:
                 "stats", self._name("collection name"), pos=self._pos(start)
             )
         raise self._error(
-            f"expected COLLECTIONS, VIEWS, METRICS, SLOW QUERIES, or STATS "
-            f"after SHOW, got {self._describe(self.current)}"
+            f"expected COLLECTIONS, VIEWS, INDEXES, METRICS, SLOW QUERIES, "
+            f"or STATS after SHOW, got {self._describe(self.current)}"
         )
 
     # -- select ----------------------------------------------------------
@@ -231,13 +255,16 @@ class _Parser:
         if self.current.matches(KEYWORD, "ORDER"):
             order_token = self._advance()
             self._expect(KEYWORD, "BY")
-            attr = self._name("attribute name")
+            similarity = self._accept(KEYWORD, "SIMILARITY") is not None
+            attr = "similarity" if similarity else self._name("attribute name")
             desc = False
             if self._accept(KEYWORD, "DESC"):
                 desc = True
             else:
                 self._accept(KEYWORD, "ASC")
-            order_by = ast.OrderSpec(attr, desc, pos=self._pos(order_token))
+            order_by = ast.OrderSpec(
+                attr, desc, similarity, pos=self._pos(order_token)
+            )
         limit = None
         if self._accept(KEYWORD, "LIMIT"):
             limit = self._int("LIMIT")
@@ -275,12 +302,13 @@ class _Parser:
             return ast.AggregateCall(
                 "distinct_count", attr, pos=self._pos(token)
             )
-        if token.matches(KEYWORD, "AVG"):
-            self._advance()
-            self._expect(PUNCT, "(")
-            attr = self._name("attribute name")
-            self._expect(PUNCT, ")")
-            return ast.AggregateCall("avg", attr, pos=self._pos(token))
+        for keyword, kind in (("AVG", "avg"), ("MIN", "min"), ("MAX", "max")):
+            if token.matches(KEYWORD, keyword):
+                self._advance()
+                self._expect(PUNCT, "(")
+                attr = self._name("attribute name")
+                self._expect(PUNCT, ")")
+                return ast.AggregateCall(kind, attr, pos=self._pos(token))
         if token.type == IDENT:
             name = self._advance().value
             if self._accept(PUNCT, "("):
@@ -291,8 +319,8 @@ class _Parser:
                 return ast.ColumnRef(attr, name, pos=self._pos(token))
             return ast.ColumnRef(name, pos=self._pos(token))
         raise self._error(
-            f"expected a select item (attribute, UDF call, COUNT, or AVG), "
-            f"got {self._describe(token)}"
+            f"expected a select item (attribute, UDF call, COUNT, AVG, "
+            f"MIN, or MAX), got {self._describe(token)}"
         )
 
     def _similarity_join(self) -> ast.SimilarityJoinClause:

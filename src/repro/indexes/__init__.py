@@ -2,12 +2,14 @@
 
 Single-dimensional: :class:`HashIndex`, :class:`BTreeIndex`,
 :class:`SortedFileIndex`. Multi-dimensional: :class:`RTree` (intersection /
-containment), :class:`BallTree` (Euclidean threshold / kNN), plus
-:class:`RandomHyperplaneLSH` as the approximate alternative the paper
-suggests in Section 7.3.
+containment), :class:`BallTree` (Euclidean threshold / kNN), plus the
+approximate alternatives the paper suggests in Section 7.3:
+:class:`RandomHyperplaneLSH` and :class:`HNSWIndex` (graph-based ANN,
+the catalog-persisted top-k similarity access path).
 """
 
 from repro.indexes.balltree import BallTree
+from repro.indexes.hnsw import HNSWIndex
 from repro.indexes.lsh import RandomHyperplaneLSH
 from repro.indexes.rtree import RTree, rect_from_bbox
 from repro.indexes.single_dim import BTreeIndex, HashIndex, SortedFileIndex
@@ -15,6 +17,7 @@ from repro.indexes.single_dim import BTreeIndex, HashIndex, SortedFileIndex
 __all__ = [
     "BallTree",
     "BTreeIndex",
+    "HNSWIndex",
     "HashIndex",
     "RTree",
     "RandomHyperplaneLSH",

@@ -364,6 +364,65 @@ class BlobHeap:
                 offset=offset,
             ) from exc
 
+    def scrub(self) -> tuple[int, list[CorruptionError]]:
+        """Walk every record in the heap and re-verify its checksum.
+
+        Collects failures instead of raising (each detection still counts
+        in ``deeplens_corruption_detected_total``); a *structural* fault —
+        a truncated header or a length that overruns the file — ends the
+        walk, since record framing cannot be resynchronized past it.
+        Returns ``(records_checked, errors)``. Pre-checksum v1 heaps
+        check nothing.
+        """
+        errors: list[CorruptionError] = []
+        checked = 0
+        with self._lock:
+            self._check_open()
+            if not self.checksums:
+                return 0, errors
+            offset = _HEADER_SIZE
+            while offset < self._end:
+                self._file.seek(offset)
+                header = self._file.read(self._rec_size)
+                if len(header) < self._rec_size:
+                    self._metric_corruption.inc()
+                    errors.append(
+                        CorruptionError(
+                            "truncated blob record header",
+                            file=self.path,
+                            offset=offset,
+                        )
+                    )
+                    break
+                length, flags, crc = struct.unpack(_REC_HEADER, header)
+                if offset + self._rec_size + length > self._end:
+                    self._metric_corruption.inc()
+                    errors.append(
+                        CorruptionError(
+                            f"blob record of {length} bytes overruns the "
+                            f"heap end",
+                            file=self.path,
+                            offset=offset,
+                        )
+                    )
+                    break
+                payload = self._file.read(length)
+                checked += 1
+                try:
+                    if len(payload) != length:
+                        self._metric_corruption.inc()
+                        raise CorruptionError(
+                            f"short read of blob ({len(payload)} of "
+                            f"{length} bytes)",
+                            file=self.path,
+                            offset=offset,
+                        )
+                    self._verify(payload, crc, offset)
+                except CorruptionError as exc:
+                    errors.append(exc)
+                offset += self._rec_size + length
+        return checked, errors
+
     def sync(self) -> None:
         with self._lock:
             self._check_open()

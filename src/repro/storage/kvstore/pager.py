@@ -365,6 +365,29 @@ class Pager:
             offset=page_id * self.page_size,
         )
 
+    def scrub(self) -> tuple[int, list[CorruptionError]]:
+        """Verify every allocated page's *on-disk* checksum, bypassing the
+        LRU cache (a dirty cached page is checked against its last
+        committed image — the bytes recovery would restore). Collects
+        failures instead of raising; each detection still counts in
+        ``deeplens_corruption_detected_total``. Returns
+        ``(pages_checked, errors)``. Pre-checksum v1 files check nothing.
+        """
+        errors: list[CorruptionError] = []
+        with self._lock:
+            self._check_open()
+            if not self.checksums:
+                return 0, errors
+            checked = 0
+            for page_id in range(1, self.page_count):
+                image = bytearray(self._on_disk_image(page_id))
+                checked += 1
+                try:
+                    self._verify_page(page_id, image)
+                except CorruptionError as exc:
+                    errors.append(exc)
+        return checked, errors
+
     def packed_header(self) -> bytes:
         """The exact header bytes :meth:`sync` would write right now —
         the before-image the commit journal snapshots at BEGIN."""

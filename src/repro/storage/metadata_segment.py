@@ -535,6 +535,53 @@ class CollectionSegment:
             out.append(row)
         return out
 
+    def attr_min_max(self, attr: str) -> tuple[Any, Any] | None:
+        """(min, max) of ``attr`` across the whole segment, answered
+        purely from block zone maps plus the (in-memory) open tail —
+        zero sealed blocks are decoded. Returns ``None`` whenever the
+        answer is not provable from summaries alone: an attribute with
+        mixed/unorderable values in any block (zone group ``None`` with
+        non-None rows), ordering groups that differ across blocks, or no
+        non-None value anywhere. ``None`` rows are skipped, matching the
+        aggregate executor's semantics."""
+        with self._lock:
+            blocks = list(self._blocks)
+            tail = list(self._tail)
+        lo = hi = None
+        group: str | None = None
+        for block in blocks:
+            zone = block.zones.get(attr, _ABSENT)
+            if zone.n_values == 0:
+                continue
+            if zone.group is None:
+                return None  # mixed/unorderable block: not provable
+            if group is None:
+                group = zone.group
+            elif zone.group != group:
+                return None  # str vs num across blocks: incomparable
+            if lo is None or zone.lo < lo:
+                lo = zone.lo
+            if hi is None or zone.hi > hi:
+                hi = zone.hi
+        for _, _, payload in tail:
+            value = serialization.loads(payload).get(attr)
+            if value is None:
+                continue
+            value_group = _value_group(value)
+            if value_group is None:
+                return None
+            if group is None:
+                group = value_group
+            elif value_group != group:
+                return None
+            if lo is None or value < lo:
+                lo = value
+            if hi is None or value > hi:
+                hi = value
+        if lo is None:
+            return None  # no non-None value anywhere: nothing to prove
+        return lo, hi
+
     def block_stats(self, expr: Any = None) -> tuple[int, int, int]:
         """(kept blocks, total sealed blocks, surviving-row bound) for the
         planner: how much of the segment a zone-mapped scan would read.
@@ -549,6 +596,20 @@ class CollectionSegment:
         ]
         rows = sum(block.n_rows for block in kept) + tail_rows
         return len(kept), len(blocks), rows
+
+    def scrub(self) -> tuple[int, list[CorruptionError]]:
+        """Decode every sealed block end to end — checksum *and* content
+        validation — collecting failures instead of raising. Returns
+        ``(blocks_checked, errors)``."""
+        with self._lock:
+            blocks = list(self._blocks)
+        errors: list[CorruptionError] = []
+        for block in blocks:
+            try:
+                self._decode_block(block)
+            except CorruptionError as exc:
+                errors.append(exc)
+        return len(blocks), errors
 
     # -- persistence ----------------------------------------------------
 
@@ -690,6 +751,11 @@ class MetadataSegmentStore:
                 self._refs[name] = list(ref.to_tuple())
                 segment.dirty = False
             return dict(self._refs)
+
+    def scrub(self) -> tuple[int, list]:
+        """Checksum-walk the segment heap file (see
+        :meth:`~repro.storage.kvstore.heap.BlobHeap.scrub`)."""
+        return self._heap.scrub()
 
     def sync(self) -> None:
         self._heap.sync()

@@ -1,0 +1,238 @@
+"""ANN similarity access path, end to end: SQL/fluent parity, the
+costed hnsw-vs-exact decision, EXPLAIN ANALYZE grading, incremental
+maintenance across reopen, SHOW INDEXES, zone-map MIN/MAX, and the
+on-demand checksum scrubber."""
+
+import numpy as np
+import pytest
+
+from repro.core import Attr
+from repro.core.patch import Patch
+from repro.core.session import DeepLens
+from repro.errors import QueryError
+from repro.storage import metadata_segment
+
+
+def make_patches(n, dim=8, seed=0):
+    rng = np.random.default_rng(seed)
+    for i in range(n):
+        patch = Patch.from_frame(
+            "vid", i, rng.integers(0, 255, (4, 4, 3), dtype=np.uint8)
+        )
+        patch.metadata["emb"] = [float(x) for x in rng.normal(size=dim)]
+        patch.metadata["label"] = "cat" if i % 2 else "dog"
+        patch.metadata["score"] = float(i)
+        yield patch
+
+
+def brute_topk(db, collection, query, k, attr="emb"):
+    query = np.asarray(query, dtype=np.float64)
+    ranked = sorted(
+        (np.linalg.norm(np.array(p.metadata[attr]) - query), p.patch_id)
+        for p in db.scan(collection).patches()
+    )
+    return [pid for _, pid in ranked[:k]]
+
+
+@pytest.fixture(scope="module")
+def ann_db(tmp_path_factory):
+    workdir = tmp_path_factory.mktemp("ann")
+    with DeepLens(workdir, durability="flush") as db:
+        db.materialize(make_patches(300), "objs")
+        db.create_index("objs", "emb", "hnsw", params={"m": 8, "ef": 48})
+        yield db
+
+
+class TestSimilarityAccessPath:
+    def test_sql_and_fluent_share_one_plan(self, ann_db):
+        query = np.random.default_rng(1).normal(size=8)
+        fluent = ann_db.scan("objs").similarity_search(query, 5, attr="emb")
+        via_sql = ann_db.sql_query(
+            "SELECT * FROM objs ORDER BY SIMILARITY LIMIT 5",
+            query_vector=query,
+            vector_attr="emb",
+        )
+        assert via_sql.plan_fingerprint() == fluent.plan_fingerprint()
+        assert [p.patch_id for p in via_sql.patches()] == [
+            p.patch_id for p in fluent.patches()
+        ]
+
+    def test_explain_shows_costed_hnsw_decision(self, ann_db):
+        query = np.random.default_rng(2).normal(size=8)
+        text = str(
+            ann_db.scan("objs").similarity_search(query, 5, attr="emb").explain()
+        )
+        assert "hnsw" in text
+        assert "exact-topk-scan" in text
+        assert "recall" in text
+
+    def test_explain_analyze_grades_candidate_estimate(self, ann_db):
+        query = np.random.default_rng(3).normal(size=8)
+        analyzed = (
+            ann_db.scan("objs")
+            .similarity_search(query, 5, attr="emb")
+            .explain(analyze=True)
+        )
+        ann_lines = [
+            entry.describe()
+            for entry in analyzed.profile.entries
+            if "ann" in entry.describe()
+        ]
+        assert ann_lines, "EXPLAIN ANALYZE must profile the ann operator"
+        assert any("candidates" in line and "est" in line for line in ann_lines)
+
+    def test_search_counts_probes_in_metrics(self, ann_db):
+        query = np.random.default_rng(4).normal(size=8)
+        before = ann_db.metrics()["counters"].get("deeplens_ann_probes_total", 0)
+        ann_db.scan("objs").similarity_search(query, 3, attr="emb").patches()
+        after = ann_db.metrics()["counters"]["deeplens_ann_probes_total"]
+        assert after > before
+
+    def test_exhaustive_ef_matches_brute_force(self, ann_db):
+        """Differential oracle: an hnsw probe at ef >= n is exact."""
+        query = np.random.default_rng(5).normal(size=8)
+        index = ann_db.catalog.get_index("objs", "emb", "hnsw")
+        got = [pid for _, pid in index.search(query, 10, ef=len(index))]
+        assert got == brute_topk(ann_db, "objs", query, 10)
+
+    def test_without_index_falls_back_to_exact(self, tmp_path):
+        with DeepLens(tmp_path, durability="flush") as db:
+            db.materialize(make_patches(60, seed=6), "plain")
+            query = np.random.default_rng(6).normal(size=8)
+            builder = db.scan("plain").similarity_search(query, 4, attr="emb")
+            assert "exact" in str(builder.explain())
+            got = [p.patch_id for p in builder.patches()]
+            assert got == brute_topk(db, "plain", query, 4)
+
+    def test_show_indexes_reports_type_params_and_rows(self, ann_db):
+        rows = ann_db.sql("SHOW INDEXES")
+        assert {
+            "collection": "objs",
+            "attr": "emb",
+            "kind": "hnsw",
+            "params": {"m": 8, "ef_search": 48},
+            "rows": 300,
+        } in rows
+
+
+class TestSimilarityBinding:
+    def test_desc_similarity_rejected(self, ann_db):
+        with pytest.raises(QueryError, match="DESC"):
+            ann_db.sql(
+                "SELECT * FROM objs ORDER BY SIMILARITY DESC LIMIT 5",
+                query_vector=np.zeros(8),
+                vector_attr="emb",
+            )
+
+    def test_similarity_without_limit_rejected(self, ann_db):
+        with pytest.raises(QueryError, match="LIMIT"):
+            ann_db.sql(
+                "SELECT * FROM objs ORDER BY SIMILARITY",
+                query_vector=np.zeros(8),
+                vector_attr="emb",
+            )
+
+    def test_similarity_without_query_vector_rejected(self, ann_db):
+        with pytest.raises(QueryError, match="query_vector"):
+            ann_db.sql("SELECT * FROM objs ORDER BY SIMILARITY LIMIT 5")
+
+
+class TestIncrementalMaintenance:
+    def test_add_after_create_index_survives_reopen(self, tmp_path):
+        target = [50.0] * 8
+        with DeepLens(tmp_path, durability="flush") as db:
+            db.materialize(make_patches(80, seed=7), "objs")
+            db.create_index("objs", "emb", "hnsw", params={"m": 8})
+            extra = Patch.from_frame(
+                "vid", 99, np.zeros((4, 4, 3), np.uint8)
+            )
+            extra.metadata["emb"] = list(target)
+            extra.metadata["label"] = "new"
+            extra.metadata["score"] = 99.0
+            new_id = db.catalog.collection("objs").add(extra)
+            got = db.scan("objs").similarity_search(target, 1, attr="emb")
+            assert [p.patch_id for p in got.patches()] == [new_id]
+        with DeepLens(tmp_path, durability="flush") as db:
+            index = db.catalog.get_index("objs", "emb", "hnsw")
+            assert new_id in index
+            assert len(index) == 81
+            got = db.scan("objs").similarity_search(target, 1, attr="emb")
+            assert [p.patch_id for p in got.patches()] == [new_id]
+
+
+class TestZoneMapMinMax:
+    def test_min_max_never_decode_sealed_blocks(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(metadata_segment, "BLOCK_ROWS", 32)
+        with DeepLens(tmp_path, durability="flush") as db:
+            db.materialize(make_patches(100, seed=8), "objs")
+            counters = lambda: db.metrics()["counters"].get(  # noqa: E731
+                "deeplens_zonemap_blocks_scanned_total", 0
+            )
+            before = counters()
+            assert db.scan("objs").min_of("score") == 0.0
+            assert db.scan("objs").max_of("score") == 99.0
+            assert db.sql("SELECT MIN(score) FROM objs") == 0.0
+            assert db.sql("SELECT MAX(label) FROM objs") == "dog"
+            assert counters() == before, "MIN/MAX must come from block zones"
+
+    def test_unprovable_zones_fall_back_to_decode(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(metadata_segment, "BLOCK_ROWS", 16)
+
+        def mixed(n):
+            for i, patch in enumerate(make_patches(n, seed=9)):
+                # strings and numbers interleave: zones cannot order them
+                patch.metadata["mixed"] = i if i % 2 else f"s{i}"
+                yield patch
+
+        with DeepLens(tmp_path, durability="flush") as db:
+            db.materialize(mixed(48), "objs")
+            before = db.metrics()["counters"].get(
+                "deeplens_zonemap_blocks_scanned_total", 0
+            )
+            # a filtered aggregate is ineligible for the zone shortcut:
+            # it decodes blocks and still answers correctly
+            narrowed = db.scan("objs").filter(Attr("score") >= 10.0)
+            assert narrowed.min_of("score") == 10.0
+            after = db.metrics()["counters"].get(
+                "deeplens_zonemap_blocks_scanned_total", 0
+            )
+            assert after > before, "filtered MIN must decode blocks"
+            # mixed-type zones cannot prove bounds; the fallback surfaces
+            # the incomparability instead of answering from zones
+            with pytest.raises(QueryError, match="incomparable"):
+                db.scan("objs").min_of("mixed")
+
+
+class TestScrub:
+    def test_clean_database_scrubs_clean(self, tmp_path):
+        with DeepLens(tmp_path, durability="flush") as db:
+            db.materialize(make_patches(40, seed=10), "objs")
+            report = db.scrub()
+            assert report["errors"] == []
+            assert report["pages_checked"] > 0
+            assert report["records_checked"] >= 40
+
+    def test_scrub_detects_flipped_heap_byte(self, tmp_path):
+        with DeepLens(tmp_path, durability="flush") as db:
+            db.materialize(make_patches(40, seed=11), "objs")
+        heap_path = tmp_path / "catalog" / "patches.heap"
+        size = heap_path.stat().st_size
+        with open(heap_path, "r+b") as file:
+            file.seek(size // 2)
+            byte = file.read(1)
+            file.seek(size // 2)
+            file.write(bytes([byte[0] ^ 0xFF]))
+        with DeepLens(tmp_path, durability="flush") as db:
+            detected = lambda: sum(  # noqa: E731
+                count
+                for key, count in db.metrics()["counters"].items()
+                if key.startswith("deeplens_corruption_detected_total")
+            )
+            before = detected()
+            report = db.scrub()
+            assert report["errors"]
+            assert any(
+                e["kind"] == "scrub_corruption"
+                for e in db.recovery_report()["events"]
+            )
+            assert detected() > before

@@ -11,7 +11,10 @@ paths that must agree row-for-row:
   engine's bit-identical contract);
 * a session holding a matching materialized view vs a session without
   one (view reuse is a cost-based *physical* choice, never a semantic
-  one).
+  one);
+* ANN top-k at an exhaustive beam (``ef = n``) vs brute-force exact
+  top-k (the approximate access path must degenerate to the exact
+  answer, whichever path the optimizer costs out).
 
 Any divergence is a planner or engine bug, reported as a shrunk
 counterexample query rather than a hand-picked regression.
@@ -34,6 +37,13 @@ def make_patches(n=N):
         patch = Patch.from_frame("vid", i, np.full((4, 4, 3), i % 9, np.uint8))
         patch.metadata["label"] = LABELS[i % 3]
         patch.metadata["score"] = float(i)
+        # distinct by construction: i = 7 * (i // 7) + (i % 7)
+        patch.metadata["emb"] = [
+            float(i % 7),
+            float(i // 7),
+            float((i * 3) % 5),
+            float(i % 2),
+        ]
         yield patch
 
 
@@ -64,6 +74,15 @@ def db(tmp_path_factory):
     with DeepLens(tmp_path_factory.mktemp("differential")) as session:
         session.materialize(make_patches(), "det")
         session.register_udf("brighten", brighten, provides={"brightness"})
+        yield session
+
+
+@pytest.fixture(scope="module")
+def ann_db(tmp_path_factory):
+    with DeepLens(tmp_path_factory.mktemp("differential_ann")) as session:
+        session.materialize(make_patches(), "det")
+        # ef = n: every beam search degenerates to an exhaustive one
+        session.create_index("det", "emb", "hnsw", params={"m": 8, "ef": N})
         yield session
 
 
@@ -221,6 +240,29 @@ def test_metadata_only_matches_full_scan(db, shape):
     assert all(p.data.size == 0 for p in lean)
     assert lean_signature(lean) == lean_signature(full_query.patches())
     assert lean_signature(db.sql(lean_sql)) == lean_signature(lean)
+
+
+@given(seed=st.integers(0, 2**32 - 1), k=st.integers(1, 20))
+@settings(max_examples=25, deadline=None)
+def test_ann_at_exhaustive_ef_matches_exact_topk(ann_db, seed, k):
+    """With the index's beam as wide as the collection, the ANN top-k
+    must equal the brute-force exact top-k — and the SQL and fluent
+    forms of the query must share one plan."""
+    query = np.random.default_rng(seed).normal(size=4)
+    fluent = ann_db.scan("det").similarity_search(query, k, attr="emb")
+    via_sql = ann_db.sql_query(
+        f"SELECT * FROM det ORDER BY SIMILARITY LIMIT {k}",
+        query_vector=query,
+        vector_attr="emb",
+    )
+    assert via_sql.plan_fingerprint() == fluent.plan_fingerprint()
+    got = [p.patch_id for p in fluent.patches()]
+    exact = sorted(
+        (np.linalg.norm(np.array(p.metadata["emb"]) - query), p.patch_id)
+        for p in ann_db.scan("det").patches()
+    )
+    assert got == [pid for _, pid in exact[:k]]
+    assert row_signature(via_sql.patches()) == row_signature(fluent.patches())
 
 
 def test_view_reuse_actually_happens(view_db):

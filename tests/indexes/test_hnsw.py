@@ -1,0 +1,155 @@
+"""HNSW graph index: construction, search quality, and serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indexes import HNSWIndex
+from repro.indexes.hnsw import expected_recall
+
+
+def brute_topk(points, ids, query, k):
+    dists = np.sqrt(((points - query) ** 2).sum(axis=1))
+    order = np.argsort(dists, kind="stable")[:k]
+    return [ids[i] for i in order]
+
+
+def clustered_points(rng, n, dim, clusters=6):
+    centers = rng.normal(scale=8.0, size=(clusters, dim))
+    assignment = rng.integers(0, clusters, size=n)
+    return centers[assignment] + rng.normal(scale=0.6, size=(n, dim))
+
+
+class TestBuildAndSearch:
+    def test_search_returns_k_nearest_first(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(400, 16))
+        index = HNSWIndex.build(points, list(range(400)), m=8, seed=3)
+        query = rng.normal(size=16)
+        result = index.search(query, 5)
+        assert len(result) == 5
+        dists = [d for d, _ in result]
+        assert dists == sorted(dists)
+
+    def test_high_ef_recovers_exact_topk(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(300, 8))
+        ids = [i * 7 for i in range(300)]
+        index = HNSWIndex.build(points, ids, m=8, seed=5)
+        query = rng.normal(size=8)
+        got = [pid for _, pid in index.search(query, 10, ef=len(index))]
+        assert got == brute_topk(points, ids, query, 10)
+
+    def test_recall_on_clustered_embeddings(self):
+        rng = np.random.default_rng(2)
+        points = clustered_points(rng, 1500, 16)
+        index = HNSWIndex.build(points, list(range(1500)), m=12, seed=0)
+        hits = total = 0
+        for _ in range(20):
+            query = clustered_points(rng, 1, 16)[0]
+            exact = set(brute_topk(points, list(range(1500)), query, 10))
+            got = {pid for _, pid in index.search(query, 10, ef=80)}
+            hits += len(exact & got)
+            total += 10
+        assert hits / total >= 0.9
+
+    def test_membership_and_len(self):
+        rng = np.random.default_rng(3)
+        index = HNSWIndex.build(rng.normal(size=(50, 4)), list(range(50)))
+        assert len(index) == 50
+        assert 17 in index
+        assert 99 not in index
+
+    def test_incremental_add_is_searchable(self):
+        rng = np.random.default_rng(4)
+        index = HNSWIndex(4, m=6, seed=1)
+        for i in range(100):
+            index.add(rng.normal(size=4), i)
+        target = np.array([50.0, 50.0, 50.0, 50.0])
+        index.add(target, 1000)
+        got = [pid for _, pid in index.search(target, 1)]
+        assert got == [1000]
+
+    def test_rejects_wrong_dim_and_duplicate_id(self):
+        index = HNSWIndex(4)
+        index.add(np.zeros(4), 0)
+        with pytest.raises(Exception):
+            index.add(np.zeros(3), 1)
+
+    def test_stats_track_search_work(self):
+        rng = np.random.default_rng(5)
+        index = HNSWIndex.build(rng.normal(size=(200, 8)), list(range(200)))
+        index.search(rng.normal(size=8), 5)
+        assert index.last_stats["candidates"] > 0
+        assert index.last_stats["hops"] > 0
+
+    def test_params_normalized_and_reported(self):
+        index = HNSWIndex(8, m=10, ef_construction=64, ef_search=33, seed=9)
+        params = index.params()
+        assert params["m"] == 10
+        assert params["ef_search"] == 33
+
+
+class TestDeterminismAndSerialization:
+    def test_same_seed_same_graph(self):
+        rng = np.random.default_rng(6)
+        points = rng.normal(size=(200, 8))
+        a = HNSWIndex.build(points, list(range(200)), m=8, seed=42)
+        b = HNSWIndex.build(points, list(range(200)), m=8, seed=42)
+        query = rng.normal(size=8)
+        assert a.search(query, 10) == b.search(query, 10)
+
+    def test_value_round_trip_preserves_results(self):
+        rng = np.random.default_rng(7)
+        points = rng.normal(size=(150, 6))
+        index = HNSWIndex.build(points, list(range(150)), m=6, seed=2)
+        clone = HNSWIndex.from_value(index.to_value())
+        query = rng.normal(size=6)
+        assert clone.search(query, 8) == index.search(query, 8)
+        assert len(clone) == len(index)
+        assert clone.params() == index.params()
+
+    def test_from_value_rejects_inconsistent_snapshot(self):
+        rng = np.random.default_rng(8)
+        index = HNSWIndex.build(rng.normal(size=(30, 4)), list(range(30)))
+        value = index.to_value()
+        value["ids"] = value["ids"][:-1]  # torn snapshot
+        with pytest.raises(ValueError):
+            HNSWIndex.from_value(value)
+
+
+class TestExpectedRecall:
+    def test_monotone_in_ef(self):
+        recalls = [expected_recall(ef, 10) for ef in (10, 20, 40, 80, 160)]
+        assert recalls == sorted(recalls)
+        assert 0.0 < recalls[0] <= recalls[-1] <= 1.0
+
+    def test_huge_ef_saturates(self):
+        assert expected_recall(10_000, 10) > 0.99
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    n=st.integers(80, 400),
+    dim=st.sampled_from([4, 8, 16]),
+    clustered=st.booleans(),
+)
+def test_recall_floor_property(seed, n, dim, clustered):
+    """Recall@k against brute force stays above a floor across uniform
+    and clustered embedding distributions — the index may be
+    approximate, but never degenerate."""
+    rng = np.random.default_rng(seed)
+    points = (
+        clustered_points(rng, n, dim)
+        if clustered
+        else rng.normal(size=(n, dim))
+    )
+    index = HNSWIndex.build(points, list(range(n)), m=8, seed=seed)
+    k = 10
+    query = points[rng.integers(0, n)] + rng.normal(scale=0.05, size=dim)
+    exact = set(brute_topk(points, list(range(n)), query, k))
+    got = {pid for _, pid in index.search(query, k, ef=64)}
+    assert len(got) == k
+    assert len(exact & got) / k >= 0.7

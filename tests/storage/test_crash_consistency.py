@@ -43,6 +43,7 @@ def _patches(n, start=0):
             "vid", i, rng.integers(0, 255, (4, 4, 3), dtype=np.uint8)
         )
         patch.metadata["label"] = "car" if i % 2 == 0 else "person"
+        patch.metadata["emb"] = [float(x) for x in rng.normal(size=8)]
         yield patch
 
 
@@ -76,6 +77,12 @@ def _wl_create_index(workdir, fs):
     catalog.close()
 
 
+def _wl_create_hnsw_index(workdir, fs):
+    catalog = Catalog(workdir, durability=DURABILITY, fs=fs)
+    catalog.create_index("base", "emb", "hnsw", params={"m": 4, "ef": 8})
+    catalog.close()
+
+
 def _wl_materialize_replace(workdir, fs):
     catalog = Catalog(workdir, durability=DURABILITY, fs=fs)
     catalog.materialize(_patches(4, start=300), "base", replace=True)
@@ -86,6 +93,7 @@ WORKLOADS = {
     "materialize": _wl_materialize,
     "add_sync": _wl_add_sync,
     "create_index": _wl_create_index,
+    "create_hnsw_index": _wl_create_hnsw_index,
     "materialize_replace": _wl_materialize_replace,
 }
 
@@ -115,6 +123,15 @@ def _fingerprint(workdir):
         state["__indexes__"] = tuple(
             sorted(tuple(key) for key in catalog.indexes())
         )
+        # an interrupted hnsw build must leave either no index or a
+        # complete one — never a torn graph
+        for key in catalog.indexes():
+            name, attr, kind = tuple(key)
+            if kind != "hnsw":
+                continue
+            index = catalog.get_index(name, attr, kind)
+            assert len(index) == len(catalog.collection(name))
+            state[f"__hnsw__{name}.{attr}"] = tuple(index.ids())
         return state
 
 
